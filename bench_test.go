@@ -1,0 +1,368 @@
+// Benchmarks: one per experiment (E1–E9, the paper's figures and theorems)
+// plus micro-benchmarks of the substrate hot paths. The experiment benches
+// run one representative scenario per iteration; `go run ./cmd/ftss-exp`
+// regenerates the full tables recorded in EXPERIMENTS.md.
+package ftss
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftss/internal/core"
+	"ftss/internal/ctcons"
+	"ftss/internal/detector"
+	"ftss/internal/dijkstra"
+	"ftss/internal/experiment"
+	"ftss/internal/failure"
+	"ftss/internal/fullinfo"
+	"ftss/internal/history"
+	"ftss/internal/proc"
+	"ftss/internal/roundagree"
+	"ftss/internal/sim/async"
+	"ftss/internal/sim/round"
+	"ftss/internal/superimpose"
+)
+
+const ms = async.Millisecond
+
+// BenchmarkE1RoundAgreement: one corrupted round-agreement run (n=16,
+// general omission) through the Definition 2.4 checker.
+func BenchmarkE1RoundAgreement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		adv := failure.NewRandom(failure.GeneralOmission, proc.NewSet(0, 5, 10), 0.35, int64(i), 20)
+		cs, ps := roundagree.Procs(16)
+		rng := rand.New(rand.NewSource(int64(i)))
+		for _, c := range cs {
+			c.Corrupt(rng)
+		}
+		h := history.New(16, adv.Faulty())
+		e := round.MustNewEngine(ps, adv)
+		e.Observe(h)
+		e.Run(40)
+		if err := core.CheckFTSS(h, core.RoundAgreement{}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2Theorem1Scenario: the tentative-definition violation scenario.
+func BenchmarkE2Theorem1Scenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := 8
+		adv := failure.NewScripted(1).SilenceBetween(1, 0, 1, uint64(r))
+		cs, ps := roundagree.Procs(2)
+		cs[0].CorruptTo(10)
+		cs[1].CorruptTo(1_000_000)
+		h := history.New(2, adv.Faulty())
+		e := round.MustNewEngine(ps, adv)
+		e.Observe(h)
+		e.Run(r + 8)
+		if core.CheckTentative(h, core.RoundAgreement{}, r) == nil {
+			b.Fatal("tentative definition unexpectedly satisfied")
+		}
+	}
+}
+
+// BenchmarkE3Theorem2Scenario: the uniform-protocol two-world argument.
+func BenchmarkE3Theorem2Scenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		us := []*roundagree.Uniform{roundagree.NewUniformAt(0, 3), roundagree.NewUniformAt(1, 900)}
+		h := history.New(2, proc.NewSet())
+		e := round.MustNewEngine([]round.Process{us[0], us[1]}, nil)
+		e.Observe(h)
+		e.Run(20)
+		if core.CheckFTSS(h, core.RoundAgreement{}, 1) == nil {
+			b.Fatal("uniform protocol unexpectedly ftss-solved")
+		}
+	}
+}
+
+// BenchmarkE4Compiler: one compiled repeated-consensus run (n=8, f=3,
+// corrupted start) through the Σ⁺ checker.
+func BenchmarkE4Compiler(b *testing.B) {
+	pi := fullinfo.WavefrontConsensus{F: 3}
+	in := superimpose.SeededInputs(3, 1000)
+	sigma := superimpose.RepeatedConsensus{FinalRound: pi.FinalRound(), Inputs: in}
+	for i := 0; i < b.N; i++ {
+		adv := failure.NewRandom(failure.GeneralOmission, proc.NewSet(1, 4, 6), 0.3, int64(i), 20)
+		cs, ps := superimpose.Procs(pi, 8, in)
+		rng := rand.New(rand.NewSource(int64(i) + 7))
+		for _, c := range cs {
+			c.Corrupt(rng)
+		}
+		h := history.New(8, adv.Faulty())
+		e := round.MustNewEngine(ps, adv)
+		e.Observe(h)
+		e.Run(40)
+		if err := core.CheckFTSS(h, sigma, pi.FinalRound()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5DetectorTransform: one corrupted ◊W→◊S run (n=5, 1 crash)
+// through the ◊S axiom checker.
+func BenchmarkE5DetectorTransform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		crash := map[proc.ID]async.Time{4: 15 * ms}
+		weak := &detector.SimulatedWeak{
+			N: 5, CrashAt: crash, AccuracyAt: 30 * ms, Lag: 3 * ms,
+			NoiseP: 0.3, SlanderP: 0.2, Seed: int64(i),
+		}
+		procs := make([]*detector.Proc, 5)
+		aps := make([]async.Proc, 5)
+		var srcs []detector.SuspectSource
+		for j := 0; j < 5; j++ {
+			procs[j] = detector.NewProc(proc.ID(j), 5, weak)
+			aps[j] = procs[j]
+			if j != 4 {
+				srcs = append(srcs, procs[j])
+			}
+		}
+		rng := rand.New(rand.NewSource(int64(i)))
+		for _, p := range procs {
+			p.Corrupt(rng)
+		}
+		e := async.MustNewEngine(aps, async.Config{
+			Seed: int64(i), TickEvery: ms, MinDelay: ms, MaxDelay: 3 * ms, CrashAt: crash,
+		})
+		samples := detector.SampleRun(e, srcs, 3*ms, 250*ms)
+		if _, err := detector.VerifyEventuallyStrong(samples, proc.NewSet(0, 1, 2, 3), crash, 25*ms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6AsyncConsensus: one corrupted stabilizing-consensus run
+// (n=5, 2 crashes) through the stable-agreement checker.
+func BenchmarkE6AsyncConsensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		crash := map[proc.ID]async.Time{3: 15 * ms, 4: 24 * ms}
+		weak := &detector.SimulatedWeak{
+			N: 5, CrashAt: crash, AccuracyAt: 30 * ms, Lag: 3 * ms,
+			NoiseP: 0.25, SlanderP: 0.15, Seed: int64(i),
+		}
+		inputs := []ctcons.Value{5, 9, 1, 7, 3}
+		cs, aps := ctcons.Procs(5, inputs, ctcons.Stabilizing(), weak)
+		e := async.MustNewEngine(aps, async.Config{
+			Seed: int64(i), TickEvery: ms, MinDelay: ms, MaxDelay: 3 * ms, CrashAt: crash,
+		})
+		rng := rand.New(rand.NewSource(int64(i) * 3))
+		for _, c := range cs {
+			c.Corrupt(rng)
+		}
+		samples := ctcons.SampleDecisions(e, cs, 5*ms, 1200*ms)
+		if _, err := ctcons.VerifyStableAgreement(samples, e.Correct()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7AblationSuspects: the stale-replay hazard with the suspect
+// filter on (the run must pass; the table shows the off-variant failing).
+func BenchmarkE7AblationSuspects(b *testing.B) {
+	cfg := experiment.Config{Seeds: 2, Rounds: 30, HorizonMS: 400}
+	for i := 0; i < b.N; i++ {
+		t := experiment.E7AblationSuspects(cfg)
+		if len(t.Rows) != 2 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+// BenchmarkE8AblationResend: the corrupted-sent-flag deadlock with and
+// without mechanism 1.
+func BenchmarkE8AblationResend(b *testing.B) {
+	cfg := experiment.Config{Seeds: 2, Rounds: 30, HorizonMS: 400}
+	for i := 0; i < b.N; i++ {
+		t := experiment.E8AblationResend(cfg)
+		if len(t.Rows) != 2 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSyncEngineRound: cost of one synchronous round, n=32 round
+// agreement.
+func BenchmarkSyncEngineRound(b *testing.B) {
+	_, ps := roundagree.Procs(32)
+	e := round.MustNewEngine(ps, failure.None{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkSyncEngineRoundRecorded: the same with history recording and
+// coterie maintenance.
+func BenchmarkSyncEngineRoundRecorded(b *testing.B) {
+	_, ps := roundagree.Procs(32)
+	h := history.New(32, proc.NewSet())
+	e := round.MustNewEngine(ps, failure.None{})
+	e.Observe(h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkWavefrontStep: one full-information consensus step, n=32.
+func BenchmarkWavefrontStep(b *testing.B) {
+	pi := fullinfo.WavefrontConsensus{F: 10}
+	states := make([]fullinfo.StateMsg, 32)
+	for i := range states {
+		states[i] = fullinfo.StateMsg{
+			From:  proc.ID(i),
+			State: pi.Init(proc.ID(i), 32, fullinfo.Value(i)),
+		}
+	}
+	s := pi.Init(0, 32, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pi.Step(0, 32, s, states, 1)
+	}
+}
+
+// BenchmarkCompiledRound: one Π⁺ round, n=16.
+func BenchmarkCompiledRound(b *testing.B) {
+	pi := fullinfo.WavefrontConsensus{F: 5}
+	in := superimpose.SeededInputs(1, 100)
+	_, ps := superimpose.Procs(pi, 16, in)
+	e := round.MustNewEngine(ps, failure.None{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkCoterieMaintenance: incremental influence/coterie update cost
+// under omission failures, n=24.
+func BenchmarkCoterieMaintenance(b *testing.B) {
+	adv := failure.NewRandom(failure.GeneralOmission, proc.NewSet(0, 1, 2, 3), 0.4, 9, 0)
+	_, ps := roundagree.Procs(24)
+	h := history.New(24, adv.Faulty())
+	e := round.MustNewEngine(ps, adv)
+	e.Observe(h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkAsyncEngineEvent: raw discrete-event throughput with the
+// Figure 4 detector workload, n=8.
+func BenchmarkAsyncEngineEvent(b *testing.B) {
+	weak := &detector.SimulatedWeak{N: 8, AccuracyAt: 0, NoiseP: 0, SlanderP: 0.1, Seed: 2}
+	aps := make([]async.Proc, 8)
+	for i := 0; i < 8; i++ {
+		aps[i] = detector.NewProc(proc.ID(i), 8, weak)
+	}
+	e := async.MustNewEngine(aps, async.Config{Seed: 2, TickEvery: ms, MinDelay: ms, MaxDelay: 3 * ms})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !e.Step() {
+			b.Fatal("engine drained")
+		}
+	}
+}
+
+// BenchmarkCheckFTSS: checker cost on a 60-round, n=8 compiled history.
+func BenchmarkCheckFTSS(b *testing.B) {
+	pi := fullinfo.WavefrontConsensus{F: 2}
+	in := superimpose.SeededInputs(5, 100)
+	sigma := superimpose.RepeatedConsensus{FinalRound: pi.FinalRound(), Inputs: in}
+	adv := failure.NewRandom(failure.GeneralOmission, proc.NewSet(1, 3), 0.3, 5, 30)
+	cs, ps := superimpose.Procs(pi, 8, in)
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range cs {
+		c.Corrupt(rng)
+	}
+	h := history.New(8, adv.Faulty())
+	e := round.MustNewEngine(ps, adv)
+	e.Observe(h)
+	e.Run(60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.CheckFTSS(h, sigma, pi.FinalRound()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9BoundedCounters: the bounded-vs-unbounded counter comparison.
+func BenchmarkE9BoundedCounters(b *testing.B) {
+	cfg := experiment.Config{Seeds: 1, Rounds: 30, HorizonMS: 200}
+	for i := 0; i < b.N; i++ {
+		t := experiment.E9BoundedCounters(cfg)
+		if len(t.Rows) != 5 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+// BenchmarkE10ImperfectSynchrony: the lag-adapted stack, one scenario set.
+func BenchmarkE10ImperfectSynchrony(b *testing.B) {
+	cfg := experiment.Config{Seeds: 2, Rounds: 40, HorizonMS: 200}
+	for i := 0; i < b.N; i++ {
+		t := experiment.E10ImperfectSynchrony(cfg)
+		if len(t.Rows) != 3 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+// BenchmarkE11StabilizationCost: message-cost comparison, one scenario.
+func BenchmarkE11StabilizationCost(b *testing.B) {
+	cfg := experiment.Config{Seeds: 1, Rounds: 30, HorizonMS: 600}
+	for i := 0; i < b.N; i++ {
+		t := experiment.E11StabilizationCost(cfg)
+		if len(t.Rows) != 4 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+// BenchmarkE12ParameterSweep: the sweep at a single point per axis.
+func BenchmarkE12ParameterSweep(b *testing.B) {
+	cfg := experiment.Config{Seeds: 1, Rounds: 30, HorizonMS: 200}
+	for i := 0; i < b.N; i++ {
+		t := experiment.E12ParameterSweep(cfg)
+		if len(t.Rows) != 10 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+// BenchmarkE13RepeatedAsyncConsensus: one SMR scenario set.
+func BenchmarkE13RepeatedAsyncConsensus(b *testing.B) {
+	cfg := experiment.Config{Seeds: 1, Rounds: 30, HorizonMS: 500}
+	for i := 0; i < b.N; i++ {
+		t := experiment.E13RepeatedAsyncConsensus(cfg)
+		if len(t.Rows) != 3 {
+			b.Fatal("unexpected table shape")
+		}
+	}
+}
+
+// BenchmarkDijkstraStabilization: the K-state ring (the origin of
+// self-stabilization) from a corrupted state to legitimacy, n=8, K=9.
+func BenchmarkDijkstraStabilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cs, ps := dijkstra.Ring(8, 9)
+		rng := rand.New(rand.NewSource(int64(i)))
+		for _, c := range cs {
+			c.Corrupt(rng)
+		}
+		e := round.MustNewEngine(ps, failure.None{})
+		e.Run(8 * 9 * 3)
+		vals := make([]uint64, 8)
+		for j, c := range cs {
+			vals[j] = c.Val()
+		}
+		if dijkstra.Privileged(vals, 9).Len() != 1 {
+			b.Fatal("ring did not stabilize")
+		}
+	}
+}

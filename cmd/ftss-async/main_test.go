@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunStabilizing(t *testing.T) {
+	if err := run([]string{"-n", "3", "-crashes", "1", "-horizon", "600", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCleanValidity(t *testing.T) {
+	if err := run([]string{"-n", "3", "-crashes", "0", "-corrupt=false", "-horizon", "600"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsTooManyCrashes(t *testing.T) {
+	if err := run([]string{"-n", "3", "-crashes", "2"}); err == nil {
+		t.Fatal("crashes ≥ n/2 accepted")
+	}
+}

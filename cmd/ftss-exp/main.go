@@ -1,0 +1,74 @@
+// Command ftss-exp regenerates the paper-reproduction experiment tables
+// (E1–E8, one per figure/theorem of Gopal & Perry PODC '93). See
+// EXPERIMENTS.md for the recorded outputs and DESIGN.md for the index.
+//
+// Usage:
+//
+//	ftss-exp [-exp all|E1|…|E8] [-seeds N] [-rounds N] [-horizon MS] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ftss/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ftss-exp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ftss-exp", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment to run: all, or one of E1..E13")
+	seeds := fs.Int("seeds", experiment.DefaultConfig().Seeds, "random repetitions per parameter point")
+	rounds := fs.Int("rounds", experiment.DefaultConfig().Rounds, "synchronous run length (rounds)")
+	horizon := fs.Int("horizon", experiment.DefaultConfig().HorizonMS, "asynchronous run length (virtual ms)")
+	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiment.Config{Seeds: *seeds, Rounds: *rounds, HorizonMS: *horizon}
+	runners := map[string]func(experiment.Config) *experiment.Table{
+		"E1":  experiment.E1RoundAgreement,
+		"E2":  experiment.E2Theorem1,
+		"E3":  experiment.E3Theorem2,
+		"E4":  experiment.E4Compiler,
+		"E5":  experiment.E5DetectorTransform,
+		"E6":  experiment.E6AsyncConsensus,
+		"E7":  experiment.E7AblationSuspects,
+		"E8":  experiment.E8AblationResend,
+		"E9":  experiment.E9BoundedCounters,
+		"E10": experiment.E10ImperfectSynchrony,
+		"E11": experiment.E11StabilizationCost,
+		"E12": experiment.E12ParameterSweep,
+		"E13": experiment.E13RepeatedAsyncConsensus,
+	}
+
+	var tables []*experiment.Table
+	switch which := strings.ToUpper(*exp); which {
+	case "ALL":
+		tables = experiment.All(cfg)
+	default:
+		r, ok := runners[which]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (want all or E1..E13)", *exp)
+		}
+		tables = []*experiment.Table{r(cfg)}
+	}
+
+	for _, t := range tables {
+		if *markdown {
+			fmt.Print(t.Markdown())
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+	return nil
+}

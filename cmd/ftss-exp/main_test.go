@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "E9", "-seeds", "2", "-rounds", "20", "-horizon", "200"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "e3", "-seeds", "2", "-markdown"}); err != nil {
+		t.Fatal(err) // case-insensitive selector
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

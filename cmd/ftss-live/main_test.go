@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunLive(t *testing.T) {
+	if err := run([]string{"-n", "3", "-crashes", "0", "-deadline", "8s", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsTooManyCrashes(t *testing.T) {
+	if err := run([]string{"-n", "3", "-crashes", "2"}); err == nil {
+		t.Fatal("crashes ≥ n/2 accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunCompiled(t *testing.T) {
+	if err := run([]string{"-n", "4", "-f", "1", "-rounds", "12", "-corrupt", "1,6", "-seed", "3", "-trace"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNaiveReportsViolation(t *testing.T) {
+	// The naive variant is expected to fail the checker after corruption;
+	// run() reports that without returning an error for -naive.
+	if err := run([]string{"-n", "3", "-f", "1", "-rounds", "10", "-naive", "-corrupt", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-n", "3", "-f", "3"}); err == nil {
+		t.Fatal("f ≥ n accepted")
+	}
+	if err := run([]string{"-corrupt", "zero"}); err == nil {
+		t.Fatal("bad corruption round accepted")
+	}
+	if err := run([]string{"-kind", "martian"}); err == nil {
+		t.Fatal("unknown failure kind accepted")
+	}
+}

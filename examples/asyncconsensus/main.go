@@ -1,0 +1,96 @@
+// Async consensus: the paper's §3 pipeline end to end.
+//
+// An Eventually Weak failure detector (simulated oracle honoring exactly
+// the ◊W axioms) is strengthened into an Eventually Strong one with the
+// initialization-free Figure 4 transform, and the strengthened detector
+// drives a Chandra–Toueg consensus hardened with the paper's superimposed
+// mechanisms (periodic re-send, round agreement, sanitization, decision
+// gossip).
+//
+// The example starts every process from a CORRUPTED state, crashes two of
+// five processes, and shows the decision registers converging to a stable
+// common value — then runs the unmodified [CT91] baseline from the same
+// corrupted state to show why the mechanisms are needed.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ftss/internal/ctcons"
+	"ftss/internal/detector"
+	"ftss/internal/proc"
+	"ftss/internal/sim/async"
+)
+
+const ms = async.Millisecond
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "asyncconsensus:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n = 5
+	crashAt := map[proc.ID]async.Time{3: 25 * ms, 4: 40 * ms}
+	weak := &detector.SimulatedWeak{
+		N: n, CrashAt: crashAt,
+		AccuracyAt: 30 * ms, Lag: 3 * ms,
+		NoiseP: 0.25, SlanderP: 0.15, Seed: 5,
+	}
+	inputs := []ctcons.Value{700, 11, 420, 93, 256}
+
+	outcome := func(name string, cfg ctcons.Config) error {
+		cs, aps := ctcons.Procs(n, inputs, cfg, weak)
+		e := async.MustNewEngine(aps, async.Config{
+			Seed: 5, TickEvery: ms, MinDelay: ms, MaxDelay: 3 * ms, CrashAt: crashAt,
+		})
+		rng := rand.New(rand.NewSource(123))
+		for _, c := range cs {
+			c.Corrupt(rng)
+		}
+		fmt.Printf("--- %s, all processes corrupted, p3/p4 will crash ---\n", name)
+		for _, at := range []async.Time{50 * ms, 200 * ms, 800 * ms} {
+			e.RunUntil(at)
+			fmt.Printf("  t=%3dms:", at/ms)
+			for _, c := range cs {
+				if e.Crashed().Has(c.ID()) {
+					fmt.Printf("  p%d=†", c.ID())
+					continue
+				}
+				if v, _, ok := c.Decision(); ok {
+					fmt.Printf("  p%d=%d", c.ID(), v)
+				} else {
+					fmt.Printf("  p%d=?", c.ID())
+				}
+			}
+			fmt.Println()
+		}
+
+		samples := []ctcons.DecisionSample{ctcons.SnapshotDecisions(e.Now(), cs)}
+		e.RunUntil(1500 * ms)
+		samples = append(samples, ctcons.SnapshotDecisions(e.Now(), cs))
+		out, err := ctcons.VerifyStableAgreement(samples, e.Correct())
+		if err != nil {
+			fmt.Printf("  verdict: %v\n\n", err)
+			return err
+		}
+		fmt.Printf("  verdict: stable agreement on %d\n\n", out.Value)
+		return nil
+	}
+
+	if err := outcome("stabilizing protocol (§3)", ctcons.Stabilizing()); err != nil {
+		return fmt.Errorf("the stabilizing protocol must converge: %w", err)
+	}
+	if err := outcome("plain [CT91] baseline", ctcons.Baseline()); err == nil {
+		fmt.Println("note: the baseline happened to survive this corruption pattern;")
+		fmt.Println("rerun with other seeds (see experiment E6) to watch it deadlock.")
+	} else {
+		fmt.Println("the baseline failed exactly as §3 predicts; the paper's")
+		fmt.Println("superimposition (re-send + round agreement) is what repairs it.")
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Impossibility: executable versions of the paper's two scenario proofs.
+//
+// Theorem 1 — a faulty process can delay revealing itself past any claimed
+// stabilization bound r, so the "natural" Tentative Definition 1 (Σ must
+// hold on the r-suffix with the final faulty set) is unachievable; the
+// paper's piece-wise stability (Definition 2.4) charges the revelation to a
+// coterie change instead and is achievable with stabilization 1 (Theorem 3).
+//
+// Theorem 2 — a protocol that restricts the behavior of faulty processes
+// ("self-check and halt before doing any harm", Assumption 2) faces two
+// locally indistinguishable worlds: halting is mandatory in one and fatal
+// in the other, so no uniform protocol ftss-solves anything.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ftss/internal/core"
+	"ftss/internal/failure"
+	"ftss/internal/history"
+	"ftss/internal/proc"
+	"ftss/internal/roundagree"
+	"ftss/internal/sim/round"
+)
+
+func main() {
+	theorem1()
+	theorem2()
+}
+
+func theorem1() {
+	fmt.Println("=== Theorem 1: no finite stabilization time under the tentative definition ===")
+	fmt.Println()
+	for _, r := range []int{2, 8, 32} {
+		// Corrupted clocks; the faulty p1 blocks all communication with p0
+		// for rounds 1..r, then behaves.
+		adv := failure.NewScripted(1).SilenceBetween(1, 0, 1, uint64(r))
+		cs, ps := roundagree.Procs(2)
+		cs[0].CorruptTo(10)
+		cs[1].CorruptTo(1_000_000)
+
+		h := history.New(2, adv.Faulty())
+		e := round.MustNewEngine(ps, adv)
+		e.Observe(h)
+		e.Run(r + 8)
+
+		tent := core.CheckTentative(h, core.RoundAgreement{}, r)
+		ftss := core.CheckFTSS(h, core.RoundAgreement{}, 1)
+		fmt.Printf("claimed stabilization r=%-2d → tentative definition: %v\n", r, tent)
+		fmt.Printf("                          piece-wise stability (stab 1): satisfied=%v\n", ftss == nil)
+		fmt.Println()
+	}
+	fmt.Println("for every r the adversary pushes the violation to round r+1 —")
+	fmt.Println("exactly the proof's scenario; Definition 2.4 charges it to the")
+	fmt.Println("coterie change when p1 finally communicates.")
+	fmt.Println()
+}
+
+func theorem2() {
+	fmt.Println("=== Theorem 2: uniform protocols cannot ftss-solve ===")
+	fmt.Println()
+
+	// The uniform round agreement halts any process that sees a higher
+	// clock ("self-check and halt before doing harm").
+
+	// World 1: p0 is faulty and never communicates. For uniformity p0 must
+	// halt or agree — it never hears the evidence, so uniformity fails.
+	us := []*roundagree.Uniform{roundagree.NewUniformAt(0, 3), roundagree.NewUniformAt(1, 900)}
+	adv := failure.NewScripted(0).SilenceBetween(0, 1, 1, 50)
+	h := history.New(2, adv.Faulty())
+	e := round.MustNewEngine([]round.Process{us[0], us[1]}, adv)
+	e.Observe(h)
+	e.Run(20)
+	fmt.Printf("world 1 (p0 faulty, silent):   p0 halted=%v, uniformity holds=%v\n",
+		us[0].Halted(), core.CheckFTSS(h, core.Uniformity{}, 1) == nil)
+
+	// World 2: both processes are correct; only a systemic failure made
+	// their clocks differ. p0's self-check fires, a CORRECT process halts,
+	// and round agreement is violated for the rest of time.
+	us = []*roundagree.Uniform{roundagree.NewUniformAt(0, 3), roundagree.NewUniformAt(1, 900)}
+	h = history.New(2, proc.NewSet())
+	e = round.MustNewEngine([]round.Process{us[0], us[1]}, nil)
+	e.Observe(h)
+	e.Run(20)
+	fmt.Printf("world 2 (both correct):        p0 halted=%v, Σ ftss-holds=%v\n",
+		us[0].Halted(), core.CheckFTSS(h, core.RoundAgreement{}, 1) == nil)
+
+	fmt.Println()
+	fmt.Println("the self-check satisfies Assumption 2 only by sacrificing world 2;")
+	fmt.Println("omitting it sacrifices world 1 — no protocol wins both (Theorem 2).")
+
+	if us[0].Halted() {
+		os.Exit(0)
+	}
+}

@@ -1,0 +1,89 @@
+// Quickstart: compile a fault-tolerant protocol into a self-stabilizing
+// one.
+//
+// This example takes the paper's whole pipeline in ~60 lines:
+//
+//  1. Pick a terminating protocol Π that ft-solves Consensus under
+//     general-omission process failures (wavefront consensus, Figure 2
+//     canonical form).
+//  2. Compile it with the Figure 3 superimposition into Π⁺, which repeats
+//     Π forever and additionally tolerates systemic failures.
+//  3. Run Π⁺ on the synchronous simulator with an omission adversary,
+//     corrupt the memory of every process mid-run, and watch the system
+//     re-stabilize within final_round rounds (Theorem 4).
+//  4. Check the execution against Definition 2.4 (piece-wise stability).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ftss/internal/core"
+	"ftss/internal/failure"
+	"ftss/internal/fullinfo"
+	"ftss/internal/history"
+	"ftss/internal/proc"
+	"ftss/internal/sim/round"
+	"ftss/internal/superimpose"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n = 5
+	pi := fullinfo.WavefrontConsensus{F: 2} // tolerates 2 omission-faulty processes
+	inputs := superimpose.SeededInputs(42, 100)
+
+	// p1 and p3 are faulty: they randomly drop sends and receives.
+	adv := failure.NewRandom(failure.GeneralOmission, proc.NewSet(1, 3), 0.3, 7, 0)
+
+	// Compile Π into Π⁺ and wire up the engine with a recorded history.
+	procs, engineProcs := superimpose.Procs(pi, n, inputs)
+	h := history.New(n, adv.Faulty())
+	engine := round.MustNewEngine(engineProcs, adv)
+	engine.Observe(h)
+
+	fmt.Printf("Π = %s (final_round %d), compiled to Π⁺; n=%d, faulty %v\n\n",
+		pi.Name(), pi.FinalRound(), n, adv.Faulty().Sorted())
+
+	show := func(r int) {
+		c, _ := procs[0].LastDecision()
+		fmt.Printf("  round %2d: p0 clock=%-4d latest decision iter=%d value=%d\n",
+			r, procs[0].Clock(), c.Iteration, c.Value)
+	}
+
+	// Phase 1: ten clean rounds — repeated consensus hums along.
+	engine.Run(10)
+	fmt.Println("after 10 rounds from the good initial state:")
+	show(10)
+
+	// Phase 2: systemic failure — every process's memory is struck.
+	rng := rand.New(rand.NewSource(99))
+	engine.CorruptEverything(rng)
+	h.MarkSystemicFailure()
+	fmt.Println("\n*** systemic failure: all 5 processes corrupted ***")
+	fmt.Printf("  p0 clock is now %d\n", procs[0].Clock())
+
+	// Phase 3: the superimposed round agreement pulls everyone back into a
+	// common iteration within final_round rounds, despite the continuing
+	// omission failures of p1 and p3.
+	engine.Run(20)
+	fmt.Println("\nafter 20 more rounds:")
+	show(30)
+
+	// Phase 4: the formal verdict.
+	sigma := superimpose.RepeatedConsensus{FinalRound: pi.FinalRound(), Inputs: inputs}
+	if err := core.CheckFTSS(h, sigma, pi.FinalRound()); err != nil {
+		return fmt.Errorf("Definition 2.4 violated: %w", err)
+	}
+	m := core.MeasureStabilization(h, sigma)
+	fmt.Printf("\nDefinition 2.4: Π⁺ ftss-solves repeated consensus (stab ≤ %d)\n", pi.FinalRound())
+	fmt.Printf("measured stabilization after the corruption: %d round(s)\n", m.Rounds)
+	return nil
+}

@@ -1,0 +1,3 @@
+module ftss
+
+go 1.22

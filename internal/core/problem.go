@@ -1,0 +1,189 @@
+// Package core implements the paper's formal framework (§2.1–§2.2): problem
+// predicates over history windows, the Agreement/Rate conditions of
+// Assumption 1 and the Uniformity condition of Assumption 2, and the four
+// notions of solving a problem — ft-solves (Definition 2.1), ss-solves
+// (Definition 2.2), the rejected Tentative Definition 1, and ftss-solves
+// (Definition 2.4, piece-wise stability).
+package core
+
+import (
+	"fmt"
+
+	"ftss/internal/history"
+	"ftss/internal/proc"
+)
+
+// Problem is the paper's Σ: a predicate on a history (here, a window of a
+// recorded history) and a set of faulty processes.
+//
+// Check evaluates Σ on actual rounds lo..hi (inclusive, 1-based) of h,
+// treating `faulty` as F. A window with lo > hi is empty and trivially
+// satisfied. Check returns nil if Σ holds and a *Violation otherwise.
+type Problem interface {
+	Name() string
+	Check(h *history.History, lo, hi int, faulty proc.Set) error
+}
+
+// Violation reports where and why a problem predicate failed.
+type Violation struct {
+	Problem string
+	Round   int // actual round at which the violation manifests
+	Detail  string
+}
+
+// Error implements the error interface.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s violated at round %d: %s", v.Problem, v.Round, v.Detail)
+}
+
+// RoundAgreement is Assumption 1: in every round of the window, all correct
+// processes agree on the current round number (Agreement), and each correct
+// process increments its round number by exactly one at the end of each
+// round (Rate).
+type RoundAgreement struct{}
+
+// Name implements Problem.
+func (RoundAgreement) Name() string { return "round-agreement (Assumption 1)" }
+
+// Check implements Problem.
+func (RoundAgreement) Check(h *history.History, lo, hi int, faulty proc.Set) error {
+	for r := lo; r <= hi; r++ {
+		// Agreement: c_p^r equal across correct alive processes.
+		first := proc.None
+		var firstClock uint64
+		for _, p := range h.Round(r).Alive.Sorted() {
+			if faulty.Has(p) {
+				continue
+			}
+			c, ok := h.ClockAt(r, p)
+			if !ok {
+				continue
+			}
+			if first == proc.None {
+				first, firstClock = p, c
+				continue
+			}
+			if c != firstClock {
+				return &Violation{
+					Problem: "agreement",
+					Round:   r,
+					Detail: fmt.Sprintf("c_%v^%d = %d but c_%v^%d = %d",
+						first, r, firstClock, p, r, c),
+				}
+			}
+		}
+		// Rate: c_p^{r+1} = c_p^r + 1. The condition reads the state at the
+		// start of round r+1, so it is only enforced while r+1 is still
+		// inside the window: the predicate must not read state beyond the
+		// history fragment it is given (H3 in Definition 2.4).
+		if r == hi {
+			continue
+		}
+		for _, p := range h.Round(r).Alive.Sorted() {
+			if faulty.Has(p) {
+				continue
+			}
+			before, ok1 := h.ClockAt(r, p)
+			after, ok2 := h.ClockAt(r+1, p)
+			if !ok1 || !ok2 {
+				continue // crashed in between: c undefined from then on
+			}
+			if after != before+1 {
+				return &Violation{
+					Problem: "rate",
+					Round:   r,
+					Detail: fmt.Sprintf("c_%v^%d = %d but c_%v^%d = %d (want %d)",
+						p, r, before, p, r+1, after, before+1),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Uniformity is Assumption 2 (§2.2): in every round, every faulty process
+// has either halted or agrees with the correct processes on the round
+// number. Protocols enforcing it "self-check and halt before doing harm";
+// Theorem 2 shows such protocols cannot ftss-solve anything.
+type Uniformity struct{}
+
+// Name implements Problem.
+func (Uniformity) Name() string { return "uniformity (Assumption 2)" }
+
+// Check implements Problem.
+func (Uniformity) Check(h *history.History, lo, hi int, faulty proc.Set) error {
+	for r := lo; r <= hi; r++ {
+		// Reference clock: any correct process's clock.
+		ref := proc.None
+		var refClock uint64
+		for _, p := range h.Round(r).Alive.Sorted() {
+			if faulty.Has(p) {
+				continue
+			}
+			if c, ok := h.ClockAt(r, p); ok {
+				ref, refClock = p, c
+				break
+			}
+		}
+		if ref == proc.None {
+			continue // no correct process alive; nothing to compare against
+		}
+		for _, p := range faulty.Sorted() {
+			snap, ok := h.SnapshotAt(r, p)
+			if !ok {
+				continue // crashed counts as halted
+			}
+			if snap.Halted {
+				continue
+			}
+			if snap.Clock != refClock {
+				return &Violation{
+					Problem: "uniformity",
+					Round:   r,
+					Detail: fmt.Sprintf("faulty %v is not halted and c_%v^%d = %d ≠ %d = c_%v^%d",
+						p, p, r, snap.Clock, refClock, ref, r),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// And conjoins problems: the window must satisfy every component.
+type And []Problem
+
+// Name implements Problem.
+func (a And) Name() string {
+	s := "all("
+	for i, p := range a {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.Name()
+	}
+	return s + ")"
+}
+
+// Check implements Problem.
+func (a And) Check(h *history.History, lo, hi int, faulty proc.Set) error {
+	for _, p := range a {
+		if err := p.Check(h, lo, hi, faulty); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Func adapts a function to the Problem interface.
+type Func struct {
+	ProblemName string
+	CheckFunc   func(h *history.History, lo, hi int, faulty proc.Set) error
+}
+
+// Name implements Problem.
+func (f Func) Name() string { return f.ProblemName }
+
+// Check implements Problem.
+func (f Func) Check(h *history.History, lo, hi int, faulty proc.Set) error {
+	return f.CheckFunc(h, lo, hi, faulty)
+}

@@ -1,0 +1,113 @@
+package ctcons
+
+import (
+	"fmt"
+
+	"ftss/internal/proc"
+	"ftss/internal/sim/async"
+)
+
+// DecisionSample is a snapshot of every process's decision register at one
+// virtual time.
+type DecisionSample struct {
+	At       async.Time
+	Decided  map[proc.ID]bool
+	Value    map[proc.ID]Value
+	DecRound map[proc.ID]uint64
+}
+
+// SnapshotDecisions records the decision registers of the given processes.
+func SnapshotDecisions(at async.Time, ps []*Proc) DecisionSample {
+	s := DecisionSample{
+		At:       at,
+		Decided:  make(map[proc.ID]bool, len(ps)),
+		Value:    make(map[proc.ID]Value, len(ps)),
+		DecRound: make(map[proc.ID]uint64, len(ps)),
+	}
+	for _, p := range ps {
+		v, r, ok := p.Decision()
+		s.Decided[p.ID()] = ok
+		s.Value[p.ID()] = v
+		s.DecRound[p.ID()] = r
+	}
+	return s
+}
+
+// SampleDecisions advances the engine to `until`, snapshotting every
+// `every` units of virtual time.
+func SampleDecisions(e *async.Engine, ps []*Proc, every, until async.Time) []DecisionSample {
+	var out []DecisionSample
+	for e.Now() < until {
+		next := e.Now() + every
+		if next > until {
+			next = until
+		}
+		e.RunUntil(next)
+		out = append(out, SnapshotDecisions(e.Now(), ps))
+	}
+	return out
+}
+
+// StableOutcome reports when eventual stable agreement was reached.
+type StableOutcome struct {
+	// StableFrom is the earliest sample time from which every correct
+	// process holds the same decision and none ever changes again.
+	StableFrom async.Time
+	// Value is the common decision.
+	Value Value
+}
+
+// VerifyStableAgreement checks the asynchronous correctness notion over a
+// sampled run: there is a suffix of the samples in which every correct
+// process has decided, all correct decisions are equal, and no correct
+// process's register changes. It returns an error if the final sample
+// already violates this (someone undecided or a disagreement), or if no
+// violation-free suffix exists.
+func VerifyStableAgreement(samples []DecisionSample, correct proc.Set) (StableOutcome, error) {
+	if len(samples) == 0 {
+		return StableOutcome{}, fmt.Errorf("no samples")
+	}
+	last := samples[len(samples)-1]
+	var common Value
+	first := true
+	for q := range correct {
+		if !last.Decided[q] {
+			return StableOutcome{}, fmt.Errorf("termination: %v undecided at the final sample", q)
+		}
+		if first {
+			common, first = last.Value[q], false
+		} else if last.Value[q] != common {
+			return StableOutcome{}, fmt.Errorf("agreement: %v holds %d, others hold %d",
+				q, last.Value[q], common)
+		}
+	}
+	// Find the earliest suffix in which all correct registers equal the
+	// final state.
+	stableFrom := last.At
+	for i := len(samples) - 1; i >= 0; i-- {
+		s := samples[i]
+		ok := true
+		for q := range correct {
+			if !s.Decided[q] || s.Value[q] != common || s.DecRound[q] != last.DecRound[q] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		stableFrom = s.At
+	}
+	return StableOutcome{StableFrom: stableFrom, Value: common}, nil
+}
+
+// VerifyValidity checks that the common decision is some process's input —
+// meaningful only for runs whose initial state was not corrupted.
+func VerifyValidity(out StableOutcome, inputs []Value) error {
+	for _, in := range inputs {
+		if in == out.Value {
+			return nil
+		}
+	}
+	return fmt.Errorf("validity: decision %d is no process's input %v", out.Value, inputs)
+}

@@ -1,0 +1,221 @@
+package detector
+
+import (
+	"math/rand"
+
+	"ftss/internal/proc"
+	"ftss/internal/sim/async"
+)
+
+// Heartbeat is the TimeoutCore's periodic I-am-alive broadcast.
+type Heartbeat struct{}
+
+// MaxCorruptTimeout bounds corrupted timeout values; an unboundedly
+// corrupted timeout would delay completeness arbitrarily (the eventual
+// guarantee would still hold, but not within a simulable horizon — the
+// same feasibility bound applied to every counter in this module).
+const MaxCorruptTimeout = async.Time(200) * async.Millisecond
+
+// TimeoutCore is a constructive failure detector for the partial-synchrony
+// model [DLS88]: every process heartbeats on each step, and q is suspected
+// when nothing has been heard from it for an adaptive timeout. When a
+// suspicion is refuted (a message from a currently-suspected process
+// arrives), that process's timeout grows — so after the global
+// stabilization time the timeouts exceed the true delay bound and the
+// detector becomes eventually perfect, which is more than the ◊W the
+// paper's Figure 4 transform requires. Feeding it through the transform
+// yields a fully constructive, oracle-free ◊S stack.
+//
+// Self-stabilization: all state is locally checkable or self-correcting.
+// A last-heard time in the future is clamped to now (sanitization); a
+// corrupted timeout is clamped to the feasibility bound and otherwise
+// re-learned; a corrupted suspicion is refuted by the next heartbeat.
+type TimeoutCore struct {
+	self        proc.ID
+	n           int
+	baseTimeout async.Time
+	increment   async.Time
+
+	lastHeard []async.Time
+	timeout   []async.Time
+	primed    []bool // whether lastHeard is meaningful yet
+}
+
+// NewTimeoutCore builds the detector for process self. baseTimeout should
+// exceed the tick interval; increment is added on every refuted suspicion.
+func NewTimeoutCore(self proc.ID, n int, baseTimeout, increment async.Time) *TimeoutCore {
+	c := &TimeoutCore{
+		self:        self,
+		n:           n,
+		baseTimeout: baseTimeout,
+		increment:   increment,
+		lastHeard:   make([]async.Time, n),
+		timeout:     make([]async.Time, n),
+		primed:      make([]bool, n),
+	}
+	for i := range c.timeout {
+		c.timeout[i] = baseTimeout
+	}
+	return c
+}
+
+// OnTick broadcasts a heartbeat and sanitizes local state.
+func (c *TimeoutCore) OnTick(ctx async.Context) {
+	now := ctx.Now()
+	for q := 0; q < c.n; q++ {
+		if c.lastHeard[q] > now {
+			c.lastHeard[q] = now // locally checkable: nothing is heard from the future
+		}
+		if c.timeout[q] > MaxCorruptTimeout {
+			c.timeout[q] = MaxCorruptTimeout
+		}
+		if c.timeout[q] < c.baseTimeout {
+			c.timeout[q] = c.baseTimeout
+		}
+	}
+	ctx.Broadcast(Heartbeat{})
+}
+
+// Observe notes traffic from q at time now. Any message counts as a
+// heartbeat (the host should call this for every delivery); a refuted
+// suspicion grows q's timeout.
+func (c *TimeoutCore) Observe(now async.Time, q proc.ID) {
+	if int(q) < 0 || int(q) >= c.n {
+		return
+	}
+	if c.primed[q] && c.suspectedAt(now, q) {
+		c.timeout[q] += c.increment
+		if c.timeout[q] > MaxCorruptTimeout {
+			c.timeout[q] = MaxCorruptTimeout
+		}
+	}
+	c.lastHeard[q] = now
+	c.primed[q] = true
+}
+
+// OnMessage consumes heartbeats and observes any traffic. It reports
+// whether the payload was a heartbeat (so hosts can stop dispatching it).
+func (c *TimeoutCore) OnMessage(ctx async.Context, from proc.ID, payload any) bool {
+	c.Observe(ctx.Now(), from)
+	_, isHB := payload.(Heartbeat)
+	return isHB
+}
+
+func (c *TimeoutCore) suspectedAt(now async.Time, q proc.ID) bool {
+	if q == c.self {
+		return false
+	}
+	if !c.primed[q] {
+		// Nothing heard yet since start/corruption: give q one timeout
+		// from time zero.
+		return now > c.timeout[q]
+	}
+	return now-c.lastHeard[q] > c.timeout[q]
+}
+
+// Suspects returns the processes currently timed out.
+func (c *TimeoutCore) Suspects(now async.Time) proc.Set {
+	out := proc.NewSet()
+	for q := 0; q < c.n; q++ {
+		if c.suspectedAt(now, proc.ID(q)) {
+			out.Add(proc.ID(q))
+		}
+	}
+	return out
+}
+
+// Timeout exposes q's current adaptive timeout (for tests).
+func (c *TimeoutCore) Timeout(q proc.ID) async.Time { return c.timeout[q] }
+
+// Corrupt implements failure.Corruptible.
+func (c *TimeoutCore) Corrupt(rng *rand.Rand) {
+	for q := 0; q < c.n; q++ {
+		c.lastHeard[q] = async.Time(rng.Int63n(int64(10 * MaxCorruptTimeout)))
+		c.timeout[q] = async.Time(rng.Int63n(int64(2 * MaxCorruptTimeout)))
+		c.primed[q] = rng.Intn(2) == 0
+	}
+}
+
+// TimeoutWeak adapts a per-process TimeoutCore to the WeakDetector
+// interface consumed by the Figure 4 transform: Detect simply reads the
+// local core's current suspicions. Each process must have its own core
+// (registered under its ID); queries for unknown processes return nothing.
+type TimeoutWeak struct {
+	cores map[proc.ID]*TimeoutCore
+}
+
+var _ WeakDetector = (*TimeoutWeak)(nil)
+
+// NewTimeoutWeak builds an empty registry.
+func NewTimeoutWeak() *TimeoutWeak {
+	return &TimeoutWeak{cores: make(map[proc.ID]*TimeoutCore)}
+}
+
+// Register adds p's local core.
+func (w *TimeoutWeak) Register(p proc.ID, core *TimeoutCore) { w.cores[p] = core }
+
+// Detect implements WeakDetector.
+func (w *TimeoutWeak) Detect(now async.Time, p proc.ID) proc.Set {
+	c, ok := w.cores[p]
+	if !ok {
+		return proc.NewSet()
+	}
+	return c.Suspects(now)
+}
+
+// TimeoutProc runs a TimeoutCore plus the Figure 4 transform as a
+// standalone async.Proc: the fully constructive ◊S detector.
+type TimeoutProc struct {
+	core   *TimeoutCore
+	strong *StrongCore
+}
+
+var _ async.Proc = (*TimeoutProc)(nil)
+
+// NewTimeoutProcs builds n constructive detector processes wired to each
+// other through a shared TimeoutWeak registry.
+func NewTimeoutProcs(n int, baseTimeout, increment async.Time) []*TimeoutProc {
+	weak := NewTimeoutWeak()
+	out := make([]*TimeoutProc, n)
+	for i := 0; i < n; i++ {
+		core := NewTimeoutCore(proc.ID(i), n, baseTimeout, increment)
+		weak.Register(proc.ID(i), core)
+		out[i] = &TimeoutProc{
+			core:   core,
+			strong: NewStrongCore(proc.ID(i), n, weak),
+		}
+	}
+	return out
+}
+
+// ID implements async.Proc.
+func (p *TimeoutProc) ID() proc.ID { return p.strong.self }
+
+// OnTick implements async.Proc.
+func (p *TimeoutProc) OnTick(ctx async.Context) {
+	p.core.OnTick(ctx)
+	p.strong.OnTick(ctx)
+}
+
+// OnMessage implements async.Proc.
+func (p *TimeoutProc) OnMessage(ctx async.Context, from proc.ID, payload any) {
+	if p.core.OnMessage(ctx, from, payload) {
+		return
+	}
+	p.strong.OnMessage(ctx, from, payload)
+}
+
+// Suspects returns the ◊S output.
+func (p *TimeoutProc) Suspects() proc.Set { return p.strong.Suspects() }
+
+// Core exposes the timeout layer.
+func (p *TimeoutProc) Core() *TimeoutCore { return p.core }
+
+// Strong exposes the transform layer.
+func (p *TimeoutProc) Strong() *StrongCore { return p.strong }
+
+// Corrupt implements failure.Corruptible: both layers.
+func (p *TimeoutProc) Corrupt(rng *rand.Rand) {
+	p.core.Corrupt(rng)
+	p.strong.Corrupt(rng)
+}

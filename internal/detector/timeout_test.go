@@ -1,0 +1,150 @@
+package detector
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftss/internal/proc"
+	"ftss/internal/sim/async"
+)
+
+func buildTimeoutRun(n int, crashAt map[proc.ID]async.Time, gst async.Time, seed int64) (*async.Engine, []*TimeoutProc, []SuspectSource) {
+	procs := NewTimeoutProcs(n, 8*ms, 5*ms)
+	aps := make([]async.Proc, n)
+	srcs := make([]SuspectSource, 0, n)
+	for i, p := range procs {
+		aps[i] = p
+		if _, dies := crashAt[p.ID()]; !dies {
+			srcs = append(srcs, p)
+		}
+	}
+	e := async.MustNewEngine(aps, async.Config{
+		Seed:           seed,
+		TickEvery:      ms,
+		MinDelay:       ms,
+		MaxDelay:       3 * ms,
+		GST:            gst,
+		PreGSTMaxDelay: 40 * ms,
+		CrashAt:        crashAt,
+	})
+	return e, procs, srcs
+}
+
+func TestTimeoutCoreBasics(t *testing.T) {
+	c := NewTimeoutCore(0, 3, 10*ms, 5*ms)
+	// Nothing heard: q suspected once its timeout from time zero elapses.
+	if c.Suspects(5 * ms).Has(1) {
+		t.Error("too-early suspicion")
+	}
+	if !c.Suspects(11 * ms).Has(1) {
+		t.Error("unprimed target should time out")
+	}
+	// Never suspects self.
+	if c.Suspects(1000 * ms).Has(0) {
+		t.Error("self-suspicion")
+	}
+	// Hearing from q clears the suspicion.
+	c.Observe(12*ms, 1)
+	if c.Suspects(13 * ms).Has(1) {
+		t.Error("fresh heartbeat should clear suspicion")
+	}
+	// Refuting a suspicion grows the timeout.
+	before := c.Timeout(1)
+	c.Observe(12*ms+before+ms, 1) // arrives after the timeout expired
+	if c.Timeout(1) != before+5*ms {
+		t.Errorf("timeout = %d, want %d", c.Timeout(1), before+5*ms)
+	}
+}
+
+func TestTimeoutCoreSanitization(t *testing.T) {
+	c := NewTimeoutCore(0, 2, 10*ms, 5*ms)
+	c.lastHeard[1] = 1 << 60 // corrupted: heard from the future
+	c.timeout[1] = 1 << 59   // corrupted: absurd timeout
+	ctx := &fakeCtx{now: 50 * ms}
+	c.OnTick(ctx)
+	if c.lastHeard[1] > 50*ms {
+		t.Error("future lastHeard not clamped")
+	}
+	if c.timeout[1] > MaxCorruptTimeout {
+		t.Error("timeout not clamped")
+	}
+	c.timeout[1] = 0 // corrupted below base
+	c.OnTick(ctx)
+	if c.timeout[1] < 10*ms {
+		t.Error("timeout not restored to base")
+	}
+	if len(ctx.broadcasts) != 2 {
+		t.Errorf("heartbeats = %d, want 2", len(ctx.broadcasts))
+	}
+	// Out-of-range observations are ignored.
+	c.Observe(1*ms, 99)
+	c.Observe(1*ms, -1)
+}
+
+type fakeCtx struct {
+	now        async.Time
+	broadcasts []any
+}
+
+func (f *fakeCtx) Now() async.Time   { return f.now }
+func (f *fakeCtx) Send(proc.ID, any) {}
+func (f *fakeCtx) Broadcast(p any)   { f.broadcasts = append(f.broadcasts, p) }
+func (f *fakeCtx) Rand() *rand.Rand  { return rand.New(rand.NewSource(1)) }
+
+// TestConstructiveStackEventuallyStrong: heartbeats + adaptive timeouts +
+// Figure 4, no oracle anywhere — ◊S axioms hold after GST, from clean and
+// corrupted starts.
+func TestConstructiveStackEventuallyStrong(t *testing.T) {
+	for _, corrupted := range []bool{false, true} {
+		for seed := int64(1); seed <= 10; seed++ {
+			crash := map[proc.ID]async.Time{3: 60 * ms}
+			e, procs, srcs := buildTimeoutRun(4, crash, 100*ms, seed)
+			if corrupted {
+				rng := rand.New(rand.NewSource(seed))
+				for _, p := range procs {
+					p.Corrupt(rng)
+				}
+			}
+			correct := proc.NewSet(0, 1, 2)
+			samples := SampleRun(e, srcs, 5*ms, 600*ms)
+			out, err := VerifyEventuallyStrong(samples, correct, crash, 250*ms)
+			if err != nil {
+				t.Fatalf("corrupted=%v seed=%d: %v", corrupted, seed, err)
+			}
+			if out.StabilizedFrom() >= 600*ms {
+				t.Errorf("corrupted=%v seed=%d: stabilized too late", corrupted, seed)
+			}
+		}
+	}
+}
+
+// TestPreGSTFalseSuspicionsGetRefuted: before GST huge delays cause false
+// suspicions; the adaptive timeouts must grow so that after GST the
+// detector quiets down (eventual accuracy for EVERY correct process —
+// timeout detectors are eventually perfect).
+func TestPreGSTFalseSuspicionsGetRefuted(t *testing.T) {
+	e, procs, srcs := buildTimeoutRun(3, nil, 150*ms, 4)
+	// Run through the chaotic pre-GST period.
+	e.RunUntil(150 * ms)
+	// Some timeout must have grown beyond base (refutations happened).
+	grew := false
+	for _, p := range procs {
+		for q := proc.ID(0); q < 3; q++ {
+			if q != p.ID() && p.Core().Timeout(q) > 8*ms {
+				grew = true
+			}
+		}
+	}
+	if !grew {
+		t.Log("note: no false suspicion occurred pre-GST for this seed (harmless)")
+	}
+	// After GST plus slack, nobody suspects anybody (all correct).
+	e.RunUntil(400 * ms)
+	samples := SampleRun(e, srcs, 5*ms, 600*ms)
+	last := samples[len(samples)-1]
+	for q, sus := range last.Suspects {
+		if sus.Len() != 0 {
+			t.Errorf("%v still suspects %v after GST", q, sus)
+		}
+	}
+}

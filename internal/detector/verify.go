@@ -1,0 +1,146 @@
+package detector
+
+import (
+	"fmt"
+
+	"ftss/internal/proc"
+	"ftss/internal/sim/async"
+)
+
+// SuspectSource is anything exposing a live suspect set — a detector Proc
+// or a consensus process embedding a StrongCore.
+type SuspectSource interface {
+	ID() proc.ID
+	Suspects() proc.Set
+}
+
+// Sample is a snapshot of every process's suspect set at one virtual time.
+type Sample struct {
+	At       async.Time
+	Suspects map[proc.ID]proc.Set
+}
+
+// Snapshot records one sample from the given sources.
+func Snapshot(at async.Time, srcs []SuspectSource) Sample {
+	s := Sample{At: at, Suspects: make(map[proc.ID]proc.Set, len(srcs))}
+	for _, src := range srcs {
+		s.Suspects[src.ID()] = src.Suspects()
+	}
+	return s
+}
+
+// SampleRun advances the engine to `until`, snapshotting the sources every
+// `every` units of virtual time.
+func SampleRun(e *async.Engine, srcs []SuspectSource, every, until async.Time) []Sample {
+	var samples []Sample
+	for e.Now() < until {
+		next := e.Now() + every
+		if next > until {
+			next = until
+		}
+		e.RunUntil(next)
+		samples = append(samples, Snapshot(e.Now(), srcs))
+	}
+	return samples
+}
+
+// Outcome reports when the ◊S axioms became permanently true in a sampled
+// run.
+type Outcome struct {
+	// StrongCompleteFrom is the earliest sample time from which every
+	// crashed process is suspected by every correct process, forever after.
+	StrongCompleteFrom async.Time
+	// WeakAccurateFrom is the earliest sample time from which some fixed
+	// correct process is suspected by no correct process, forever after.
+	WeakAccurateFrom async.Time
+	// TrustedProcess is that never-again-suspected process.
+	TrustedProcess proc.ID
+}
+
+// StabilizedFrom is the time from which both axioms hold.
+func (o Outcome) StabilizedFrom() async.Time {
+	if o.WeakAccurateFrom > o.StrongCompleteFrom {
+		return o.WeakAccurateFrom
+	}
+	return o.StrongCompleteFrom
+}
+
+// VerifyEventuallyStrong checks the two ◊S axioms over a sampled run:
+//
+//	Strong Completeness — eventually every faulty (crashed) process is
+//	suspected by every correct process;
+//	Eventual Weak Accuracy — eventually some correct process is never
+//	suspected by any correct process.
+//
+// correct is the set of never-crashing processes; crashAt gives crash
+// times. A process is only required to be suspected in samples taken at or
+// after graceAfterCrash past its crash time (detection cannot be
+// instantaneous). An error describes which axiom failed if no suffix of
+// the samples satisfies both.
+func VerifyEventuallyStrong(samples []Sample, correct proc.Set,
+	crashAt map[proc.ID]async.Time, graceAfterCrash async.Time) (Outcome, error) {
+	if len(samples) == 0 {
+		return Outcome{}, fmt.Errorf("no samples")
+	}
+	end := samples[len(samples)-1].At
+
+	// Strong completeness: find the last violating sample.
+	var lastSC async.Time = -1
+	for _, s := range samples {
+		for target, ct := range crashAt {
+			if s.At < ct+graceAfterCrash {
+				continue // not yet required
+			}
+			for q := range correct {
+				if !s.Suspects[q].Has(target) {
+					if s.At > lastSC {
+						lastSC = s.At
+					}
+				}
+			}
+		}
+	}
+	scFrom := async.Time(0)
+	if lastSC >= 0 {
+		if lastSC >= end {
+			return Outcome{}, fmt.Errorf(
+				"strong completeness still violated at the final sample (t=%d)", end)
+		}
+		scFrom = lastSC + 1
+	}
+
+	// Eventual weak accuracy: per correct candidate, the last time any
+	// correct process suspected it.
+	best := proc.None
+	var bestFrom async.Time = -1
+	for _, c := range correct.Sorted() {
+		var last async.Time = -1
+		for _, s := range samples {
+			for q := range correct {
+				if s.Suspects[q].Has(c) && s.At > last {
+					last = s.At
+				}
+			}
+		}
+		if last >= end {
+			continue // suspected through the very end: not this one
+		}
+		from := async.Time(0)
+		if last >= 0 {
+			from = last + 1
+		}
+		if best == proc.None || from < bestFrom {
+			best, bestFrom = c, from
+		}
+	}
+	if best == proc.None {
+		return Outcome{}, fmt.Errorf(
+			"eventual weak accuracy: every correct process is still suspected at the final sample")
+	}
+
+	return Outcome{
+		StrongCompleteFrom: scFrom,
+		WeakAccurateFrom:   bestFrom,
+		TrustedProcess:     best,
+	}, nil
+}

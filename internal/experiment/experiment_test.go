@@ -1,0 +1,289 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns an extra-small config so experiment tests stay fast.
+func tiny() Config { return Config{Seeds: 3, Rounds: 30, HorizonMS: 600} }
+
+// passCell parses "k/n" and returns k, n.
+func passCell(t *testing.T, cell string) (int, int) {
+	t.Helper()
+	parts := strings.Split(cell, "/")
+	if len(parts) != 2 {
+		t.Fatalf("not a pass cell: %q", cell)
+	}
+	k, err1 := strconv.Atoi(parts[0])
+	n, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		t.Fatalf("bad pass cell: %q", cell)
+	}
+	return k, n
+}
+
+func TestE1AllPassWithStabAtMostOne(t *testing.T) {
+	tb := E1RoundAgreement(tiny())
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tb.Rows {
+		k, n := passCell(t, row[3])
+		if k != n {
+			t.Errorf("row %v: ftss pass %d/%d", row, k, n)
+		}
+		maxStab, _ := strconv.Atoi(row[4])
+		if maxStab > 1 {
+			t.Errorf("row %v: max stabilization %d exceeds the Theorem 3 bound", row, maxStab)
+		}
+	}
+}
+
+func TestE2TentativeNeverHoldsFTSSAlwaysHolds(t *testing.T) {
+	tb := E2Theorem1(tiny())
+	for _, row := range tb.Rows {
+		if row[1] != "false" {
+			t.Errorf("r=%s: tentative definition unexpectedly satisfied", row[0])
+		}
+		if row[3] != "true" {
+			t.Errorf("r=%s: ftss(1) should hold", row[0])
+		}
+		// The violation is found exactly at round r+1 (the revelation).
+		r, _ := strconv.Atoi(row[0])
+		viol, err := strconv.Atoi(row[2])
+		if err != nil || viol != r+1 {
+			t.Errorf("r=%d: violating round %s, want %d", r, row[2], r+1)
+		}
+	}
+}
+
+func TestE3NoScenarioSatisfiesBoth(t *testing.T) {
+	tb := E3Theorem2(tiny())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Scenario 1: p0 not halted, uniformity violated.
+	if tb.Rows[0][1] != "false" || tb.Rows[0][2] != "false" {
+		t.Errorf("scenario 1 row = %v", tb.Rows[0])
+	}
+	// Scenario 2: correct p0 halted, Σ violated.
+	if tb.Rows[1][1] != "true" || tb.Rows[1][3] != "false" {
+		t.Errorf("scenario 2 row = %v", tb.Rows[1])
+	}
+}
+
+func TestE4CompiledPassesNaiveFails(t *testing.T) {
+	cfg := tiny()
+	tb := E4Compiler(cfg)
+	for _, row := range tb.Rows {
+		k, n := passCell(t, row[4])
+		if k != n {
+			t.Errorf("row %v: Π⁺ pass %d/%d", row, k, n)
+		}
+		nk, nn := passCell(t, row[6])
+		if nk != 0 {
+			t.Errorf("row %v: naive pass %d/%d, want 0", row, nk, nn)
+		}
+		maxStab, _ := strconv.Atoi(row[5])
+		bound, _ := strconv.Atoi(row[7])
+		if maxStab > bound {
+			t.Errorf("row %v: measured stab %d exceeds final_round %d", row, maxStab, bound)
+		}
+	}
+}
+
+func TestE5DetectorAlwaysStabilizes(t *testing.T) {
+	tb := E5DetectorTransform(tiny())
+	for _, row := range tb.Rows {
+		k, n := passCell(t, row[4])
+		if k != n {
+			t.Errorf("row %v: ◊S pass %d/%d", row, k, n)
+		}
+	}
+}
+
+func TestE6StabilizingPassesBaselineFailsWhenCorrupted(t *testing.T) {
+	tb := E6AsyncConsensus(tiny())
+	for _, row := range tb.Rows {
+		k, n := passCell(t, row[4])
+		if k != n {
+			t.Errorf("row %v: stabilizing pass %d/%d", row, k, n)
+		}
+		if row[2] == "false" {
+			bk, bn := passCell(t, row[5])
+			if bk != bn {
+				t.Errorf("row %v: clean baseline should pass (%d/%d)", row, bk, bn)
+			}
+		}
+	}
+	// At least one corrupted row where the baseline loses seeds.
+	sawBaselineFailure := false
+	for _, row := range tb.Rows {
+		if row[2] == "true" {
+			bk, bn := passCell(t, row[5])
+			if bk < bn {
+				sawBaselineFailure = true
+			}
+		}
+	}
+	if !sawBaselineFailure {
+		t.Error("corrupted baseline never failed; the comparison shows nothing")
+	}
+}
+
+func TestE7FilterOnPassesFilterOffFails(t *testing.T) {
+	tb := E7AblationSuspects(tiny())
+	k, n := passCell(t, tb.Rows[0][2])
+	if k != n {
+		t.Errorf("filter on: %d/%d", k, n)
+	}
+	k, _ = passCell(t, tb.Rows[1][2])
+	if k != 0 {
+		t.Errorf("filter off: pass %d, want 0", k)
+	}
+}
+
+func TestE8ResendMatters(t *testing.T) {
+	tb := E8AblationResend(tiny())
+	k, n := passCell(t, tb.Rows[0][2])
+	if k != n {
+		t.Errorf("full mechanisms: %d/%d", k, n)
+	}
+	k, _ = passCell(t, tb.Rows[1][2])
+	if k != 0 {
+		t.Errorf("no resend: pass %d, want 0 (deadlock)", k)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID: "EX", Title: "demo", Claim: "c",
+		Headers: []string{"a", "bb"},
+		Notes:   "n",
+	}
+	tb.AddRow(1, "x")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"EX", "demo", "claim: c", "a", "bb", "1", "x", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	md := tb.Markdown()
+	for _, want := range []string{"### EX", "**Claim:**", "| a | bb |", "| 1 | x |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q in:\n%s", want, md)
+		}
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	d := DefaultConfig()
+	q := QuickConfig()
+	if d.Seeds <= q.Seeds || d.HorizonMS <= q.HorizonMS {
+		t.Error("default config should be larger than quick")
+	}
+}
+
+func TestE9BoundedFailsBeyondHalfWindow(t *testing.T) {
+	tb := E9BoundedCounters(tiny())
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[4] != "true" {
+			t.Errorf("%s: unbounded Figure 1 must converge", row[0])
+		}
+	}
+	// Within half-window: bounded converges; beyond: never.
+	if tb.Rows[0][3] != "true" || tb.Rows[1][3] != "true" {
+		t.Error("bounded protocol should converge within a half-window")
+	}
+	for _, i := range []int{2, 3, 4} {
+		if tb.Rows[i][3] != "false" {
+			t.Errorf("%s: bounded protocol should never converge", tb.Rows[i][0])
+		}
+	}
+}
+
+func TestE10ImperfectSynchrony(t *testing.T) {
+	tb := E10ImperfectSynchrony(tiny())
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	k, n := passCell(t, tb.Rows[0][2])
+	if k != n {
+		t.Errorf("Fig.1 under random lag: %d/%d", k, n)
+	}
+	if !strings.Contains(tb.Rows[1][2], "0/1 exact") ||
+		!strings.Contains(tb.Rows[1][2], "1/1 within-1") {
+		t.Errorf("adversarial row = %q", tb.Rows[1][2])
+	}
+	k, n = passCell(t, tb.Rows[2][2])
+	if k != n {
+		t.Errorf("compiler under lag: %d/%d", k, n)
+	}
+}
+
+func TestE11StabilizationCost(t *testing.T) {
+	tb := E11StabilizationCost(tiny())
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[3] == "-" {
+			t.Errorf("row %v: no seed completed", row)
+			continue
+		}
+		b, _ := strconv.Atoi(row[3])
+		s, _ := strconv.Atoi(row[4])
+		if s <= b {
+			t.Errorf("row %v: stabilization should cost more messages", row)
+		}
+	}
+}
+
+func TestDetectorMessageRateQuadratic(t *testing.T) {
+	// The Figure 4 transform broadcasts once per tick: n processes × n
+	// recipients × ticks, within slack for tick phase.
+	m4 := detectorMessageRate(4, 50, 1)
+	m8 := detectorMessageRate(8, 50, 1)
+	ratio := float64(m8) / float64(m4)
+	if ratio < 3.0 || ratio > 5.0 {
+		t.Errorf("message ratio 8v4 = %.2f, want ≈4 (quadratic)", ratio)
+	}
+}
+
+func TestE12SweepAllPass(t *testing.T) {
+	tb := E12ParameterSweep(tiny())
+	if len(tb.Rows) != 10 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		k, n := passCell(t, row[3])
+		if k != n {
+			t.Errorf("row %v: pass %d/%d", row, k, n)
+		}
+		stab, _ := strconv.Atoi(row[4])
+		if stab > 3 {
+			t.Errorf("row %v: stabilization %d exceeds final_round", row, stab)
+		}
+	}
+}
+
+func TestE13RepeatedAsyncConsensus(t *testing.T) {
+	cfg := Config{Seeds: 3, Rounds: 30, HorizonMS: 900}
+	tb := E13RepeatedAsyncConsensus(cfg)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		k, n := passCell(t, row[3])
+		if k != n {
+			t.Errorf("row %v: agreement %d/%d", row, k, n)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package failure models the two failure types of Gopal & Perry (PODC '93):
+//
+//   - Process failures: a bounded set of processes may crash and/or omit to
+//     send or receive messages (the paper's "general omission" class). An
+//     Adversary decides, per round, which messages faulty processes lose and
+//     when faulty processes crash.
+//
+//   - Systemic failures (self-stabilization failures): the state of any or
+//     all processes may be arbitrary. Corruption is injected by the
+//     simulators through the Corruptible interface defined here.
+//
+// A process is faulty only if it deviates from its protocol (drops a
+// message it should have delivered, or crashes); a process that faithfully
+// executes from a corrupted state is still correct (§2.1 of the paper).
+// Adversaries therefore distinguish the *designated* faulty set (the bound
+// f) from the rounds at which processes first *actually* deviate, which is
+// what the history layer needs to compute F(H,Π) for each prefix.
+package failure
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftss/internal/proc"
+)
+
+// Kind enumerates the process-failure classes from §2 of the paper.
+type Kind int
+
+const (
+	// Crash failures: a faulty process halts at a round boundary and takes
+	// no further steps.
+	Crash Kind = iota + 1
+	// SendOmission failures: a faulty process may fail to send messages.
+	SendOmission
+	// ReceiveOmission failures: a faulty process may fail to receive
+	// messages.
+	ReceiveOmission
+	// GeneralOmission failures: send and/or receive omission and/or
+	// crashing — the paper's model.
+	GeneralOmission
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case SendOmission:
+		return "send-omission"
+	case ReceiveOmission:
+		return "receive-omission"
+	case GeneralOmission:
+		return "general-omission"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Adversary schedules process failures for a synchronous round execution.
+//
+// The round simulator consults the adversary with *actual* round numbers
+// (the external observer's count, starting at 1). Implementations must be
+// deterministic functions of (round, from, to) so that a run can be
+// replayed; randomized adversaries pre-compute or derive their choices from
+// a seed.
+//
+// The simulator enforces the model's ground rules regardless of what an
+// implementation returns: only designated-faulty processes ever lose
+// messages or crash, and a process always receives its own broadcast
+// (footnote 1 of the paper).
+type Adversary interface {
+	// Faulty returns the designated faulty set (|Faulty| ≤ f). Processes
+	// outside this set never deviate.
+	Faulty() proc.Set
+
+	// CrashRound returns the round at the start of which p halts, or 0 if
+	// p never crashes. A crashed process sends and receives nothing from
+	// that round on.
+	CrashRound(p proc.ID) uint64
+
+	// DropSend reports whether faulty sender `from` omits its round-r
+	// message to `to`.
+	DropSend(round uint64, from, to proc.ID) bool
+
+	// DropRecv reports whether faulty receiver `to` omits the round-r
+	// message from `from`.
+	DropRecv(round uint64, from, to proc.ID) bool
+}
+
+// None is an adversary that injects no process failures.
+type None struct{}
+
+// Faulty returns the empty set.
+func (None) Faulty() proc.Set { return proc.NewSet() }
+
+// CrashRound returns 0 (never crashes).
+func (None) CrashRound(proc.ID) uint64 { return 0 }
+
+// DropSend returns false.
+func (None) DropSend(uint64, proc.ID, proc.ID) bool { return false }
+
+// DropRecv returns false.
+func (None) DropRecv(uint64, proc.ID, proc.ID) bool { return false }
+
+// Drop identifies one directed message slot in a synchronous execution.
+type Drop struct {
+	Round uint64
+	From  proc.ID
+	To    proc.ID
+}
+
+// Scripted is an adversary driven by explicit drop lists and crash rounds.
+// It is the workhorse for the paper's scenario proofs, which require exact
+// control over who hears whom in which round.
+type Scripted struct {
+	FaultySet proc.Set
+	Crashes   map[proc.ID]uint64 // p → round at whose start p halts
+	SendDrops map[Drop]struct{}
+	RecvDrops map[Drop]struct{}
+}
+
+// NewScripted returns an empty scripted adversary with the given designated
+// faulty set.
+func NewScripted(faulty ...proc.ID) *Scripted {
+	return &Scripted{
+		FaultySet: proc.NewSet(faulty...),
+		Crashes:   make(map[proc.ID]uint64),
+		SendDrops: make(map[Drop]struct{}),
+		RecvDrops: make(map[Drop]struct{}),
+	}
+}
+
+// CrashAt schedules p to halt at the start of round r.
+func (s *Scripted) CrashAt(p proc.ID, r uint64) *Scripted {
+	s.Crashes[p] = r
+	return s
+}
+
+// DropSendAt schedules faulty process `from` to omit its round-r message to
+// `to`.
+func (s *Scripted) DropSendAt(r uint64, from, to proc.ID) *Scripted {
+	s.SendDrops[Drop{r, from, to}] = struct{}{}
+	return s
+}
+
+// DropRecvAt schedules faulty process `to` to omit the round-r message from
+// `from`.
+func (s *Scripted) DropRecvAt(r uint64, from, to proc.ID) *Scripted {
+	s.RecvDrops[Drop{r, from, to}] = struct{}{}
+	return s
+}
+
+// SilenceBetween makes faulty process a drop all messages to and from b for
+// rounds [r1, r2] (inclusive). This is the "p and q do not communicate"
+// construction used in the proofs of Theorems 1 and 2.
+func (s *Scripted) SilenceBetween(a, b proc.ID, r1, r2 uint64) *Scripted {
+	for r := r1; r <= r2; r++ {
+		s.DropSendAt(r, a, b)
+		s.DropRecvAt(r, b, a)
+	}
+	return s
+}
+
+// Faulty implements Adversary.
+func (s *Scripted) Faulty() proc.Set { return s.FaultySet }
+
+// CrashRound implements Adversary.
+func (s *Scripted) CrashRound(p proc.ID) uint64 { return s.Crashes[p] }
+
+// DropSend implements Adversary.
+func (s *Scripted) DropSend(r uint64, from, to proc.ID) bool {
+	_, ok := s.SendDrops[Drop{r, from, to}]
+	return ok
+}
+
+// DropRecv implements Adversary.
+func (s *Scripted) DropRecv(r uint64, from, to proc.ID) bool {
+	_, ok := s.RecvDrops[Drop{r, from, to}]
+	return ok
+}
+
+// Random is a seeded adversary that drops each eligible message
+// independently with probability P and optionally crashes faulty processes
+// at pre-drawn rounds. Identical (seed, parameters) produce identical
+// schedules, so runs are replayable.
+type Random struct {
+	FaultySet proc.Set
+	Kind      Kind
+	P         float64 // per-message drop probability in [0,1]
+	Seed      int64
+	Crashes   map[proc.ID]uint64
+}
+
+// NewRandom builds a random adversary of the given kind over the designated
+// faulty set. With kind Crash, each faulty process crashes at a round drawn
+// uniformly from [1, horizon]; with omission kinds, messages drop with
+// probability p (and no crashes occur).
+func NewRandom(kind Kind, faulty proc.Set, p float64, seed int64, horizon uint64) *Random {
+	r := &Random{
+		FaultySet: faulty.Clone(),
+		Kind:      kind,
+		P:         p,
+		Seed:      seed,
+		Crashes:   make(map[proc.ID]uint64),
+	}
+	if kind == Crash || kind == GeneralOmission {
+		rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+		for _, q := range faulty.Sorted() {
+			if kind == Crash || rng.Float64() < 0.3 {
+				if horizon > 0 {
+					r.Crashes[q] = 1 + uint64(rng.Int63n(int64(horizon)))
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Faulty implements Adversary.
+func (r *Random) Faulty() proc.Set { return r.FaultySet }
+
+// CrashRound implements Adversary.
+func (r *Random) CrashRound(p proc.ID) uint64 { return r.Crashes[p] }
+
+// hash derives a deterministic coin for one directed message slot.
+func (r *Random) coin(round uint64, from, to proc.ID, salt uint64) float64 {
+	x := uint64(r.Seed) ^ salt
+	x ^= round * 0x9e3779b97f4a7c15
+	x ^= uint64(int64(from)+1) * 0xbf58476d1ce4e5b9
+	x ^= uint64(int64(to)+1) * 0x94d049bb133111eb
+	// splitmix64 finalizer
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// DropSend implements Adversary.
+func (r *Random) DropSend(round uint64, from, to proc.ID) bool {
+	if r.Kind != SendOmission && r.Kind != GeneralOmission {
+		return false
+	}
+	return r.coin(round, from, to, 0xaaaa) < r.P
+}
+
+// DropRecv implements Adversary.
+func (r *Random) DropRecv(round uint64, from, to proc.ID) bool {
+	if r.Kind != ReceiveOmission && r.Kind != GeneralOmission {
+		return false
+	}
+	return r.coin(round, from, to, 0xbbbb) < r.P
+}
+
+// Corruptible is implemented by protocol processes whose state can be
+// struck by a systemic failure. Corrupt must leave the process able to keep
+// executing its protocol (the program is unchanged; only data is);
+// implementations should randomize every variable that the protocol reads,
+// including "impossible" values such as out-of-range phases or enormous
+// round counters.
+type Corruptible interface {
+	Corrupt(rng *rand.Rand)
+}
+
+// CorruptAll strikes every process in ps that implements Corruptible with a
+// systemic failure, using the seeded rng. It returns the number corrupted.
+func CorruptAll(rng *rand.Rand, ps ...any) int {
+	n := 0
+	for _, p := range ps {
+		if c, ok := p.(Corruptible); ok {
+			c.Corrupt(rng)
+			n++
+		}
+	}
+	return n
+}

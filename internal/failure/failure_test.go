@@ -1,0 +1,199 @@
+package failure
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftss/internal/proc"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{Crash, "crash"},
+		{SendOmission, "send-omission"},
+		{ReceiveOmission, "receive-omission"},
+		{GeneralOmission, "general-omission"},
+		{Kind(42), "Kind(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind.String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestNoneAdversary(t *testing.T) {
+	var a None
+	if a.Faulty().Len() != 0 {
+		t.Error("None.Faulty() should be empty")
+	}
+	if a.CrashRound(3) != 0 {
+		t.Error("None.CrashRound should be 0")
+	}
+	if a.DropSend(1, 0, 1) || a.DropRecv(1, 0, 1) {
+		t.Error("None must not drop messages")
+	}
+}
+
+func TestScriptedDrops(t *testing.T) {
+	s := NewScripted(0, 1).
+		DropSendAt(3, 0, 2).
+		DropRecvAt(4, 2, 1)
+
+	if !s.Faulty().Equal(proc.NewSet(0, 1)) {
+		t.Errorf("Faulty = %v", s.Faulty())
+	}
+	if !s.DropSend(3, 0, 2) {
+		t.Error("expected send drop at (3,0,2)")
+	}
+	if s.DropSend(3, 0, 1) || s.DropSend(2, 0, 2) {
+		t.Error("unexpected send drop")
+	}
+	if !s.DropRecv(4, 2, 1) {
+		t.Error("expected recv drop at (4,2,1)")
+	}
+	if s.DropRecv(4, 2, 0) {
+		t.Error("unexpected recv drop")
+	}
+}
+
+func TestScriptedCrash(t *testing.T) {
+	s := NewScripted(2).CrashAt(2, 5)
+	if got := s.CrashRound(2); got != 5 {
+		t.Errorf("CrashRound(2) = %d, want 5", got)
+	}
+	if got := s.CrashRound(0); got != 0 {
+		t.Errorf("CrashRound(0) = %d, want 0", got)
+	}
+}
+
+func TestSilenceBetween(t *testing.T) {
+	s := NewScripted(0).SilenceBetween(0, 1, 2, 4)
+	for r := uint64(2); r <= 4; r++ {
+		if !s.DropSend(r, 0, 1) {
+			t.Errorf("round %d: 0→1 should be send-dropped", r)
+		}
+		if !s.DropRecv(r, 1, 0) {
+			t.Errorf("round %d: 1→0 should be recv-dropped at 0", r)
+		}
+	}
+	if s.DropSend(1, 0, 1) || s.DropSend(5, 0, 1) {
+		t.Error("silence must be bounded to [2,4]")
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	f := proc.NewSet(0, 1)
+	a := NewRandom(GeneralOmission, f, 0.5, 42, 10)
+	b := NewRandom(GeneralOmission, f, 0.5, 42, 10)
+	for r := uint64(1); r <= 20; r++ {
+		for from := proc.ID(0); from < 4; from++ {
+			for to := proc.ID(0); to < 4; to++ {
+				if a.DropSend(r, from, to) != b.DropSend(r, from, to) {
+					t.Fatalf("DropSend nondeterministic at (%d,%v,%v)", r, from, to)
+				}
+				if a.DropRecv(r, from, to) != b.DropRecv(r, from, to) {
+					t.Fatalf("DropRecv nondeterministic at (%d,%v,%v)", r, from, to)
+				}
+			}
+		}
+	}
+	for p := proc.ID(0); p < 4; p++ {
+		if a.CrashRound(p) != b.CrashRound(p) {
+			t.Fatalf("CrashRound nondeterministic for %v", p)
+		}
+	}
+}
+
+func TestRandomKindGating(t *testing.T) {
+	f := proc.NewSet(0)
+	send := NewRandom(SendOmission, f, 1.0, 1, 0)
+	recv := NewRandom(ReceiveOmission, f, 1.0, 1, 0)
+
+	if !send.DropSend(1, 0, 1) {
+		t.Error("SendOmission with P=1 must drop sends")
+	}
+	if send.DropRecv(1, 1, 0) {
+		t.Error("SendOmission must not drop receives")
+	}
+	if !recv.DropRecv(1, 1, 0) {
+		t.Error("ReceiveOmission with P=1 must drop receives")
+	}
+	if recv.DropSend(1, 0, 1) {
+		t.Error("ReceiveOmission must not drop sends")
+	}
+}
+
+func TestRandomCrashOnlyKind(t *testing.T) {
+	f := proc.NewSet(0, 1, 2)
+	a := NewRandom(Crash, f, 0, 7, 50)
+	for _, p := range f.Sorted() {
+		cr := a.CrashRound(p)
+		if cr < 1 || cr > 50 {
+			t.Errorf("CrashRound(%v) = %d, want within [1,50]", p, cr)
+		}
+	}
+	if a.DropSend(1, 0, 1) || a.DropRecv(1, 0, 1) {
+		t.Error("Crash kind must not drop messages")
+	}
+}
+
+func TestRandomDropRate(t *testing.T) {
+	f := proc.NewSet(0)
+	a := NewRandom(SendOmission, f, 0.3, 99, 0)
+	drops, total := 0, 0
+	for r := uint64(1); r <= 200; r++ {
+		for to := proc.ID(0); to < 10; to++ {
+			total++
+			if a.DropSend(r, 0, to) {
+				drops++
+			}
+		}
+	}
+	rate := float64(drops) / float64(total)
+	if rate < 0.2 || rate > 0.4 {
+		t.Errorf("empirical drop rate %.3f far from P=0.3", rate)
+	}
+}
+
+func TestRandomCoinUniform(t *testing.T) {
+	// The derived coin should behave like a fair coin across slots: the
+	// property is that probability-0 never drops and probability-1 always
+	// drops, for arbitrary slots.
+	f := func(round uint64, from, to uint8, seed int64) bool {
+		fs := proc.NewSet(proc.ID(from % 8))
+		never := NewRandom(SendOmission, fs, 0.0, seed, 0)
+		always := NewRandom(SendOmission, fs, 1.0, seed, 0)
+		fr := proc.ID(from % 8)
+		toID := proc.ID(to % 8)
+		if never.DropSend(round, fr, toID) {
+			return false
+		}
+		return always.DropSend(round, fr, toID)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+type fakeCorruptible struct{ hits int }
+
+func (f *fakeCorruptible) Corrupt(*rand.Rand) { f.hits++ }
+
+func TestCorruptAll(t *testing.T) {
+	a, b := &fakeCorruptible{}, &fakeCorruptible{}
+	notCorruptible := struct{}{}
+	rng := rand.New(rand.NewSource(1))
+
+	n := CorruptAll(rng, a, notCorruptible, b)
+	if n != 2 {
+		t.Errorf("CorruptAll = %d, want 2", n)
+	}
+	if a.hits != 1 || b.hits != 1 {
+		t.Errorf("hits = %d, %d; want 1, 1", a.hits, b.hits)
+	}
+}

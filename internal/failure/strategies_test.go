@@ -1,0 +1,79 @@
+package failure
+
+import (
+	"testing"
+
+	"ftss/internal/proc"
+)
+
+func TestStaggeredRevealHidesUntilReveal(t *testing.T) {
+	s := NewStaggeredReveal(map[proc.ID]uint64{1: 5, 3: 9})
+
+	if !s.Faulty().Equal(proc.NewSet(1, 3)) {
+		t.Errorf("Faulty = %v", s.Faulty())
+	}
+	// Before its reveal, p1 neither sends nor receives.
+	for r := uint64(1); r < 5; r++ {
+		if !s.DropSend(r, 1, 0) || !s.DropRecv(r, 0, 1) {
+			t.Errorf("round %d: p1 should be hidden", r)
+		}
+	}
+	// From the reveal on, it behaves.
+	for r := uint64(5); r <= 12; r++ {
+		if s.DropSend(r, 1, 0) || s.DropRecv(r, 0, 1) {
+			t.Errorf("round %d: p1 should be revealed", r)
+		}
+	}
+	// p3 follows its own schedule.
+	if !s.DropSend(8, 3, 0) || s.DropSend(9, 3, 0) {
+		t.Error("p3 reveal schedule wrong")
+	}
+	// Correct processes are never dropped.
+	if s.DropSend(1, 0, 1) || s.DropRecv(1, 1, 0) {
+		t.Error("correct p0 must not be dropped")
+	}
+	if s.CrashRound(1) != 0 {
+		t.Error("staggered revealers never crash")
+	}
+}
+
+func TestCombinedUnionsLayers(t *testing.T) {
+	a := NewScripted(0).DropSendAt(1, 0, 1).CrashAt(0, 9)
+	b := NewScripted(2).DropRecvAt(2, 1, 2).CrashAt(2, 4)
+	c := &Combined{Layers: []Adversary{a, b}}
+
+	if !c.Faulty().Equal(proc.NewSet(0, 2)) {
+		t.Errorf("Faulty = %v", c.Faulty())
+	}
+	if !c.DropSend(1, 0, 1) {
+		t.Error("layer-a send drop lost")
+	}
+	if !c.DropRecv(2, 1, 2) {
+		t.Error("layer-b recv drop lost")
+	}
+	if c.DropSend(1, 1, 0) || c.DropRecv(1, 0, 2) {
+		t.Error("unexpected drops")
+	}
+	if c.CrashRound(0) != 9 || c.CrashRound(2) != 4 || c.CrashRound(1) != 0 {
+		t.Error("crash rounds wrong")
+	}
+}
+
+func TestCombinedEarliestCrashWins(t *testing.T) {
+	a := NewScripted(0).CrashAt(0, 9)
+	b := NewScripted(0).CrashAt(0, 4)
+	c := &Combined{Layers: []Adversary{a, b}}
+	if c.CrashRound(0) != 4 {
+		t.Errorf("CrashRound = %d, want 4", c.CrashRound(0))
+	}
+}
+
+func TestCombinedRespectsLayerFaultySets(t *testing.T) {
+	// A layer's drops only apply to processes IT designates faulty.
+	a := NewScripted(0) // designates p0 only
+	a.DropSendAt(1, 1, 0)
+	c := &Combined{Layers: []Adversary{a}}
+	if c.DropSend(1, 1, 0) {
+		t.Error("drop for a process outside the layer's faulty set leaked through")
+	}
+}

@@ -1,0 +1,202 @@
+package fullinfo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftss/internal/proc"
+)
+
+// Adoption records when a process learned a value: the origin's own value
+// has Round 0; a value first accepted at the end of protocol round k has
+// Round k. The wavefront rule keys on this field.
+type Adoption struct {
+	Val   Value
+	Round int
+}
+
+// ConsensusState is the full-information state of both consensus protocols:
+// the set of (origin, value) pairs known, with adoption rounds.
+type ConsensusState struct {
+	Adopted map[proc.ID]Adoption
+}
+
+var _ State = (*ConsensusState)(nil)
+
+// Clone implements State.
+func (s *ConsensusState) Clone() State {
+	c := &ConsensusState{Adopted: make(map[proc.ID]Adoption, len(s.Adopted))}
+	for k, v := range s.Adopted {
+		c.Adopted[k] = v
+	}
+	return c
+}
+
+// Min returns the smallest adopted value and whether any exists.
+func (s *ConsensusState) Min() (Value, bool) {
+	first := true
+	var min Value
+	for _, a := range s.Adopted {
+		if first || a.Val < min {
+			min = a.Val
+			first = false
+		}
+	}
+	return min, !first
+}
+
+// String renders the state compactly for traces.
+func (s *ConsensusState) String() string {
+	return fmt.Sprintf("known=%d", len(s.Adopted))
+}
+
+// WavefrontConsensus solves Consensus in f+1 rounds, tolerating
+// general-omission failures of up to f processes, f < n. It ft-solves the
+// Consensus problem without restricting faulty processes:
+//
+//	Agreement:   no two correct processes decide differently.
+//	Validity:    the decision is some process's input.
+//	Termination: every correct process decides at the end of round f+1.
+//
+// Faulty processes may decide differently or not at all, which Assumption 2
+// would forbid and Theorem 2 shows must be allowed.
+type WavefrontConsensus struct {
+	// F is the maximum number of faulty processes tolerated.
+	F int
+}
+
+var _ Protocol = WavefrontConsensus{}
+
+// Name implements Protocol.
+func (w WavefrontConsensus) Name() string { return fmt.Sprintf("wavefront-consensus(f=%d)", w.F) }
+
+// FinalRound implements Protocol: f+1 rounds.
+func (w WavefrontConsensus) FinalRound() int { return w.F + 1 }
+
+// Init implements Protocol: p knows only its own input, adopted at round 0.
+func (w WavefrontConsensus) Init(p proc.ID, n int, input Value) State {
+	return &ConsensusState{Adopted: map[proc.ID]Adoption{
+		p: {Val: input, Round: 0},
+	}}
+}
+
+// Step implements Protocol: adopt (u, v) at the end of round k iff some
+// sender's state shows it adopted (u, v) at the end of round k−1. Stale or
+// future-dated entries — which only corrupted states can contain — are
+// ignored, as are entries for origins already known.
+func (w WavefrontConsensus) Step(p proc.ID, n int, s State, received []StateMsg, k int) State {
+	cur, ok := s.(*ConsensusState)
+	if !ok || cur == nil || cur.Adopted == nil {
+		cur = &ConsensusState{Adopted: make(map[proc.ID]Adoption)}
+	}
+	next := cur.Clone().(*ConsensusState)
+	for _, m := range received {
+		sender, ok := m.State.(*ConsensusState)
+		if !ok || sender == nil {
+			continue
+		}
+		for origin, a := range sender.Adopted {
+			if a.Round != k-1 {
+				continue // not on the wavefront
+			}
+			if int(origin) < 0 || int(origin) >= n {
+				continue // corrupted origin
+			}
+			if _, known := next.Adopted[origin]; known {
+				continue
+			}
+			next.Adopted[origin] = Adoption{Val: a.Val, Round: k}
+		}
+	}
+	return next
+}
+
+// Output implements Protocol: decide the minimum adopted value.
+func (w WavefrontConsensus) Output(s State) (Value, bool) {
+	cs, ok := s.(*ConsensusState)
+	if !ok || cs == nil {
+		return 0, false
+	}
+	return cs.Min()
+}
+
+// Corrupt implements Protocol: an arbitrary adoption map.
+func (w WavefrontConsensus) Corrupt(rng *rand.Rand, p proc.ID, n int) State {
+	s := &ConsensusState{Adopted: make(map[proc.ID]Adoption)}
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		s.Adopted[proc.ID(rng.Intn(n+2)-1)] = Adoption{
+			Val:   Value(rng.Int63n(1<<30) - (1 << 29)),
+			Round: rng.Intn(w.FinalRound() + 3),
+		}
+	}
+	return s
+}
+
+// FloodMinConsensus is the textbook crash-tolerant consensus: flood every
+// known (origin, value) pair for f+1 rounds and decide the minimum. It
+// ft-solves Consensus under crash failures with f < n, but NOT under
+// general omission: a faulty-but-alive process can withhold its value and
+// inject it to a strict subset of the correct processes in the last round.
+// The test suite and experiment E7 exhibit exactly that counterexample;
+// WavefrontConsensus is the repair.
+type FloodMinConsensus struct {
+	F int
+}
+
+var _ Protocol = FloodMinConsensus{}
+
+// Name implements Protocol.
+func (f FloodMinConsensus) Name() string { return fmt.Sprintf("floodmin-consensus(f=%d)", f.F) }
+
+// FinalRound implements Protocol.
+func (f FloodMinConsensus) FinalRound() int { return f.F + 1 }
+
+// Init implements Protocol.
+func (f FloodMinConsensus) Init(p proc.ID, n int, input Value) State {
+	return &ConsensusState{Adopted: map[proc.ID]Adoption{
+		p: {Val: input, Round: 0},
+	}}
+}
+
+// Step implements Protocol: adopt every previously unknown pair, no
+// wavefront restriction.
+func (f FloodMinConsensus) Step(p proc.ID, n int, s State, received []StateMsg, k int) State {
+	cur, ok := s.(*ConsensusState)
+	if !ok || cur == nil || cur.Adopted == nil {
+		cur = &ConsensusState{Adopted: make(map[proc.ID]Adoption)}
+	}
+	next := cur.Clone().(*ConsensusState)
+	for _, m := range received {
+		sender, ok := m.State.(*ConsensusState)
+		if !ok || sender == nil {
+			continue
+		}
+		for origin, a := range sender.Adopted {
+			if int(origin) < 0 || int(origin) >= n {
+				continue
+			}
+			if _, known := next.Adopted[origin]; known {
+				continue
+			}
+			next.Adopted[origin] = Adoption{Val: a.Val, Round: k}
+		}
+	}
+	return next
+}
+
+// Output implements Protocol.
+func (f FloodMinConsensus) Output(s State) (Value, bool) {
+	cs, ok := s.(*ConsensusState)
+	if !ok || cs == nil {
+		return 0, false
+	}
+	return cs.Min()
+}
+
+// Corrupt implements Protocol.
+func (f FloodMinConsensus) Corrupt(rng *rand.Rand, p proc.ID, n int) State {
+	return WavefrontConsensus{F: f.F}.Corrupt(rng, p, n)
+}

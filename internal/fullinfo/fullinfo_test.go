@@ -1,0 +1,427 @@
+package fullinfo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftss/internal/failure"
+	"ftss/internal/proc"
+	"ftss/internal/sim/round"
+)
+
+func runOnce(t *testing.T, pi Protocol, inputs []Value, adv failure.Adversary) []*Runner {
+	t.Helper()
+	rs, ps := Runners(pi, inputs)
+	e := round.MustNewEngine(ps, adv)
+	e.Run(pi.FinalRound())
+	return rs
+}
+
+func correctOf(n int, adv failure.Adversary) proc.Set {
+	if adv == nil {
+		return proc.Universe(n)
+	}
+	return proc.Universe(n).Minus(adv.Faulty())
+}
+
+func TestWavefrontCleanRun(t *testing.T) {
+	inputs := []Value{5, 3, 9, 7}
+	pi := WavefrontConsensus{F: 1}
+	rs := runOnce(t, pi, inputs, nil)
+	for _, r := range rs {
+		v, ok := r.Decision()
+		if !ok || v != 3 {
+			t.Errorf("%v decision = %d,%v; want 3,true", r.ID(), v, ok)
+		}
+		if !r.Done() {
+			t.Errorf("%v not done after FinalRound", r.ID())
+		}
+	}
+	if err := VerifyConsensus(rs, inputs, proc.Universe(4)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWavefrontUnanimous(t *testing.T) {
+	inputs := []Value{4, 4, 4}
+	rs := runOnce(t, WavefrontConsensus{F: 1}, inputs, nil)
+	if err := VerifyConsensus(rs, inputs, proc.Universe(3)); err != nil {
+		t.Error(err)
+	}
+	v, _ := rs[0].Decision()
+	if v != 4 {
+		t.Errorf("unanimous decision = %d, want 4", v)
+	}
+}
+
+// TestWavefrontGeneralOmissionProperty is the headline ft-solves property:
+// Agreement/Validity/Termination among correct processes under randomized
+// general-omission adversaries with f < n.
+func TestWavefrontGeneralOmissionProperty(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6} {
+		for f := 0; f < n; f++ {
+			pi := WavefrontConsensus{F: f}
+			for seed := int64(1); seed <= 25; seed++ {
+				faulty := proc.NewSet()
+				for i := 0; i < f; i++ {
+					faulty.Add(proc.ID((i*3 + int(seed)) % n))
+				}
+				adv := failure.NewRandom(failure.GeneralOmission, faulty, 0.5, seed, uint64(f+1))
+				rng := rand.New(rand.NewSource(seed * 13))
+				inputs := make([]Value, n)
+				for i := range inputs {
+					inputs[i] = Value(rng.Int63n(100))
+				}
+				rs := runOnce(t, pi, inputs, adv)
+				if err := VerifyConsensus(rs, inputs, correctOf(n, adv)); err != nil {
+					t.Fatalf("n=%d f=%d seed=%d: %v", n, len(faulty), seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestWavefrontLateInjectionCounterexampleFixed scripts the exact attack
+// that breaks FloodMin — a faulty process withholding its (minimal) value
+// until the final round and revealing it to a single correct process — and
+// checks WavefrontConsensus rejects the stale injection.
+func TestWavefrontLateInjectionCounterexampleFixed(t *testing.T) {
+	// n=3, f=1 (final round 2). p2 is faulty with the minimum input 0; it
+	// omits its round-1 broadcast entirely, then in round 2 sends only to
+	// p0.
+	adv := failure.NewScripted(2).
+		DropSendAt(1, 2, 0).DropSendAt(1, 2, 1).
+		DropSendAt(2, 2, 1)
+	inputs := []Value{5, 7, 0}
+
+	rs := runOnce(t, WavefrontConsensus{F: 1}, inputs, adv)
+	if err := VerifyConsensus(rs, inputs, proc.NewSet(0, 1)); err != nil {
+		t.Fatalf("wavefront: %v", err)
+	}
+	v0, _ := rs[0].Decision()
+	v1, _ := rs[1].Decision()
+	if v0 != 5 || v1 != 5 {
+		t.Errorf("decisions = %d,%d; want 5,5 (stale 0 rejected)", v0, v1)
+	}
+}
+
+// TestFloodMinBreaksUnderGeneralOmission demonstrates the counterexample on
+// the baseline: the same schedule makes FloodMin's correct processes
+// disagree. This is the paper-motivated reason the compiler's Π must be
+// wavefront-based.
+func TestFloodMinBreaksUnderGeneralOmission(t *testing.T) {
+	adv := failure.NewScripted(2).
+		DropSendAt(1, 2, 0).DropSendAt(1, 2, 1).
+		DropSendAt(2, 2, 1)
+	inputs := []Value{5, 7, 0}
+
+	rs := runOnce(t, FloodMinConsensus{F: 1}, inputs, adv)
+	err := VerifyConsensus(rs, inputs, proc.NewSet(0, 1))
+	if err == nil {
+		t.Fatal("flood-min should violate agreement under the late-injection schedule")
+	}
+	v0, _ := rs[0].Decision()
+	v1, _ := rs[1].Decision()
+	if v0 != 0 || v1 != 5 {
+		t.Errorf("decisions = %d,%d; expected the classic 0 vs 5 split", v0, v1)
+	}
+}
+
+// TestFloodMinCorrectUnderCrashes: the baseline is sound in its own model.
+func TestFloodMinCorrectUnderCrashes(t *testing.T) {
+	for _, n := range []int{3, 5} {
+		for f := 0; f < n; f++ {
+			pi := FloodMinConsensus{F: f}
+			for seed := int64(1); seed <= 20; seed++ {
+				faulty := proc.NewSet()
+				for i := 0; i < f; i++ {
+					faulty.Add(proc.ID((i + int(seed)) % n))
+				}
+				adv := failure.NewRandom(failure.Crash, faulty, 0, seed, uint64(f+1))
+				rng := rand.New(rand.NewSource(seed))
+				inputs := make([]Value, n)
+				for i := range inputs {
+					inputs[i] = Value(rng.Int63n(50))
+				}
+				rs := runOnce(t, pi, inputs, adv)
+				if err := VerifyConsensus(rs, inputs, correctOf(n, adv)); err != nil {
+					t.Fatalf("n=%d f=%d seed=%d: %v", n, f, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestWavefrontCrashProperty: wavefront is also correct under plain crashes
+// (crash ⊂ general omission).
+func TestWavefrontCrashProperty(t *testing.T) {
+	pi := WavefrontConsensus{F: 2}
+	for seed := int64(1); seed <= 30; seed++ {
+		adv := failure.NewRandom(failure.Crash, proc.NewSet(0, 3), 0, seed, 3)
+		inputs := []Value{9, 2, 8, 1, 6}
+		rs := runOnce(t, pi, inputs, adv)
+		if err := VerifyConsensus(rs, inputs, correctOf(5, adv)); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+func TestConsensusStateClone(t *testing.T) {
+	s := &ConsensusState{Adopted: map[proc.ID]Adoption{0: {Val: 1, Round: 0}}}
+	c := s.Clone().(*ConsensusState)
+	c.Adopted[1] = Adoption{Val: 2, Round: 1}
+	if len(s.Adopted) != 1 {
+		t.Error("Clone is not deep")
+	}
+	if s.String() == "" || c.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestConsensusStateMin(t *testing.T) {
+	s := &ConsensusState{Adopted: map[proc.ID]Adoption{}}
+	if _, ok := s.Min(); ok {
+		t.Error("empty state should have no min")
+	}
+	s.Adopted[0] = Adoption{Val: 5}
+	s.Adopted[1] = Adoption{Val: -3}
+	if v, ok := s.Min(); !ok || v != -3 {
+		t.Errorf("Min = %d,%v", v, ok)
+	}
+}
+
+func TestStepToleratesCorruptedStates(t *testing.T) {
+	pi := WavefrontConsensus{F: 1}
+	rng := rand.New(rand.NewSource(3))
+	// nil state, wrong type, corrupted entries: Step must not panic.
+	out := pi.Step(0, 3, nil, nil, 1)
+	if out == nil {
+		t.Fatal("Step(nil) returned nil")
+	}
+	bad := &BroadcastState{}
+	out = pi.Step(0, 3, bad, []StateMsg{{From: 1, State: bad}}, 1)
+	if out == nil {
+		t.Fatal("Step(wrong type) returned nil")
+	}
+	for i := 0; i < 50; i++ {
+		s := pi.Corrupt(rng, 0, 3)
+		msgs := []StateMsg{{From: 1, State: pi.Corrupt(rng, 1, 3)}}
+		if pi.Step(0, 3, s, msgs, 1+rng.Intn(3)) == nil {
+			t.Fatal("Step(corrupt) returned nil")
+		}
+	}
+}
+
+func TestCorruptedOriginsRejected(t *testing.T) {
+	pi := WavefrontConsensus{F: 1}
+	evil := &ConsensusState{Adopted: map[proc.ID]Adoption{
+		99: {Val: -100, Round: 0}, // origin out of range
+		-1: {Val: -200, Round: 0},
+	}}
+	s := pi.Init(0, 3, 7)
+	out := pi.Step(0, 3, s, []StateMsg{{From: 1, State: evil}}, 1).(*ConsensusState)
+	if _, ok := out.Adopted[99]; ok {
+		t.Error("out-of-range origin accepted")
+	}
+	if _, ok := out.Adopted[-1]; ok {
+		t.Error("negative origin accepted")
+	}
+}
+
+// TestTerminatingProtocolCannotSelfStabilize demonstrates the KP90
+// observation the paper builds on: a corrupted Runner (already "done" or
+// holding garbage) never recovers, because the protocol terminates instead
+// of repeating.
+func TestTerminatingProtocolCannotSelfStabilize(t *testing.T) {
+	pi := WavefrontConsensus{F: 1}
+	inputs := []Value{5, 3, 9}
+	rs, ps := Runners(pi, inputs)
+	rng := rand.New(rand.NewSource(11))
+	rs[0].Corrupt(rng)
+	rs[0].k = pi.FinalRound() + 1 // corrupted straight past termination
+	e := round.MustNewEngine(ps, nil)
+	e.Run(pi.FinalRound() + 5)
+
+	if _, ok := rs[0].Decision(); ok {
+		t.Error("corrupted-done runner should never decide")
+	}
+	// And it never recovers no matter how long we run.
+	e.Run(20)
+	if _, ok := rs[0].Decision(); ok {
+		t.Error("terminating protocol recovered from systemic failure; it must not")
+	}
+}
+
+func TestBroadcastCleanRun(t *testing.T) {
+	b := ReliableBroadcast{F: 1, Initiator: 1}
+	inputs := []Value{0, 42, 0}
+	rs := runOnce(t, b, inputs, nil)
+	for _, r := range rs {
+		v, ok := r.Decision()
+		if !ok || v != 42 {
+			t.Errorf("%v delivered %d,%v; want 42", r.ID(), v, ok)
+		}
+	}
+	if err := VerifyBroadcast(rs, b, 42, proc.Universe(3)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBroadcastGeneralOmissionProperty(t *testing.T) {
+	for _, n := range []int{3, 5} {
+		for f := 0; f < n; f++ {
+			b := ReliableBroadcast{F: f, Initiator: 0}
+			for seed := int64(1); seed <= 25; seed++ {
+				faulty := proc.NewSet()
+				for i := 0; i < f; i++ {
+					faulty.Add(proc.ID((i*2 + int(seed)) % n))
+				}
+				adv := failure.NewRandom(failure.GeneralOmission, faulty, 0.5, seed, uint64(f+1))
+				inputs := make([]Value, n)
+				inputs[0] = 17
+				rs := runOnce(t, b, inputs, adv)
+				if err := VerifyBroadcast(rs, b, 17, correctOf(n, adv)); err != nil {
+					t.Fatalf("n=%d f=%d seed=%d: %v", n, f, seed, err)
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastFaultyInitiatorAllOrNothing(t *testing.T) {
+	// Initiator crashes immediately after partially sending round 1 —
+	// modeled as send omission to a subset in round 1 and crash at 2.
+	b := ReliableBroadcast{F: 2, Initiator: 0}
+	adv := failure.NewScripted(0).
+		DropSendAt(1, 0, 2).DropSendAt(1, 0, 3).
+		CrashAt(0, 2)
+	inputs := []Value{33, 0, 0, 0}
+	rs := runOnce(t, b, inputs, adv)
+	if err := VerifyBroadcast(rs, b, 33, proc.NewSet(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// p1 heard it in round 1 and relays: everyone must deliver.
+	for _, r := range rs[1:] {
+		if v, ok := r.Decision(); !ok || v != 33 {
+			t.Errorf("%v = %d,%v; want 33", r.ID(), v, ok)
+		}
+	}
+}
+
+func TestBroadcastStateClone(t *testing.T) {
+	s := &BroadcastState{Have: true, Val: 5, Round: 2}
+	c := s.Clone().(*BroadcastState)
+	c.Val = 9
+	if s.Val != 5 {
+		t.Error("Clone is not deep")
+	}
+	if s.String() == "" || (&BroadcastState{}).String() != "⊥" {
+		t.Error("String wrong")
+	}
+}
+
+func TestBroadcastStepTolerateCorruption(t *testing.T) {
+	b := ReliableBroadcast{F: 1, Initiator: 0}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		s := b.Corrupt(rng, 1, 3)
+		msgs := []StateMsg{{From: 0, State: b.Corrupt(rng, 0, 3)}}
+		if b.Step(1, 3, s, msgs, 1+rng.Intn(3)) == nil {
+			t.Fatal("Step returned nil")
+		}
+	}
+	if b.Step(1, 3, nil, nil, 1) == nil {
+		t.Fatal("Step(nil) returned nil")
+	}
+}
+
+func TestRunnerSnapshotAndAccessors(t *testing.T) {
+	pi := WavefrontConsensus{F: 0}
+	r := NewRunner(pi, 0, 1, 7)
+	if r.State() == nil {
+		t.Error("State nil")
+	}
+	snap := r.Snapshot()
+	if snap.Clock != 1 || snap.Halted {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	e := round.MustNewEngine([]round.Process{r}, nil)
+	e.Run(1)
+	snap = r.Snapshot()
+	if !snap.Halted || snap.Decided != Value(7) {
+		t.Errorf("post-run snapshot = %+v", snap)
+	}
+	if r.StartRound() != nil {
+		t.Error("done runner must be silent")
+	}
+}
+
+func TestExtractStatesSkipsForeignPayloads(t *testing.T) {
+	msgs := []round.Message{
+		{From: 0, Payload: Payload{State: &BroadcastState{}}},
+		{From: 1, Payload: "garbage"},
+		{From: 2, Payload: Payload{State: nil}},
+	}
+	got := ExtractStates(msgs)
+	if len(got) != 1 || got[0].From != 0 {
+		t.Errorf("ExtractStates = %+v", got)
+	}
+}
+
+func TestVerifyConsensusDetectsViolations(t *testing.T) {
+	pi := WavefrontConsensus{F: 0}
+	inputs := []Value{1, 2}
+	rs, _ := Runners(pi, inputs)
+	// Nobody decided: termination violation.
+	if err := VerifyConsensus(rs, inputs, proc.Universe(2)); err == nil {
+		t.Error("undecided runners must fail termination")
+	}
+	// Force disagreement.
+	v1, v2 := Value(1), Value(2)
+	rs[0].decided, rs[1].decided = &v1, &v2
+	if err := VerifyConsensus(rs, inputs, proc.Universe(2)); err == nil {
+		t.Error("disagreement must be detected")
+	}
+	// Invalid value.
+	v3 := Value(99)
+	rs[0].decided, rs[1].decided = &v3, &v3
+	if err := VerifyConsensus(rs, inputs, proc.Universe(2)); err == nil {
+		t.Error("invalid decision must be detected")
+	}
+}
+
+// TestWavefrontValidityQuick: decisions always come from the input set, for
+// random inputs and failure-free runs.
+func TestWavefrontValidityQuick(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 1 {
+			return true
+		}
+		if len(raw) > 8 {
+			raw = raw[:8]
+		}
+		inputs := make([]Value, len(raw))
+		min := Value(raw[0])
+		for i, v := range raw {
+			inputs[i] = Value(v)
+			if Value(v) < min {
+				min = Value(v)
+			}
+		}
+		pi := WavefrontConsensus{F: 1}
+		rs, ps := Runners(pi, inputs)
+		e := round.MustNewEngine(ps, nil)
+		e.Run(pi.FinalRound())
+		for _, r := range rs {
+			v, ok := r.Decision()
+			if !ok || v != min {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package fullinfo implements the canonical form of Figure 2 of the paper:
+// terminating, round-based, full-information protocols that (a) broadcast
+// their entire state every round, (b) run for a fixed number of rounds
+// final_round, and (c) do not restrict the behavior of faulty processes
+// (Theorem 2 forbids uniformity, so none of these protocols self-halt).
+//
+// Protocols in this form are the input language of the compiler in package
+// superimpose: any Π that ft-solves a problem Σ here is transformed into a
+// Π⁺ that ftss-solves the repeated problem Σ⁺.
+//
+// Three concrete protocols are provided:
+//
+//   - WavefrontConsensus: Consensus tolerant of general-omission failures
+//     with f < n, in f+1 rounds. A value for origin u is adopted at the end
+//     of round k only if the sender had adopted it at the end of round k−1
+//     (the origin counts as adopting at "round 0"). A value adopted by a
+//     correct process at round f+1 has therefore traversed f+1 distinct
+//     processes, one of which is correct and already relayed it to
+//     everyone — the classic hop-count argument, which survives omission
+//     failures where plain flooding does not.
+//
+//   - FloodMinConsensus: the textbook crash-tolerant flood-and-take-min
+//     protocol. It is correct for crash failures only; the test suite and
+//     the E4/E7 experiments use it as the baseline that general omission
+//     breaks.
+//
+//   - ReliableBroadcast: single-initiator wavefront relay; all correct
+//     processes deliver the initiator's value or all deliver nothing.
+package fullinfo
+
+import (
+	"math/rand"
+
+	"ftss/internal/proc"
+	"ftss/internal/sim/round"
+)
+
+// Value is the decision domain of the protocols in this package.
+type Value int64
+
+// State is a protocol's full-information state. Implementations are sent
+// wholesale in messages; receivers must treat received states as immutable.
+type State interface {
+	// Clone returns a deep, independent copy.
+	Clone() State
+}
+
+// StateMsg is the (STATE: q, s_q) component of a Figure 2 broadcast as seen
+// by a receiver.
+type StateMsg struct {
+	From  proc.ID
+	State State
+}
+
+// Protocol is a terminating round-based full-information protocol in the
+// canonical form of Figure 2. Implementations must be pure: Step returns a
+// new or mutated-own state but never mutates received states.
+type Protocol interface {
+	// Name identifies the protocol in logs and experiment tables.
+	Name() string
+	// FinalRound is the round in which the protocol halts (its duration).
+	FinalRound() int
+	// Init returns p's initial state s_{p,init} for the given input in a
+	// system of n processes.
+	Init(p proc.ID, n int, input Value) State
+	// Step is the paper's "function(p, s_p, M, k)": the state after
+	// executing protocol round k (1..FinalRound) given the full-information
+	// messages M received in that round. It must tolerate arbitrary
+	// (corrupted) s and arbitrary received states without panicking.
+	Step(p proc.ID, n int, s State, received []StateMsg, k int) State
+	// Output extracts the decision from a state at the end of FinalRound.
+	// ok is false if the state holds no decision (possible under
+	// corruption).
+	Output(s State) (v Value, ok bool)
+	// Corrupt returns an arbitrary state, as a systemic failure would
+	// leave it.
+	Corrupt(rng *rand.Rand, p proc.ID, n int) State
+}
+
+// Payload is the broadcast payload of a Figure 2 protocol execution.
+type Payload struct {
+	State State
+}
+
+// Runner executes one instance of a Protocol on the synchronous round
+// engine, from the protocol's good initial state, halting after
+// FinalRound rounds. It exists to validate Definition 2.1 (ft-solves)
+// directly; it is exactly the kind of terminating protocol that KP90 shows
+// cannot tolerate systemic failures, which the tests also demonstrate.
+type Runner struct {
+	id      proc.ID
+	n       int
+	pi      Protocol
+	k       int // protocol round about to execute, 1-based
+	state   State
+	decided *Value
+}
+
+var _ round.Process = (*Runner)(nil)
+
+// NewRunner builds a single-shot runner with input v.
+func NewRunner(pi Protocol, id proc.ID, n int, v Value) *Runner {
+	return &Runner{id: id, n: n, pi: pi, k: 1, state: pi.Init(id, n, v)}
+}
+
+// ID implements round.Process.
+func (r *Runner) ID() proc.ID { return r.id }
+
+// Done reports whether the protocol has terminated.
+func (r *Runner) Done() bool { return r.k > r.pi.FinalRound() }
+
+// Decision returns the protocol's output, if it has terminated with one.
+func (r *Runner) Decision() (Value, bool) {
+	if r.decided == nil {
+		return 0, false
+	}
+	return *r.decided, true
+}
+
+// State exposes the current protocol state (for tests).
+func (r *Runner) State() State { return r.state }
+
+// StartRound implements round.Process: broadcast the full state, or stay
+// silent once terminated.
+func (r *Runner) StartRound() any {
+	if r.Done() {
+		return nil
+	}
+	return Payload{State: r.state.Clone()}
+}
+
+// EndRound implements round.Process.
+func (r *Runner) EndRound(received []round.Message) {
+	if r.Done() {
+		return
+	}
+	msgs := ExtractStates(received)
+	r.state = r.pi.Step(r.id, r.n, r.state, msgs, r.k)
+	r.k++
+	if r.Done() {
+		if v, ok := r.pi.Output(r.state); ok {
+			r.decided = &v
+		}
+	}
+}
+
+// Snapshot implements round.Process.
+func (r *Runner) Snapshot() round.Snapshot {
+	var dec any
+	if r.decided != nil {
+		dec = *r.decided
+	}
+	return round.Snapshot{
+		Clock:   uint64(r.k),
+		State:   r.state,
+		Decided: dec,
+		Halted:  r.Done(),
+	}
+}
+
+// Corrupt implements failure.Corruptible: systemic failure of a runner
+// randomizes its protocol round counter and state.
+func (r *Runner) Corrupt(rng *rand.Rand) {
+	r.k = 1 + rng.Intn(r.pi.FinalRound()+2)
+	r.state = r.pi.Corrupt(rng, r.id, r.n)
+	r.decided = nil
+}
+
+// ExtractStates converts raw engine messages into the protocol's
+// full-information view, silently skipping foreign payloads.
+func ExtractStates(received []round.Message) []StateMsg {
+	msgs := make([]StateMsg, 0, len(received))
+	for _, m := range received {
+		if p, ok := m.Payload.(Payload); ok && p.State != nil {
+			msgs = append(msgs, StateMsg{From: m.From, State: p.State})
+		}
+	}
+	return msgs
+}
+
+// Runners builds one runner per process with the given inputs
+// (len(inputs) = n) and returns both the concrete values and the engine's
+// process slice.
+func Runners(pi Protocol, inputs []Value) ([]*Runner, []round.Process) {
+	n := len(inputs)
+	rs := make([]*Runner, n)
+	ps := make([]round.Process, n)
+	for i := range rs {
+		rs[i] = NewRunner(pi, proc.ID(i), n, inputs[i])
+		ps[i] = rs[i]
+	}
+	return rs, ps
+}

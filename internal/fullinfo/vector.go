@@ -1,0 +1,243 @@
+package fullinfo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftss/internal/proc"
+)
+
+// VectorState is the full-information state of the vector protocols: the
+// adoption map (as in consensus) read out as a whole vector rather than
+// folded to a minimum.
+type VectorState struct {
+	Adopted map[proc.ID]Adoption
+}
+
+var _ State = (*VectorState)(nil)
+
+// Clone implements State.
+func (s *VectorState) Clone() State {
+	c := &VectorState{Adopted: make(map[proc.ID]Adoption, len(s.Adopted))}
+	for k, v := range s.Adopted {
+		c.Adopted[k] = v
+	}
+	return c
+}
+
+// String renders the state compactly.
+func (s *VectorState) String() string { return fmt.Sprintf("vec(known=%d)", len(s.Adopted)) }
+
+// InteractiveConsistency is the vector form of agreement: after f+1 rounds
+// every correct process holds a vector V with V[q] = q's input or ⊥, such
+// that correct processes hold identical vectors and V[q] equals q's actual
+// input whenever q is correct. It uses the same wavefront adoption rule as
+// WavefrontConsensus, so it tolerates general-omission failures with
+// f < n; it is the canonical building block the paper's compiler turns
+// into a repeated input-collection service.
+//
+// Output folds the vector deterministically so it fits the scalar Protocol
+// interface: the decision is an order-sensitive hash of the vector, equal
+// at two processes iff their vectors are equal. Use Vector() on the final
+// state for the vector itself.
+type InteractiveConsistency struct {
+	F int
+}
+
+var _ Protocol = InteractiveConsistency{}
+
+// Name implements Protocol.
+func (ic InteractiveConsistency) Name() string {
+	return fmt.Sprintf("interactive-consistency(f=%d)", ic.F)
+}
+
+// FinalRound implements Protocol.
+func (ic InteractiveConsistency) FinalRound() int { return ic.F + 1 }
+
+// Init implements Protocol.
+func (ic InteractiveConsistency) Init(p proc.ID, n int, input Value) State {
+	return &VectorState{Adopted: map[proc.ID]Adoption{
+		p: {Val: input, Round: 0},
+	}}
+}
+
+// Step implements Protocol: wavefront adoption, exactly as consensus.
+func (ic InteractiveConsistency) Step(p proc.ID, n int, s State, received []StateMsg, k int) State {
+	cur, ok := s.(*VectorState)
+	if !ok || cur == nil || cur.Adopted == nil {
+		cur = &VectorState{Adopted: make(map[proc.ID]Adoption)}
+	}
+	next := cur.Clone().(*VectorState)
+	for _, m := range received {
+		sender, ok := m.State.(*VectorState)
+		if !ok || sender == nil {
+			continue
+		}
+		for origin, a := range sender.Adopted {
+			if a.Round != k-1 {
+				continue
+			}
+			if int(origin) < 0 || int(origin) >= n {
+				continue
+			}
+			if _, known := next.Adopted[origin]; known {
+				continue
+			}
+			next.Adopted[origin] = Adoption{Val: a.Val, Round: k}
+		}
+	}
+	return next
+}
+
+// Vector extracts the decided vector from a state: present entries are the
+// adopted inputs; absent origins are ⊥.
+func (ic InteractiveConsistency) Vector(s State, n int) ([]Value, []bool) {
+	vals := make([]Value, n)
+	have := make([]bool, n)
+	vs, ok := s.(*VectorState)
+	if !ok || vs == nil {
+		return vals, have
+	}
+	for q, a := range vs.Adopted {
+		if int(q) >= 0 && int(q) < n {
+			vals[q] = a.Val
+			have[q] = true
+		}
+	}
+	return vals, have
+}
+
+// Output implements Protocol: a deterministic digest of the vector, so
+// vector agreement is observable through the scalar interface (equal
+// digests ⟺ equal vectors, up to hash collisions that 64-bit FNV-style
+// mixing makes irrelevant for tests).
+func (ic InteractiveConsistency) Output(s State) (Value, bool) {
+	vs, ok := s.(*VectorState)
+	if !ok || vs == nil {
+		return 0, false
+	}
+	if len(vs.Adopted) == 0 {
+		return 0, false
+	}
+	var h uint64 = 1469598103934665603
+	mix := func(x uint64) {
+		h ^= x
+		h *= 1099511628211
+	}
+	// Iterate origins in ID order for determinism.
+	ids := make([]proc.ID, 0, len(vs.Adopted))
+	for q := range vs.Adopted {
+		ids = append(ids, q)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, q := range ids {
+		mix(uint64(int64(q)) + 1)
+		mix(uint64(vs.Adopted[q].Val))
+	}
+	return Value(h & (1<<62 - 1)), true
+}
+
+// Corrupt implements Protocol.
+func (ic InteractiveConsistency) Corrupt(rng *rand.Rand, p proc.ID, n int) State {
+	s := &VectorState{Adopted: make(map[proc.ID]Adoption)}
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		s.Adopted[proc.ID(rng.Intn(n+2)-1)] = Adoption{
+			Val:   Value(rng.Int63n(1 << 30)),
+			Round: rng.Intn(ic.FinalRound() + 3),
+		}
+	}
+	return s
+}
+
+// CommitVote is non-blocking-atomic-commitment-flavored agreement: every
+// process votes (input ≠ 0 means "yes"), and after f+1 rounds a correct
+// process decides Commit (1) iff it adopted a yes-vote from every process
+// in the system, and Abort (0) otherwise. Wavefront adoption makes the
+// correct processes' vote sets equal, so their verdicts agree under
+// general-omission failures with f < n.
+//
+// Note the deliberately non-uniform flavor (Theorem 2): a faulty process
+// may decide Commit while the correct ones decide Abort; only correct
+// processes' decisions are constrained.
+type CommitVote struct {
+	F int
+}
+
+var _ Protocol = CommitVote{}
+
+// Commit/Abort are CommitVote's two decisions.
+const (
+	Abort  Value = 0
+	Commit Value = 1
+)
+
+// Name implements Protocol.
+func (cv CommitVote) Name() string { return fmt.Sprintf("commit-vote(f=%d)", cv.F) }
+
+// FinalRound implements Protocol.
+func (cv CommitVote) FinalRound() int { return cv.F + 1 }
+
+// Init implements Protocol.
+func (cv CommitVote) Init(p proc.ID, n int, input Value) State {
+	vote := Abort
+	if input != 0 {
+		vote = Commit
+	}
+	return &VectorState{Adopted: map[proc.ID]Adoption{
+		p: {Val: vote, Round: 0},
+	}}
+}
+
+// Step implements Protocol.
+func (cv CommitVote) Step(p proc.ID, n int, s State, received []StateMsg, k int) State {
+	return InteractiveConsistency{F: cv.F}.Step(p, n, s, received, k)
+}
+
+// Output implements Protocol: Commit iff every process's yes-vote was
+// collected.
+func (cv CommitVote) Output(s State) (Value, bool) {
+	vs, ok := s.(*VectorState)
+	if !ok || vs == nil {
+		return 0, false
+	}
+	// The number of processes is not carried in the state; a commit
+	// requires a yes from every origin in 0..max-origin AND a full house.
+	// Output is therefore computed by the runner with n known — here we
+	// conservatively require: no recorded abstain/no-vote and at least one
+	// vote. NOut gives the n-aware verdict.
+	if len(vs.Adopted) == 0 {
+		return 0, false
+	}
+	for _, a := range vs.Adopted {
+		if a.Val != Commit {
+			return Abort, true
+		}
+	}
+	return Commit, true
+}
+
+// Verdict is the n-aware decision: Commit iff all n yes-votes were
+// adopted.
+func (cv CommitVote) Verdict(s State, n int) (Value, bool) {
+	v, ok := cv.Output(s)
+	if !ok {
+		return 0, false
+	}
+	vs := s.(*VectorState)
+	if v == Commit && len(vs.Adopted) < n {
+		return Abort, true // missing votes: cannot commit
+	}
+	return v, true
+}
+
+// Corrupt implements Protocol.
+func (cv CommitVote) Corrupt(rng *rand.Rand, p proc.ID, n int) State {
+	return InteractiveConsistency{F: cv.F}.Corrupt(rng, p, n)
+}

@@ -1,0 +1,246 @@
+package fullinfo
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftss/internal/failure"
+	"ftss/internal/proc"
+)
+
+func TestInteractiveConsistencyCleanRun(t *testing.T) {
+	ic := InteractiveConsistency{F: 1}
+	inputs := []Value{10, 20, 30}
+	rs := runOnce(t, ic, inputs, nil)
+
+	// All correct hold the full identical vector.
+	var digest Value
+	for i, r := range rs {
+		v, ok := r.Decision()
+		if !ok {
+			t.Fatalf("%v undecided", r.ID())
+		}
+		if i == 0 {
+			digest = v
+		} else if v != digest {
+			t.Fatalf("digest mismatch: %d vs %d", v, digest)
+		}
+		vals, have := ic.Vector(r.State(), 3)
+		for q := 0; q < 3; q++ {
+			if !have[q] || vals[q] != inputs[q] {
+				t.Errorf("%v vector[%d] = %d,%v; want %d", r.ID(), q, vals[q], have[q], inputs[q])
+			}
+		}
+	}
+}
+
+// TestInteractiveConsistencyProperty: under general omission with f<n,
+// correct processes end with identical vectors whose entries for correct
+// origins equal those origins' inputs.
+func TestInteractiveConsistencyProperty(t *testing.T) {
+	for _, n := range []int{3, 5} {
+		for f := 0; f < n; f++ {
+			ic := InteractiveConsistency{F: f}
+			for seed := int64(1); seed <= 20; seed++ {
+				faulty := proc.NewSet()
+				for i := 0; i < f; i++ {
+					faulty.Add(proc.ID((i*2 + int(seed)) % n))
+				}
+				adv := failure.NewRandom(failure.GeneralOmission, faulty, 0.45, seed, uint64(f+1))
+				rng := rand.New(rand.NewSource(seed))
+				inputs := make([]Value, n)
+				for i := range inputs {
+					inputs[i] = Value(rng.Int63n(100))
+				}
+				rs := runOnce(t, ic, inputs, adv)
+				correct := correctOf(n, adv)
+
+				var refVals []Value
+				var refHave []bool
+				for _, r := range rs {
+					if !correct.Has(r.ID()) {
+						continue
+					}
+					vals, have := ic.Vector(r.State(), n)
+					if refVals == nil {
+						refVals, refHave = vals, have
+						continue
+					}
+					for q := 0; q < n; q++ {
+						if have[q] != refHave[q] || (have[q] && vals[q] != refVals[q]) {
+							t.Fatalf("n=%d f=%d seed=%d: vector disagreement at origin %d",
+								n, f, seed, q)
+						}
+					}
+				}
+				// Validity: correct origins' entries are present and right.
+				for _, r := range rs {
+					if !correct.Has(r.ID()) {
+						continue
+					}
+					vals, have := ic.Vector(r.State(), n)
+					for q := range correct {
+						if !have[q] || vals[q] != inputs[q] {
+							t.Fatalf("n=%d f=%d seed=%d: correct origin %v missing/wrong", n, f, seed, q)
+						}
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestVectorDigestDistinguishesVectors(t *testing.T) {
+	ic := InteractiveConsistency{F: 1}
+	a := &VectorState{Adopted: map[proc.ID]Adoption{0: {Val: 1}, 1: {Val: 2}}}
+	b := &VectorState{Adopted: map[proc.ID]Adoption{0: {Val: 1}, 1: {Val: 3}}}
+	c := &VectorState{Adopted: map[proc.ID]Adoption{0: {Val: 1}}}
+	da, _ := ic.Output(a)
+	db, _ := ic.Output(b)
+	dc, _ := ic.Output(c)
+	if da == db || da == dc || db == dc {
+		t.Errorf("digests collide: %d %d %d", da, db, dc)
+	}
+	// Same vector, different adoption rounds: same digest (rounds are
+	// bookkeeping, not content).
+	a2 := &VectorState{Adopted: map[proc.ID]Adoption{0: {Val: 1, Round: 2}, 1: {Val: 2, Round: 1}}}
+	da2, _ := ic.Output(a2)
+	if da != da2 {
+		t.Error("digest depends on adoption rounds")
+	}
+	if _, ok := ic.Output(&VectorState{Adopted: map[proc.ID]Adoption{}}); ok {
+		t.Error("empty vector should have no output")
+	}
+	if _, ok := ic.Output(nil); ok {
+		t.Error("nil state should have no output")
+	}
+}
+
+func TestVectorStateClone(t *testing.T) {
+	s := &VectorState{Adopted: map[proc.ID]Adoption{0: {Val: 1}}}
+	c := s.Clone().(*VectorState)
+	c.Adopted[1] = Adoption{Val: 9}
+	if len(s.Adopted) != 1 {
+		t.Error("Clone is shallow")
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestInteractiveConsistencyCorruptTolerance(t *testing.T) {
+	ic := InteractiveConsistency{F: 2}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 40; i++ {
+		s := ic.Corrupt(rng, 0, 4)
+		msgs := []StateMsg{{From: 1, State: ic.Corrupt(rng, 1, 4)}}
+		if ic.Step(0, 4, s, msgs, 1+rng.Intn(3)) == nil {
+			t.Fatal("Step returned nil")
+		}
+	}
+	if ic.Step(0, 4, nil, nil, 1) == nil {
+		t.Fatal("Step(nil) returned nil")
+	}
+	vals, have := ic.Vector(nil, 3)
+	if len(vals) != 3 || len(have) != 3 {
+		t.Error("Vector(nil) wrong shape")
+	}
+}
+
+func TestCommitVoteAllYes(t *testing.T) {
+	cv := CommitVote{F: 1}
+	inputs := []Value{1, 1, 1} // all yes
+	rs := runOnce(t, cv, inputs, nil)
+	for _, r := range rs {
+		v, ok := r.Decision()
+		if !ok || v != Commit {
+			t.Errorf("%v = %d,%v; want Commit", r.ID(), v, ok)
+		}
+		if verdict, ok := cv.Verdict(r.State(), 3); !ok || verdict != Commit {
+			t.Errorf("%v verdict = %d,%v; want Commit", r.ID(), verdict, ok)
+		}
+	}
+}
+
+func TestCommitVoteOneNo(t *testing.T) {
+	cv := CommitVote{F: 1}
+	inputs := []Value{1, 0, 1} // p1 votes no
+	rs := runOnce(t, cv, inputs, nil)
+	for _, r := range rs {
+		v, ok := r.Decision()
+		if !ok || v != Abort {
+			t.Errorf("%v = %d,%v; want Abort", r.ID(), v, ok)
+		}
+	}
+}
+
+func TestCommitVoteMissingVoteAborts(t *testing.T) {
+	// The yes-voting p2 crashes before sending anything: votes are
+	// incomplete, so the n-aware verdict is Abort everywhere.
+	cv := CommitVote{F: 1}
+	adv := failure.NewScripted(2).CrashAt(2, 1)
+	inputs := []Value{1, 1, 1}
+	rs := runOnce(t, cv, inputs, adv)
+	for _, r := range rs[:2] {
+		verdict, ok := cv.Verdict(r.State(), 3)
+		if !ok || verdict != Abort {
+			t.Errorf("%v verdict = %d,%v; want Abort (missing vote)", r.ID(), verdict, ok)
+		}
+	}
+}
+
+// TestCommitVoteAgreementProperty: correct verdicts agree under general
+// omission, f < n.
+func TestCommitVoteAgreementProperty(t *testing.T) {
+	for _, n := range []int{3, 5} {
+		for f := 0; f < n; f++ {
+			cv := CommitVote{F: f}
+			for seed := int64(1); seed <= 20; seed++ {
+				faulty := proc.NewSet()
+				for i := 0; i < f; i++ {
+					faulty.Add(proc.ID((i + 2*int(seed)) % n))
+				}
+				adv := failure.NewRandom(failure.GeneralOmission, faulty, 0.45, seed, uint64(f+1))
+				rng := rand.New(rand.NewSource(seed))
+				inputs := make([]Value, n)
+				for i := range inputs {
+					inputs[i] = Value(rng.Intn(2))
+				}
+				rs := runOnce(t, cv, inputs, adv)
+				correct := correctOf(n, adv)
+				ref := proc.None
+				var refV Value
+				for _, r := range rs {
+					if !correct.Has(r.ID()) {
+						continue
+					}
+					v, ok := cv.Verdict(r.State(), n)
+					if !ok {
+						t.Fatalf("n=%d f=%d seed=%d: %v no verdict", n, f, seed, r.ID())
+					}
+					if ref == proc.None {
+						ref, refV = r.ID(), v
+					} else if v != refV {
+						t.Fatalf("n=%d f=%d seed=%d: verdict split %d vs %d", n, f, seed, refV, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCommitVoteInitMapsInputsToVotes(t *testing.T) {
+	cv := CommitVote{F: 0}
+	s := cv.Init(0, 2, 77).(*VectorState)
+	if s.Adopted[0].Val != Commit {
+		t.Error("non-zero input should vote Commit")
+	}
+	s = cv.Init(1, 2, 0).(*VectorState)
+	if s.Adopted[1].Val != Abort {
+		t.Error("zero input should vote Abort")
+	}
+	if cv.Name() == "" || (InteractiveConsistency{F: 1}).Name() == "" {
+		t.Error("names empty")
+	}
+}

@@ -1,0 +1,92 @@
+package fullinfo
+
+import (
+	"fmt"
+
+	"ftss/internal/proc"
+)
+
+// VerifyConsensus checks the single-shot Consensus specification over the
+// outcome of a completed Runner execution:
+//
+//	Termination: every correct process has decided.
+//	Agreement:   all correct decisions are equal.
+//	Validity:    the decision is some process's input; if all inputs are
+//	             equal, the decision is that input.
+//
+// Faulty processes are unconstrained (Theorem 2: no uniformity).
+func VerifyConsensus(rs []*Runner, inputs []Value, correct proc.Set) error {
+	var decided *Value
+	var who proc.ID
+	for _, r := range rs {
+		if !correct.Has(r.ID()) {
+			continue
+		}
+		v, ok := r.Decision()
+		if !ok {
+			return fmt.Errorf("termination: correct %v did not decide", r.ID())
+		}
+		if decided == nil {
+			v := v
+			decided, who = &v, r.ID()
+			continue
+		}
+		if v != *decided {
+			return fmt.Errorf("agreement: %v decided %d but %v decided %d",
+				who, *decided, r.ID(), v)
+		}
+	}
+	if decided == nil {
+		return nil // no correct processes: vacuously satisfied
+	}
+	valid := false
+	allEqual := true
+	for _, in := range inputs {
+		if in == *decided {
+			valid = true
+		}
+		if in != inputs[0] {
+			allEqual = false
+		}
+	}
+	if !valid {
+		return fmt.Errorf("validity: decision %d is not any process's input", *decided)
+	}
+	if allEqual && *decided != inputs[0] {
+		return fmt.Errorf("validity: unanimous input %d but decision %d", inputs[0], *decided)
+	}
+	return nil
+}
+
+// VerifyBroadcast checks the single-shot Reliable Broadcast specification:
+// all correct processes deliver the same value or all deliver nothing, a
+// delivered value is the initiator's input, and a correct initiator's value
+// is delivered by every correct process.
+func VerifyBroadcast(rs []*Runner, b ReliableBroadcast, input Value, correct proc.Set) error {
+	anyHave, anyNot := false, false
+	var got Value
+	for _, r := range rs {
+		if !correct.Has(r.ID()) {
+			continue
+		}
+		v, ok := r.Decision()
+		if ok {
+			if anyHave && v != got {
+				return fmt.Errorf("agreement: two correct deliveries %d and %d", got, v)
+			}
+			anyHave, got = true, v
+		} else {
+			anyNot = true
+		}
+	}
+	if anyHave && anyNot {
+		return fmt.Errorf("agreement: some correct processes delivered, others did not")
+	}
+	if anyHave && got != input {
+		return fmt.Errorf("integrity: delivered %d, initiator sent %d", got, input)
+	}
+	if correct.Has(b.Initiator) && !anyHave && correct.Len() > 0 {
+		return fmt.Errorf("validity: correct initiator's value not delivered")
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+// Package history records synchronous executions and computes the causal
+// structures of §2.1 of the paper: happened-before influence sets
+// ([Lam78]), the coterie of a history prefix (Definition 2.3), the faulty
+// set F(H,Π) of each prefix, and the maximal coterie-stable segments whose
+// boundaries are the paper's "de-stabilizing events".
+//
+// Influence sets are maintained incrementally: after t rounds,
+// Influence(t, q) is the set of processes p whose round-1 event
+// happened-before some event of q in the first t rounds (p →_H q). The
+// coterie of the t-prefix is the intersection of Influence(t, q) over all
+// processes q that are correct in that prefix. Because influence sets only
+// grow and the faulty set only grows, the coterie is monotone
+// non-decreasing in t; a de-stabilizing event is precisely a round in
+// which a process enters the coterie.
+package history
+
+import (
+	"fmt"
+
+	"ftss/internal/proc"
+	"ftss/internal/sim/round"
+)
+
+// History is a recorded synchronous execution plus incrementally maintained
+// causal caches. It implements round.Observer; attach it to an engine with
+// Engine.Observe before running.
+type History struct {
+	n          int
+	designated proc.Set
+	rounds     []round.Observation
+
+	// influence[t][q] is Influence(t, q); index 0 is the empty prefix.
+	influence []map[proc.ID]proc.Set
+	// faulty[t] is F of the t-prefix (processes that have deviated by the
+	// end of round t).
+	faulty []proc.Set
+	// coterie[t] is the coterie of the t-prefix.
+	coterie []proc.Set
+	// marks holds prefix lengths after which a systemic failure struck
+	// (see MarkSystemicFailure).
+	marks []int
+}
+
+// New creates an empty history for a system of n processes with the given
+// designated faulty set (the paper's bound f; may be empty).
+func New(n int, designated proc.Set) *History {
+	if designated == nil {
+		designated = proc.NewSet()
+	}
+	inf0 := make(map[proc.ID]proc.Set, n)
+	for i := 0; i < n; i++ {
+		inf0[proc.ID(i)] = proc.NewSet(proc.ID(i))
+	}
+	h := &History{
+		n:          n,
+		designated: designated.Clone(),
+		influence:  []map[proc.ID]proc.Set{inf0},
+		faulty:     []proc.Set{proc.NewSet()},
+	}
+	h.coterie = []proc.Set{h.computeCoterie(0)}
+	return h
+}
+
+var _ round.Observer = (*History)(nil)
+
+// ObserveRound implements round.Observer, appending one round and updating
+// the causal caches.
+func (h *History) ObserveRound(o round.Observation) {
+	t := len(h.rounds) // prefix length before this round
+	if o.Round != uint64(t+1) {
+		panic(fmt.Sprintf("history: observed round %d, expected %d", o.Round, t+1))
+	}
+	h.rounds = append(h.rounds, o)
+
+	prev := h.influence[t]
+	next := make(map[proc.ID]proc.Set, h.n)
+	for q, s := range prev {
+		next[q] = s // copied lazily below only if it grows
+	}
+	for q, msgs := range o.Delivered {
+		grown := prev[q]
+		copied := false
+		for _, m := range msgs {
+			src := prev[m.From]
+			if src.Subset(grown) {
+				continue
+			}
+			if !copied {
+				grown = grown.Clone()
+				copied = true
+			}
+			for p := range src {
+				grown.Add(p)
+			}
+		}
+		next[q] = grown
+	}
+	h.influence = append(h.influence, next)
+
+	f := h.faulty[t]
+	if o.Deviated.Len() > 0 {
+		f = f.Union(o.Deviated)
+	}
+	h.faulty = append(h.faulty, f)
+	h.coterie = append(h.coterie, h.computeCoterie(t+1))
+}
+
+func (h *History) computeCoterie(t int) proc.Set {
+	correct := h.CorrectUpTo(t)
+	cot := proc.Universe(h.n)
+	for q := range correct {
+		cot = cot.Intersect(h.influence[t][q])
+	}
+	return cot
+}
+
+// Len returns the number of recorded rounds.
+func (h *History) Len() int { return len(h.rounds) }
+
+// N returns the number of processes.
+func (h *History) N() int { return h.n }
+
+// Designated returns the designated faulty set.
+func (h *History) Designated() proc.Set { return h.designated.Clone() }
+
+// Round returns the observation of actual round r (1-based).
+func (h *History) Round(r int) round.Observation {
+	return h.rounds[r-1]
+}
+
+// FaultyUpTo returns F of the t-prefix: the processes that actually
+// deviated from their protocol in rounds 1..t. t may be 0..Len().
+func (h *History) FaultyUpTo(t int) proc.Set { return h.faulty[t].Clone() }
+
+// Faulty returns F(H,Π) of the whole recorded history.
+func (h *History) Faulty() proc.Set { return h.FaultyUpTo(h.Len()) }
+
+// CorrectUpTo returns C of the t-prefix (all processes minus FaultyUpTo).
+func (h *History) CorrectUpTo(t int) proc.Set {
+	return proc.Universe(h.n).Minus(h.faulty[t])
+}
+
+// Influence returns the set of processes p with p →_H q in the t-prefix.
+func (h *History) Influence(t int, q proc.ID) proc.Set {
+	return h.influence[t][q].Clone()
+}
+
+// CoterieAt returns the coterie of the t-prefix (Definition 2.3). t may be
+// 0..Len().
+func (h *History) CoterieAt(t int) proc.Set { return h.coterie[t].Clone() }
+
+// Coterie returns the coterie of the whole recorded history.
+func (h *History) Coterie() proc.Set { return h.CoterieAt(h.Len()) }
+
+// ClockAt returns c_p at the start of actual round r, and whether p was
+// alive then. r ranges over 1..Len().
+func (h *History) ClockAt(r int, p proc.ID) (uint64, bool) {
+	snap, ok := h.rounds[r-1].Start[p]
+	if !ok {
+		return 0, false
+	}
+	return snap.Clock, true
+}
+
+// SnapshotAt returns p's full snapshot at the start of actual round r.
+func (h *History) SnapshotAt(r int, p proc.ID) (round.Snapshot, bool) {
+	snap, ok := h.rounds[r-1].Start[p]
+	return snap, ok
+}
+
+// SnapshotAtEnd returns p's snapshot at the end of actual round r. For a
+// process alive in round r+1 this equals SnapshotAt(r+1, p); it remains
+// available for the final recorded round, which the Rate condition of
+// Assumption 1 needs.
+func (h *History) SnapshotAtEnd(r int, p proc.ID) (round.Snapshot, bool) {
+	snap, ok := h.rounds[r-1].End[p]
+	return snap, ok
+}
+
+// ClockAtEnd returns c_p at the end of actual round r — equivalently, at
+// the start of round r+1 (c_p^{r+1} in the paper's notation).
+func (h *History) ClockAtEnd(r int, p proc.ID) (uint64, bool) {
+	snap, ok := h.rounds[r-1].End[p]
+	if !ok {
+		return 0, false
+	}
+	return snap.Clock, true
+}
+
+// Segment is a maximal run of prefix lengths with a constant coterie.
+// Start is the prefix length at which this coterie value first held; End is
+// the last prefix length with that value (inclusive). The de-stabilizing
+// event, if any, occurred during round Start (i.e., between prefixes
+// Start−1 and Start).
+type Segment struct {
+	Start, End int
+	Coterie    proc.Set
+}
+
+// MarkSystemicFailure records that a systemic failure struck between the
+// rounds recorded so far and the next one. The paper analyzes behavior
+// following the final systemic failure; StableSegments therefore treats
+// the first round executed from the corrupted state as a de-stabilizing
+// boundary, restarting the stabilization clock. Call it right after
+// corrupting process state between engine steps.
+func (h *History) MarkSystemicFailure() {
+	h.marks = append(h.marks, h.Len())
+}
+
+// SystemicFailureMarks returns the prefix lengths after which systemic
+// failures were recorded.
+func (h *History) SystemicFailureMarks() []int {
+	return append([]int(nil), h.marks...)
+}
+
+// StableSegments partitions prefix lengths 0..Len() into maximal stable
+// segments, in order. A segment boundary is a de-stabilizing event: a
+// coterie change, or the first round executed after a recorded systemic
+// failure.
+func (h *History) StableSegments() []Segment {
+	marked := make(map[int]bool, len(h.marks))
+	for _, m := range h.marks {
+		if m+1 <= h.Len() {
+			marked[m+1] = true
+		}
+	}
+	var segs []Segment
+	start := 0
+	for t := 1; t <= h.Len(); t++ {
+		if !h.coterie[t].Equal(h.coterie[start]) || marked[t] {
+			segs = append(segs, Segment{Start: start, End: t - 1, Coterie: h.coterie[start].Clone()})
+			start = t
+		}
+	}
+	segs = append(segs, Segment{Start: start, End: h.Len(), Coterie: h.coterie[start].Clone()})
+	return segs
+}
+
+// DestabilizingRounds returns the actual rounds in which the coterie
+// changed (a process entered the coterie).
+func (h *History) DestabilizingRounds() []int {
+	var rs []int
+	for t := 1; t <= h.Len(); t++ {
+		if !h.coterie[t].Equal(h.coterie[t-1]) {
+			rs = append(rs, t)
+		}
+	}
+	return rs
+}
+
+// NaiveInfluence recomputes Influence(t, q) by breadth-first search over
+// the event grid, without the incremental caches. It exists as an oracle
+// for testing the incremental computation.
+//
+// Nodes are (process, prefix length); edges are program order
+// (p,k)→(p,k+1) for alive p, and message delivery (s,k-1)→(q,k) for every
+// message s→q delivered in round k.
+func (h *History) NaiveInfluence(t int, q proc.ID) proc.Set {
+	// reached[p][k] = an event of p at prefix k can reach q's state at t.
+	// Walk backwards from (q, t).
+	type node struct {
+		p proc.ID
+		k int
+	}
+	seen := make(map[node]bool)
+	stack := []node{{q, t}}
+	seen[node{q, t}] = true
+	result := proc.NewSet()
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		result.Add(nd.p)
+		if nd.k == 0 {
+			continue
+		}
+		// Program order: p's state at k-1 precedes its state at k. (If p
+		// was crashed in round k it had no state transition, but walking
+		// back through it is harmless: a crashed process receives nothing.)
+		prev := node{nd.p, nd.k - 1}
+		if !seen[prev] {
+			seen[prev] = true
+			stack = append(stack, prev)
+		}
+		// Deliveries in round k into nd.p.
+		for _, m := range h.rounds[nd.k-1].Delivered[nd.p] {
+			src := node{m.From, nd.k - 1}
+			if !seen[src] {
+				seen[src] = true
+				stack = append(stack, src)
+			}
+		}
+	}
+	return result
+}

@@ -1,0 +1,279 @@
+package history
+
+import (
+	"testing"
+
+	"ftss/internal/failure"
+	"ftss/internal/proc"
+	"ftss/internal/sim/round"
+)
+
+// chatter broadcasts a constant every round.
+type chatter struct {
+	id     proc.ID
+	rounds uint64
+}
+
+func (c *chatter) ID() proc.ID              { return c.id }
+func (c *chatter) StartRound() any          { return "hi" }
+func (c *chatter) EndRound([]round.Message) { c.rounds++ }
+func (c *chatter) Snapshot() round.Snapshot {
+	return round.Snapshot{Clock: c.rounds, State: c.rounds}
+}
+
+func chatters(n int) []round.Process {
+	ps := make([]round.Process, n)
+	for i := range ps {
+		ps[i] = &chatter{id: proc.ID(i)}
+	}
+	return ps
+}
+
+func runRecorded(t *testing.T, n int, adv failure.Adversary, rounds int) *History {
+	t.Helper()
+	var faulty proc.Set
+	if adv != nil {
+		faulty = adv.Faulty()
+	}
+	h := New(n, faulty)
+	e := round.MustNewEngine(chatters(n), adv)
+	e.Observe(h)
+	e.Run(rounds)
+	return h
+}
+
+func TestEmptyHistoryCoterie(t *testing.T) {
+	h := New(3, nil)
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if h.CoterieAt(0).Len() != 0 {
+		t.Errorf("empty-prefix coterie of n=3 = %v, want empty", h.CoterieAt(0))
+	}
+	h1 := New(1, nil)
+	if !h1.CoterieAt(0).Equal(proc.NewSet(0)) {
+		t.Errorf("n=1 empty-prefix coterie = %v, want {p0}", h1.CoterieAt(0))
+	}
+}
+
+func TestCoterieFullAfterOneCleanRound(t *testing.T) {
+	h := runRecorded(t, 4, nil, 3)
+	if !h.CoterieAt(1).Equal(proc.Universe(4)) {
+		t.Errorf("coterie after 1 clean round = %v, want all", h.CoterieAt(1))
+	}
+	if !h.Coterie().Equal(proc.Universe(4)) {
+		t.Errorf("final coterie = %v", h.Coterie())
+	}
+	if got := h.DestabilizingRounds(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("destabilizing rounds = %v, want [1]", got)
+	}
+}
+
+func TestInfluenceBasic(t *testing.T) {
+	h := runRecorded(t, 3, nil, 2)
+	// Before any round, influence is just self.
+	if !h.Influence(0, 1).Equal(proc.NewSet(1)) {
+		t.Errorf("Influence(0,1) = %v", h.Influence(0, 1))
+	}
+	// After one full-delivery round, everyone influences everyone.
+	if !h.Influence(1, 1).Equal(proc.Universe(3)) {
+		t.Errorf("Influence(1,1) = %v", h.Influence(1, 1))
+	}
+}
+
+func TestSilencedProcessOutsideCoterie(t *testing.T) {
+	// p0 (faulty) is silent toward p1 and deaf to p1 for rounds 1..3 but
+	// talks to p2. p0 still reaches p1 transitively through p2 in round 2.
+	adv := failure.NewScripted(0).SilenceBetween(0, 1, 1, 3)
+	h := runRecorded(t, 3, adv, 4)
+
+	// Round 1: p0 reaches p2 and itself but not p1 → p0 not in coterie.
+	if h.CoterieAt(1).Has(0) {
+		t.Error("p0 should not be in the coterie after round 1")
+	}
+	if !h.CoterieAt(1).Has(2) || !h.CoterieAt(1).Has(1) {
+		t.Errorf("coterie(1) = %v, want p1,p2 present", h.CoterieAt(1))
+	}
+	// Round 2: p2 relays, so p0 →_H p1 via p2; p0 enters the coterie.
+	if !h.CoterieAt(2).Has(0) {
+		t.Error("p0 should enter the coterie in round 2 (transitive influence)")
+	}
+	if !h.Influence(2, 1).Has(0) {
+		t.Error("p0 should influence p1 transitively by round 2")
+	}
+}
+
+func TestTotalSilenceKeepsProcessOut(t *testing.T) {
+	// Two processes, mutually silent; p0 is faulty. p0 never influences
+	// the sole correct process p1, so the coterie is {p1} from round 1 on
+	// and never changes again — exactly the "coterie remains constant"
+	// setup of the Theorem 2 proof.
+	adv := failure.NewScripted(0).SilenceBetween(0, 1, 1, 10)
+	h := runRecorded(t, 2, adv, 10)
+	if h.CoterieAt(0).Len() != 0 {
+		t.Errorf("coterie(0) = %v, want empty", h.CoterieAt(0))
+	}
+	for tt := 1; tt <= 10; tt++ {
+		if !h.CoterieAt(tt).Equal(proc.NewSet(1)) {
+			t.Fatalf("coterie(%d) = %v, want {p1}", tt, h.CoterieAt(tt))
+		}
+	}
+	if got := h.DestabilizingRounds(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("destabilizing rounds = %v, want [1]", got)
+	}
+}
+
+func TestFaultyUpToGrowth(t *testing.T) {
+	adv := failure.NewScripted(1).DropSendAt(3, 1, 0)
+	h := runRecorded(t, 2, adv, 5)
+	for tt := 0; tt <= 2; tt++ {
+		if h.FaultyUpTo(tt).Len() != 0 {
+			t.Errorf("F_%d = %v, want empty (deviation only at round 3)", tt, h.FaultyUpTo(tt))
+		}
+	}
+	for tt := 3; tt <= 5; tt++ {
+		if !h.FaultyUpTo(tt).Equal(proc.NewSet(1)) {
+			t.Errorf("F_%d = %v, want {p1}", tt, h.FaultyUpTo(tt))
+		}
+	}
+	if !h.CorrectUpTo(5).Equal(proc.NewSet(0)) {
+		t.Errorf("C_5 = %v", h.CorrectUpTo(5))
+	}
+	if !h.Faulty().Equal(proc.NewSet(1)) {
+		t.Errorf("Faulty() = %v", h.Faulty())
+	}
+}
+
+func TestDesignatedButNeverDeviatingIsCorrect(t *testing.T) {
+	adv := failure.NewScripted(1) // designated faulty, no scripted deviations
+	h := runRecorded(t, 3, adv, 4)
+	if h.Faulty().Len() != 0 {
+		t.Errorf("Faulty = %v, want empty: designation alone is not deviation", h.Faulty())
+	}
+	if !h.Designated().Equal(proc.NewSet(1)) {
+		t.Errorf("Designated = %v", h.Designated())
+	}
+}
+
+func TestCoterieMonotone(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		adv := failure.NewRandom(failure.GeneralOmission, proc.NewSet(0, 1), 0.4, seed, 15)
+		h := runRecorded(t, 5, adv, 20)
+		for tt := 1; tt <= h.Len(); tt++ {
+			if !h.CoterieAt(tt - 1).Subset(h.CoterieAt(tt)) {
+				t.Fatalf("seed %d: coterie shrank at t=%d: %v → %v",
+					seed, tt, h.CoterieAt(tt-1), h.CoterieAt(tt))
+			}
+		}
+	}
+}
+
+func TestIncrementalMatchesNaiveOracle(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		adv := failure.NewRandom(failure.GeneralOmission, proc.NewSet(0, 2), 0.5, seed, 10)
+		h := runRecorded(t, 4, adv, 12)
+		for tt := 0; tt <= h.Len(); tt += 3 {
+			for q := proc.ID(0); q < 4; q++ {
+				inc := h.Influence(tt, q)
+				naive := h.NaiveInfluence(tt, q)
+				if !inc.Equal(naive) {
+					t.Fatalf("seed %d t=%d q=%v: incremental %v != naive %v",
+						seed, tt, q, inc, naive)
+				}
+			}
+		}
+	}
+}
+
+func TestStableSegments(t *testing.T) {
+	// p0 silent to everyone for rounds 1..2, then clean: coterie goes
+	// {} (n≥2) → all-minus-p0 after round 1 → all after round 3.
+	adv := failure.NewScripted(0).
+		SilenceBetween(0, 1, 1, 2).
+		SilenceBetween(0, 2, 1, 2)
+	h := runRecorded(t, 3, adv, 6)
+
+	segs := h.StableSegments()
+	if len(segs) != 3 {
+		t.Fatalf("segments = %+v, want 3", segs)
+	}
+	if segs[0].Start != 0 || segs[0].End != 0 || segs[0].Coterie.Len() != 0 {
+		t.Errorf("seg0 = %+v", segs[0])
+	}
+	if segs[1].Start != 1 || segs[1].End != 2 || !segs[1].Coterie.Equal(proc.NewSet(1, 2)) {
+		t.Errorf("seg1 = %+v", segs[1])
+	}
+	if segs[2].Start != 3 || segs[2].End != 6 || !segs[2].Coterie.Equal(proc.Universe(3)) {
+		t.Errorf("seg2 = %+v", segs[2])
+	}
+	if got := h.DestabilizingRounds(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("destabilizing = %v, want [1 3]", got)
+	}
+}
+
+func TestClockAndSnapshotAccessors(t *testing.T) {
+	h := runRecorded(t, 2, nil, 3)
+	c, ok := h.ClockAt(1, 0)
+	if !ok || c != 0 {
+		t.Errorf("ClockAt(1,0) = %d,%v; want 0,true", c, ok)
+	}
+	c, ok = h.ClockAt(3, 1)
+	if !ok || c != 2 {
+		t.Errorf("ClockAt(3,1) = %d,%v; want 2,true", c, ok)
+	}
+	snap, ok := h.SnapshotAt(2, 0)
+	if !ok || snap.Clock != 1 {
+		t.Errorf("SnapshotAt(2,0) = %+v,%v", snap, ok)
+	}
+}
+
+func TestClockAtCrashedProcess(t *testing.T) {
+	adv := failure.NewScripted(1).CrashAt(1, 2)
+	h := runRecorded(t, 2, adv, 3)
+	if _, ok := h.ClockAt(3, 1); ok {
+		t.Error("crashed process should have no clock")
+	}
+	if _, ok := h.ClockAt(1, 1); !ok {
+		t.Error("pre-crash clock should exist")
+	}
+}
+
+func TestCrashedInfluenceFrozen(t *testing.T) {
+	adv := failure.NewScripted(0).CrashAt(0, 2)
+	h := runRecorded(t, 3, adv, 5)
+	// p0 spoke in round 1, so it influences everyone; after its crash its
+	// influence set stops growing but others keep growing (trivially full
+	// here).
+	if !h.Influence(1, 0).Equal(proc.Universe(3)) {
+		t.Errorf("Influence(1,0) = %v", h.Influence(1, 0))
+	}
+	after := h.Influence(5, 0)
+	if !after.Equal(proc.Universe(3)) {
+		t.Errorf("Influence(5,0) = %v (should be frozen at full)", after)
+	}
+	// Crashed p0 is faulty, so the coterie quantifies only over p1,p2.
+	if !h.Coterie().Equal(proc.Universe(3)) {
+		t.Errorf("final coterie = %v", h.Coterie())
+	}
+}
+
+func TestRoundAccessor(t *testing.T) {
+	h := runRecorded(t, 2, nil, 2)
+	o := h.Round(2)
+	if o.Round != 2 {
+		t.Errorf("Round(2).Round = %d", o.Round)
+	}
+	if h.N() != 2 {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+func TestObserveOutOfOrderPanics(t *testing.T) {
+	h := New(1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-order observation")
+		}
+	}()
+	h.ObserveRound(round.Observation{Round: 5})
+}

@@ -1,0 +1,159 @@
+// Package proc defines the process identifiers and process-set vocabulary
+// shared by every simulator and protocol in this module.
+//
+// The paper models a completely-connected system of n processes named by
+// small integers. Process identity is the only globally-known static
+// information; everything else (clocks, states, suspect sets) may be
+// corrupted by systemic failures.
+package proc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID names a process. IDs are dense integers 0..n-1.
+type ID int
+
+// None is the zero-process sentinel, used where "no process" is meaningful
+// (for example, "no coordinator yet").
+const None ID = -1
+
+// String implements fmt.Stringer.
+func (id ID) String() string {
+	if id == None {
+		return "p(none)"
+	}
+	return fmt.Sprintf("p%d", int(id))
+}
+
+// Set is a set of process IDs.
+type Set map[ID]struct{}
+
+// NewSet builds a set from the given IDs.
+func NewSet(ids ...ID) Set {
+	s := make(Set, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Universe returns the set {0, …, n−1}.
+func Universe(n int) Set {
+	s := make(Set, n)
+	for i := 0; i < n; i++ {
+		s[ID(i)] = struct{}{}
+	}
+	return s
+}
+
+// Has reports whether id is in the set. A nil Set has no members.
+func (s Set) Has(id ID) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Add inserts id into the set. The set must be non-nil.
+func (s Set) Add(id ID) { s[id] = struct{}{} }
+
+// Remove deletes id from the set.
+func (s Set) Remove(id ID) { delete(s, id) }
+
+// Len returns the number of members.
+func (s Set) Len() int { return len(s) }
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	for id := range s {
+		c[id] = struct{}{}
+	}
+	return c
+}
+
+// Union returns a new set holding every member of s and t.
+func (s Set) Union(t Set) Set {
+	u := s.Clone()
+	for id := range t {
+		u[id] = struct{}{}
+	}
+	return u
+}
+
+// Intersect returns a new set holding the members common to s and t.
+func (s Set) Intersect(t Set) Set {
+	u := make(Set)
+	for id := range s {
+		if t.Has(id) {
+			u[id] = struct{}{}
+		}
+	}
+	return u
+}
+
+// Minus returns a new set holding members of s that are not in t.
+func (s Set) Minus(t Set) Set {
+	u := make(Set)
+	for id := range s {
+		if !t.Has(id) {
+			u[id] = struct{}{}
+		}
+	}
+	return u
+}
+
+// Equal reports whether s and t have exactly the same members.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for id := range s {
+		if !t.Has(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether every member of s is in t.
+func (s Set) Subset(t Set) bool {
+	for id := range s {
+		if !t.Has(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the members in increasing order.
+func (s Set) Sorted() []ID {
+	ids := make([]ID, 0, len(s))
+	for id := range s {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// String renders the set as "{p0, p2}" with members sorted.
+func (s Set) String() string {
+	ids := s.Sorted()
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = id.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Min returns the smallest member, or None if the set is empty.
+func (s Set) Min() ID {
+	min := None
+	for id := range s {
+		if min == None || id < min {
+			min = id
+		}
+	}
+	return min
+}

@@ -1,0 +1,194 @@
+package proc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIDString(t *testing.T) {
+	tests := []struct {
+		id   ID
+		want string
+	}{
+		{0, "p0"},
+		{7, "p7"},
+		{None, "p(none)"},
+	}
+	for _, tt := range tests {
+		if got := tt.id.String(); got != tt.want {
+			t.Errorf("ID(%d).String() = %q, want %q", int(tt.id), got, tt.want)
+		}
+	}
+}
+
+func TestNewSet(t *testing.T) {
+	s := NewSet(1, 3, 3, 5)
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", s.Len())
+	}
+	for _, id := range []ID{1, 3, 5} {
+		if !s.Has(id) {
+			t.Errorf("Has(%v) = false, want true", id)
+		}
+	}
+	if s.Has(2) {
+		t.Error("Has(2) = true, want false")
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	u := Universe(4)
+	if u.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", u.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if !u.Has(ID(i)) {
+			t.Errorf("Universe(4) missing %d", i)
+		}
+	}
+	if Universe(0).Len() != 0 {
+		t.Error("Universe(0) should be empty")
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	s := NewSet()
+	s.Add(2)
+	if !s.Has(2) {
+		t.Error("Add(2) did not insert")
+	}
+	s.Remove(2)
+	if s.Has(2) {
+		t.Error("Remove(2) did not delete")
+	}
+	s.Remove(99) // removing absent member is a no-op
+	if s.Len() != 0 {
+		t.Error("set should be empty")
+	}
+}
+
+func TestNilSetHas(t *testing.T) {
+	var s Set
+	if s.Has(0) {
+		t.Error("nil set should have no members")
+	}
+	if s.Len() != 0 {
+		t.Error("nil set length should be 0")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := NewSet(1, 2)
+	c := s.Clone()
+	c.Add(3)
+	if s.Has(3) {
+		t.Error("Clone is not independent of original")
+	}
+	if !c.Has(1) || !c.Has(2) {
+		t.Error("Clone lost members")
+	}
+}
+
+func TestUnionIntersectMinus(t *testing.T) {
+	a := NewSet(1, 2, 3)
+	b := NewSet(3, 4)
+
+	if got := a.Union(b); !got.Equal(NewSet(1, 2, 3, 4)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewSet(3)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(NewSet(1, 2)) {
+		t.Errorf("Minus = %v", got)
+	}
+	// operands unchanged
+	if !a.Equal(NewSet(1, 2, 3)) || !b.Equal(NewSet(3, 4)) {
+		t.Error("set operations mutated their operands")
+	}
+}
+
+func TestEqualSubset(t *testing.T) {
+	a := NewSet(1, 2)
+	b := NewSet(2, 1)
+	c := NewSet(1, 2, 3)
+
+	if !a.Equal(b) {
+		t.Error("Equal should ignore insertion order")
+	}
+	if a.Equal(c) {
+		t.Error("sets of different size must not be Equal")
+	}
+	if !a.Subset(c) {
+		t.Error("a should be a subset of c")
+	}
+	if c.Subset(a) {
+		t.Error("c is not a subset of a")
+	}
+	if !NewSet().Subset(a) {
+		t.Error("empty set is a subset of everything")
+	}
+}
+
+func TestSortedAndString(t *testing.T) {
+	s := NewSet(5, 0, 3)
+	ids := s.Sorted()
+	want := []ID{0, 3, 5}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("Sorted() = %v, want %v", ids, want)
+		}
+	}
+	if got := s.String(); got != "{p0, p3, p5}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := NewSet().String(); got != "{}" {
+		t.Errorf("empty String() = %q", got)
+	}
+}
+
+func TestMin(t *testing.T) {
+	if got := NewSet(4, 2, 9).Min(); got != 2 {
+		t.Errorf("Min = %v, want 2", got)
+	}
+	if got := NewSet().Min(); got != None {
+		t.Errorf("empty Min = %v, want None", got)
+	}
+}
+
+func TestSetPropertyUnionCommutes(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := NewSet(), NewSet()
+		for _, x := range xs {
+			a.Add(ID(x % 32))
+		}
+		for _, y := range ys {
+			b.Add(ID(y % 32))
+		}
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetPropertyMinusDisjoint(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := NewSet(), NewSet()
+		for _, x := range xs {
+			a.Add(ID(x % 32))
+		}
+		for _, y := range ys {
+			b.Add(ID(y % 32))
+		}
+		d := a.Minus(b)
+		// d and b are disjoint, and d ∪ (a ∩ b) = a.
+		if d.Intersect(b).Len() != 0 {
+			return false
+		}
+		return d.Union(a.Intersect(b)).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

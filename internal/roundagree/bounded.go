@@ -1,0 +1,122 @@
+package roundagree
+
+import (
+	"math/rand"
+
+	"ftss/internal/proc"
+	"ftss/internal/sim/round"
+)
+
+// Bounded is round agreement with a bounded (mod-K) round variable — the
+// variant the paper's compiler explicitly excludes ("the current round
+// number is counted by an unbounded variable; in the full paper, we show
+// an impossibility for a bounded counter analogous to Theorem 2").
+//
+// With wrap-around counters "max" is ill-defined; the natural repair is a
+// circular comparison that treats a as ahead of b when the forward
+// distance from b to a is less than half the ring:
+//
+//	ahead(a, b) ⟺ (a − b) mod K ∈ [1, K/2)
+//
+// That works whenever all clocks lie within a half-window of each other —
+// which is why bounded counters are tempting — but a systemic failure can
+// scatter the clocks so that aheadness is CYCLIC (e.g., K=12 with clocks
+// 0, 4, 8: 4 is ahead of 0, 8 ahead of 4, and 0 ahead of 8). No
+// deterministic rule based on the circular order can then converge from
+// every state: experiment E9 exhibits corruptions from which this protocol
+// never reaches agreement, while the unbounded Figure 1 protocol handles
+// the very same scenario in one round.
+type Bounded struct {
+	id    proc.ID
+	k     uint64 // modulus; clock ∈ [0, K)
+	clock uint64
+}
+
+var _ round.Process = (*Bounded)(nil)
+
+// BoundedAnnounce is the (ROUND: p, c_p mod K) broadcast.
+type BoundedAnnounce struct {
+	Clock uint64
+}
+
+// NewBounded returns a mod-K round agreement process with clock 0.
+func NewBounded(id proc.ID, k uint64) *Bounded {
+	if k < 2 {
+		k = 2
+	}
+	return &Bounded{id: id, k: k}
+}
+
+// BoundedProcs builds n processes over the same modulus.
+func BoundedProcs(n int, k uint64) ([]*Bounded, []round.Process) {
+	cs := make([]*Bounded, n)
+	ps := make([]round.Process, n)
+	for i := range cs {
+		cs[i] = NewBounded(proc.ID(i), k)
+		ps[i] = cs[i]
+	}
+	return cs, ps
+}
+
+// ID implements round.Process.
+func (b *Bounded) ID() proc.ID { return b.id }
+
+// Clock returns c_p ∈ [0, K).
+func (b *Bounded) Clock() uint64 { return b.clock }
+
+// Modulus returns K.
+func (b *Bounded) Modulus() uint64 { return b.k }
+
+// Ahead reports whether clock a is circularly ahead of clock c.
+func (b *Bounded) Ahead(a, c uint64) bool {
+	d := (a + b.k - c) % b.k
+	return d >= 1 && d < (b.k+1)/2
+}
+
+// StartRound implements round.Process.
+func (b *Bounded) StartRound() any { return BoundedAnnounce{Clock: b.clock % b.k} }
+
+// EndRound implements round.Process: adopt the Condorcet winner of the
+// circular order among the received clocks — the clock that is ahead of
+// every other distinct clock. When all clocks lie within a half-window
+// this is exactly Figure 1's max. When a systemic failure scatters them
+// further, the aheadness relation can be cyclic (or antipodal), no winner
+// exists, and the process can only keep its own clock; every process then
+// increments in place and the disagreement rotates forever — the bounded-
+// counter failure the full paper's impossibility formalizes.
+func (b *Bounded) EndRound(received []round.Message) {
+	clocks := make(map[uint64]struct{}, len(received))
+	for _, m := range received {
+		if a, ok := m.Payload.(BoundedAnnounce); ok {
+			clocks[a.Clock%b.k] = struct{}{}
+		}
+	}
+	best := b.clock
+	for c := range clocks {
+		winner := true
+		for d := range clocks {
+			if c != d && !b.Ahead(c, d) {
+				winner = false
+				break
+			}
+		}
+		if winner {
+			best = c
+			break
+		}
+	}
+	b.clock = (best + 1) % b.k
+}
+
+// Snapshot implements round.Process.
+func (b *Bounded) Snapshot() round.Snapshot {
+	return round.Snapshot{Clock: b.clock}
+}
+
+// Corrupt implements failure.Corruptible.
+func (b *Bounded) Corrupt(rng *rand.Rand) {
+	b.clock = uint64(rng.Int63()) % b.k
+}
+
+// CorruptTo injects a chosen clock (mod K).
+func (b *Bounded) CorruptTo(clock uint64) { b.clock = clock % b.k }

@@ -1,0 +1,193 @@
+package roundagree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftss/internal/core"
+	"ftss/internal/history"
+	"ftss/internal/proc"
+	"ftss/internal/sim/round"
+)
+
+func TestBoundedAhead(t *testing.T) {
+	b := NewBounded(0, 12)
+	tests := []struct {
+		a, c uint64
+		want bool
+	}{
+		{1, 0, true},   // just ahead
+		{5, 0, true},   // within half-window
+		{6, 0, false},  // antipodal: not ahead
+		{7, 0, false},  // behind
+		{0, 7, true},   // wrap-around ahead
+		{0, 0, false},  // equal
+		{11, 0, false}, // one behind
+		{0, 11, true},  // one ahead across the wrap
+	}
+	for _, tt := range tests {
+		if got := b.Ahead(tt.a, tt.c); got != tt.want {
+			t.Errorf("Ahead(%d,%d) = %v, want %v", tt.a, tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestBoundedAheadAsymmetricProperty(t *testing.T) {
+	// Ahead is asymmetric: never both Ahead(a,b) and Ahead(b,a).
+	f := func(a, c uint32, kRaw uint8) bool {
+		k := uint64(kRaw%30) + 2
+		b := NewBounded(0, k)
+		x, y := uint64(a)%k, uint64(c)%k
+		return !(b.Ahead(x, y) && b.Ahead(y, x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundedCleanRunStaysAgreed(t *testing.T) {
+	cs, ps := BoundedProcs(4, 16)
+	e := round.MustNewEngine(ps, nil)
+	e.Run(40) // several full wraps of the mod-16 counter
+	want := cs[0].Clock()
+	for _, c := range cs {
+		if c.Clock() != want {
+			t.Fatalf("clocks diverged on a clean run: %d vs %d", c.Clock(), want)
+		}
+	}
+	if want != 40%16 {
+		t.Errorf("clock = %d, want %d", want, 40%16)
+	}
+}
+
+func TestBoundedConvergesWithinHalfWindow(t *testing.T) {
+	// Corruption that keeps all clocks within a half-window: the circular
+	// max is well-defined and one round suffices, like Figure 1.
+	cs, ps := BoundedProcs(3, 16)
+	cs[0].CorruptTo(3)
+	cs[1].CorruptTo(5)
+	cs[2].CorruptTo(7)
+	e := round.MustNewEngine(ps, nil)
+	e.Step()
+	for _, c := range cs {
+		if c.Clock() != 8 {
+			t.Errorf("%v clock = %d, want 8 (adopted 7, then +1)", c.ID(), c.Clock())
+		}
+	}
+}
+
+// TestBoundedAntipodalNeverConverges is the two-process bounded-counter
+// failure: clocks half a ring apart are mutually not-ahead, no Condorcet
+// winner exists, and both processes spin in place forever.
+func TestBoundedAntipodalNeverConverges(t *testing.T) {
+	cs, ps := BoundedProcs(2, 12)
+	cs[0].CorruptTo(0)
+	cs[1].CorruptTo(6)
+	h := history.New(2, proc.NewSet())
+	e := round.MustNewEngine(ps, nil)
+	e.Observe(h)
+	e.Run(60) // five full wraps
+	if cs[0].Clock() == cs[1].Clock() {
+		t.Fatal("antipodal clocks unexpectedly converged")
+	}
+	// The gap stays exactly K/2 forever.
+	gap := (cs[1].Clock() + 12 - cs[0].Clock()) % 12
+	if gap != 6 {
+		t.Errorf("gap = %d, want 6", gap)
+	}
+	if err := core.CheckFTSS(h, core.RoundAgreement{}, 1); err == nil {
+		t.Error("Definition 2.4 should be violated forever")
+	}
+	m := core.MeasureStabilization(h, core.RoundAgreement{})
+	if m.Rounds != -1 {
+		t.Errorf("stabilization = %d, want never", m.Rounds)
+	}
+}
+
+// TestBoundedCyclicNeverConverges: three clocks evenly spread create a
+// cyclic aheadness relation — the rock-paper-scissors configuration.
+func TestBoundedCyclicNeverConverges(t *testing.T) {
+	cs, ps := BoundedProcs(3, 12)
+	cs[0].CorruptTo(0)
+	cs[1].CorruptTo(4)
+	cs[2].CorruptTo(8)
+	e := round.MustNewEngine(ps, nil)
+	e.Run(48)
+	if cs[0].Clock() == cs[1].Clock() && cs[1].Clock() == cs[2].Clock() {
+		t.Fatal("cyclic clocks unexpectedly converged")
+	}
+	// The even spread is preserved (everyone increments in place).
+	g1 := (cs[1].Clock() + 12 - cs[0].Clock()) % 12
+	g2 := (cs[2].Clock() + 12 - cs[1].Clock()) % 12
+	if g1 != 4 || g2 != 4 {
+		t.Errorf("gaps = %d,%d; want 4,4", g1, g2)
+	}
+}
+
+// TestUnboundedHandlesTheSameScenario: the unbounded Figure 1 protocol
+// repairs the exact corruption that kills the bounded variant — the
+// paper's reason for requiring unbounded counters.
+func TestUnboundedHandlesTheSameScenario(t *testing.T) {
+	cs, ps := Procs(2)
+	cs[0].CorruptTo(0)
+	cs[1].CorruptTo(6)
+	e := round.MustNewEngine(ps, nil)
+	e.Step()
+	if cs[0].Clock() != cs[1].Clock() {
+		t.Fatal("Figure 1 should agree after one round")
+	}
+}
+
+func TestBoundedRandomCorruptionOutcomes(t *testing.T) {
+	// Random corruption either converges (within-half-window reachable
+	// configurations) or does not, but a converged system must stay
+	// converged: once equal, clocks advance in lockstep.
+	for seed := int64(1); seed <= 30; seed++ {
+		cs, ps := BoundedProcs(3, 16)
+		rng := rand.New(rand.NewSource(seed))
+		for _, c := range cs {
+			c.Corrupt(rng)
+		}
+		e := round.MustNewEngine(ps, nil)
+		converged := -1
+		for r := 1; r <= 40; r++ {
+			e.Step()
+			if cs[0].Clock() == cs[1].Clock() && cs[1].Clock() == cs[2].Clock() {
+				converged = r
+				break
+			}
+		}
+		if converged < 0 {
+			continue // legitimately stuck (cyclic/antipodal corruption)
+		}
+		e.Run(20)
+		if !(cs[0].Clock() == cs[1].Clock() && cs[1].Clock() == cs[2].Clock()) {
+			t.Fatalf("seed=%d: re-diverged after converging at round %d", seed, converged)
+		}
+	}
+}
+
+func TestBoundedAccessors(t *testing.T) {
+	b := NewBounded(2, 10)
+	if b.ID() != 2 || b.Modulus() != 10 || b.Clock() != 0 {
+		t.Error("accessors wrong")
+	}
+	if NewBounded(0, 0).Modulus() != 2 {
+		t.Error("modulus floor not applied")
+	}
+	b.CorruptTo(25)
+	if b.Clock() != 5 {
+		t.Errorf("CorruptTo should reduce mod K: %d", b.Clock())
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		b.Corrupt(rng)
+		if b.Clock() >= 10 {
+			t.Fatal("corrupted clock out of ring")
+		}
+	}
+	if s := b.Snapshot(); s.Clock != b.Clock() {
+		t.Error("snapshot clock mismatch")
+	}
+}

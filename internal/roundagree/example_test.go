@@ -1,0 +1,42 @@
+package roundagree_test
+
+import (
+	"fmt"
+
+	"ftss/internal/roundagree"
+	"ftss/internal/sim/round"
+)
+
+// Example runs Figure 1 from a corrupted state: one round later the
+// round variables agree on max+1 (Theorem 3).
+func Example() {
+	cs, ps := roundagree.Procs(3)
+	cs[0].CorruptTo(7)
+	cs[1].CorruptTo(901)
+	cs[2].CorruptTo(42)
+
+	e := round.MustNewEngine(ps, nil)
+	e.Step()
+	fmt.Println(cs[0].Clock(), cs[1].Clock(), cs[2].Clock())
+	e.Step()
+	fmt.Println(cs[0].Clock(), cs[1].Clock(), cs[2].Clock())
+	// Output:
+	// 902 902 902
+	// 903 903 903
+}
+
+// ExampleBounded shows the bounded-counter failure: clocks spread evenly
+// around the mod-12 ring have no circular maximum, so the processes spin
+// in place forever, keeping their distance.
+func ExampleBounded() {
+	cs, ps := roundagree.BoundedProcs(3, 12)
+	cs[0].CorruptTo(0)
+	cs[1].CorruptTo(4)
+	cs[2].CorruptTo(8)
+
+	e := round.MustNewEngine(ps, nil)
+	e.Run(12) // a full wrap of the ring
+	fmt.Println(cs[0].Clock(), cs[1].Clock(), cs[2].Clock())
+	// Output:
+	// 0 4 8
+}

@@ -1,0 +1,185 @@
+// Package roundagree implements the round agreement protocol of Figure 1
+// of the paper: every round, each process broadcasts its current round
+// number c_p and then sets c_p to one more than the maximum round number it
+// received (its own broadcast always included).
+//
+// Theorem 3: this protocol ftss-solves round agreement with stabilization
+// time 1 — in any interval in which the coterie is unchanged, all correct
+// processes agree on the current round number from the round after the
+// interval starts.
+//
+// The package also provides a Uniform variant used by the Theorem 2
+// experiment: it additionally "self-checks and halts before doing any
+// harm", halting whenever its own round number is behind the maximum it
+// hears. Theorem 2 shows this discipline is incompatible with
+// ftss-solvability, and the experiments demonstrate the two-scenario
+// argument with it.
+package roundagree
+
+import (
+	"math/rand"
+
+	"ftss/internal/proc"
+	"ftss/internal/sim/round"
+)
+
+// Announce is the (ROUND: p, c_p) message of Figure 1.
+type Announce struct {
+	Clock uint64
+}
+
+// MaxCorruptClock bounds the round numbers injected by systemic failures so
+// that runs of any practical length cannot overflow the uint64 counter the
+// paper treats as unbounded.
+const MaxCorruptClock = 1 << 48
+
+// Proc is one process executing the Figure 1 protocol.
+type Proc struct {
+	id    proc.ID
+	clock uint64
+}
+
+var (
+	_ round.Process = (*Proc)(nil)
+)
+
+// New returns a process with the protocol's specified initial state
+// (c_p = 1, per Figure 1).
+func New(id proc.ID) *Proc {
+	return &Proc{id: id, clock: 1}
+}
+
+// NewAt returns a process whose round variable starts at the given value —
+// a process that has already suffered a systemic failure.
+func NewAt(id proc.ID, clock uint64) *Proc {
+	return &Proc{id: id, clock: clock}
+}
+
+// ID implements round.Process.
+func (p *Proc) ID() proc.ID { return p.id }
+
+// Clock returns the current value of the round variable c_p.
+func (p *Proc) Clock() uint64 { return p.clock }
+
+// StartRound implements round.Process: broadcast (ROUND: p, c_p).
+func (p *Proc) StartRound() any { return Announce{Clock: p.clock} }
+
+// EndRound implements round.Process: c_p := max(R) + 1 over the round
+// numbers received. The engine guarantees self-delivery, so R is never
+// empty for an alive process; if it somehow were, the process just
+// increments its own clock.
+func (p *Proc) EndRound(received []round.Message) {
+	max := p.clock
+	for _, m := range received {
+		if a, ok := m.Payload.(Announce); ok && a.Clock > max {
+			max = a.Clock
+		}
+	}
+	p.clock = max + 1
+}
+
+// Snapshot implements round.Process.
+func (p *Proc) Snapshot() round.Snapshot {
+	return round.Snapshot{Clock: p.clock}
+}
+
+// Corrupt implements failure.Corruptible: a systemic failure sets the round
+// variable to an arbitrary value.
+func (p *Proc) Corrupt(rng *rand.Rand) {
+	p.clock = uint64(rng.Int63n(MaxCorruptClock))
+}
+
+// CorruptTo injects a systemic failure with a chosen round variable, for
+// scripted scenarios.
+func (p *Proc) CorruptTo(clock uint64) { p.clock = clock }
+
+// Procs builds n processes with the protocol's initial states, returned
+// both as concrete values and as the engine's Process slice.
+func Procs(n int) ([]*Proc, []round.Process) {
+	cs := make([]*Proc, n)
+	ps := make([]round.Process, n)
+	for i := range cs {
+		cs[i] = New(proc.ID(i))
+		ps[i] = cs[i]
+	}
+	return cs, ps
+}
+
+// Uniform is a round-agreement process that enforces the Assumption 2
+// discipline of §2.2: if it ever observes a round number strictly greater
+// than its own, it concludes its own state may be corrupt and halts rather
+// than risk doing harm. Once halted it stays silent forever.
+//
+// Theorem 2 predicts — and the experiments confirm — that this variant
+// cannot ftss-solve round agreement: an execution exists in which a
+// correct process halts and agreement is violated forever after.
+type Uniform struct {
+	id     proc.ID
+	clock  uint64
+	halted bool
+}
+
+var _ round.Process = (*Uniform)(nil)
+
+// NewUniform returns a uniform process with initial round variable 1.
+func NewUniform(id proc.ID) *Uniform { return &Uniform{id: id, clock: 1} }
+
+// NewUniformAt returns a uniform process with the given (possibly
+// corrupted) round variable.
+func NewUniformAt(id proc.ID, clock uint64) *Uniform {
+	return &Uniform{id: id, clock: clock}
+}
+
+// ID implements round.Process.
+func (u *Uniform) ID() proc.ID { return u.id }
+
+// Clock returns c_p.
+func (u *Uniform) Clock() uint64 { return u.clock }
+
+// Halted reports whether the process has self-halted.
+func (u *Uniform) Halted() bool { return u.halted }
+
+// StartRound implements round.Process.
+func (u *Uniform) StartRound() any {
+	if u.halted {
+		return nil
+	}
+	return Announce{Clock: u.clock}
+}
+
+// EndRound implements round.Process.
+func (u *Uniform) EndRound(received []round.Message) {
+	if u.halted {
+		return
+	}
+	max := u.clock
+	for _, m := range received {
+		if a, ok := m.Payload.(Announce); ok && a.Clock > max {
+			max = a.Clock
+		}
+	}
+	if max > u.clock {
+		// Self-check: someone is ahead of us, so our own round number may
+		// be the product of a systemic failure. Halt before doing harm.
+		u.halted = true
+		return
+	}
+	u.clock++
+}
+
+// Snapshot implements round.Process.
+func (u *Uniform) Snapshot() round.Snapshot {
+	return round.Snapshot{Clock: u.clock, Halted: u.halted}
+}
+
+// Corrupt implements failure.Corruptible.
+func (u *Uniform) Corrupt(rng *rand.Rand) {
+	u.clock = uint64(rng.Int63n(MaxCorruptClock))
+	u.halted = false
+}
+
+// CorruptTo injects a systemic failure with a chosen round variable.
+func (u *Uniform) CorruptTo(clock uint64) {
+	u.clock = clock
+	u.halted = false
+}

@@ -1,0 +1,392 @@
+package roundagree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ftss/internal/core"
+	"ftss/internal/failure"
+	"ftss/internal/history"
+	"ftss/internal/proc"
+	"ftss/internal/sim/round"
+)
+
+func TestCleanRunLockstep(t *testing.T) {
+	cs, ps := Procs(4)
+	e := round.MustNewEngine(ps, nil)
+	e.Run(10)
+	for _, c := range cs {
+		// Starting at 1, after 10 rounds of unanimous max+1 the clock is 11.
+		if c.Clock() != 11 {
+			t.Errorf("%v clock = %d, want 11", c.ID(), c.Clock())
+		}
+	}
+}
+
+func TestCorruptedClocksAgreeAfterOneRound(t *testing.T) {
+	cs, ps := Procs(3)
+	cs[0].CorruptTo(1000)
+	cs[1].CorruptTo(3)
+	cs[2].CorruptTo(500000)
+	e := round.MustNewEngine(ps, nil)
+	e.Step()
+	want := uint64(500001)
+	for _, c := range cs {
+		if c.Clock() != want {
+			t.Errorf("%v clock = %d, want %d", c.ID(), c.Clock(), want)
+		}
+	}
+}
+
+func TestMaxAdoptionIncludesSelf(t *testing.T) {
+	// A process whose own clock is the maximum keeps it (plus one) even if
+	// everyone else is behind.
+	cs, ps := Procs(2)
+	cs[0].CorruptTo(99)
+	cs[1].CorruptTo(1)
+	e := round.MustNewEngine(ps, nil)
+	e.Step()
+	if cs[0].Clock() != 100 || cs[1].Clock() != 100 {
+		t.Errorf("clocks = %d,%d, want 100,100", cs[0].Clock(), cs[1].Clock())
+	}
+}
+
+func TestNewAt(t *testing.T) {
+	p := NewAt(2, 77)
+	if p.ID() != 2 || p.Clock() != 77 {
+		t.Errorf("NewAt = %v/%d", p.ID(), p.Clock())
+	}
+	if s := p.Snapshot(); s.Clock != 77 || s.Halted {
+		t.Errorf("Snapshot = %+v", s)
+	}
+}
+
+func TestCorruptBounded(t *testing.T) {
+	p := New(0)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		p.Corrupt(rng)
+		if p.Clock() >= MaxCorruptClock {
+			t.Fatalf("corrupted clock %d exceeds bound", p.Clock())
+		}
+	}
+}
+
+// runFTSS executes the Figure 1 protocol with the given adversary and
+// corruption plan and returns the recorded history.
+func runFTSS(n int, adv failure.Adversary, rounds int, corruptSeed int64) *history.History {
+	cs, ps := Procs(n)
+	if corruptSeed != 0 {
+		rng := rand.New(rand.NewSource(corruptSeed))
+		for _, c := range cs {
+			c.Corrupt(rng)
+		}
+	}
+	var faulty proc.Set
+	if adv != nil {
+		faulty = adv.Faulty()
+	}
+	h := history.New(n, faulty)
+	e := round.MustNewEngine(ps, adv)
+	e.Observe(h)
+	e.Run(rounds)
+	return h
+}
+
+// TestTheorem3FTSSSolvesWithStab1 is the headline property: for random
+// corruptions and random general-omission adversaries, Figure 1
+// ftss-solves round agreement with stabilization time 1 (Theorem 3).
+func TestTheorem3FTSSSolvesWithStab1(t *testing.T) {
+	sigma := core.RoundAgreement{}
+	for _, n := range []int{2, 3, 5, 8} {
+		for seed := int64(1); seed <= 40; seed++ {
+			faulty := proc.NewSet()
+			nf := int(seed) % n // 0..n-1 faulty processes
+			for i := 0; i < nf; i++ {
+				faulty.Add(proc.ID(i * 2 % n))
+			}
+			adv := failure.NewRandom(failure.GeneralOmission, faulty, 0.35, seed, 20)
+			h := runFTSS(n, adv, 40, seed*31+7)
+			if err := core.CheckFTSS(h, sigma, 1); err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+// TestTheorem3SendOmissionOnly and the receive-omission variant pin the
+// individual failure classes.
+func TestTheorem3SendOmissionOnly(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		adv := failure.NewRandom(failure.SendOmission, proc.NewSet(0, 1), 0.5, seed, 0)
+		h := runFTSS(4, adv, 30, seed)
+		if err := core.CheckFTSS(h, core.RoundAgreement{}, 1); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+func TestTheorem3ReceiveOmissionOnly(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		adv := failure.NewRandom(failure.ReceiveOmission, proc.NewSet(2, 3), 0.5, seed, 0)
+		h := runFTSS(4, adv, 30, seed)
+		if err := core.CheckFTSS(h, core.RoundAgreement{}, 1); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+func TestTheorem3WithCrashes(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		adv := failure.NewRandom(failure.Crash, proc.NewSet(1, 2), 0, seed, 15)
+		h := runFTSS(5, adv, 30, seed)
+		if err := core.CheckFTSS(h, core.RoundAgreement{}, 1); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
+// TestTheorem3MidRunCorruption re-corrupts all processes mid-run: the
+// protocol must re-stabilize within one round of the next coterie-stable
+// interval. We check the measured stabilization of the final segment.
+func TestTheorem3MidRunCorruption(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		cs, ps := Procs(4)
+		h := history.New(4, proc.NewSet())
+		e := round.MustNewEngine(ps, nil)
+		e.Observe(h)
+		e.Run(5)
+		rng := rand.New(rand.NewSource(seed))
+		for _, c := range cs {
+			c.Corrupt(rng)
+		}
+		e.Run(10)
+
+		// All correct; after the mid-run corruption clocks re-agree at the
+		// start of the second post-corruption round and stay in lockstep.
+		for r := 7; r <= 15; r++ {
+			var ref uint64
+			for i, c := range cs {
+				snap, _ := h.SnapshotAt(r, c.ID())
+				if i == 0 {
+					ref = snap.Clock
+				} else if snap.Clock != ref {
+					t.Fatalf("seed=%d round=%d: clock %d != %d", seed, r, snap.Clock, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestStabilizationExactlyOne measures that one round is not only
+// sufficient (Theorem 3) but generally necessary: with corrupted clocks the
+// system does not agree at round 1.
+func TestStabilizationExactlyOne(t *testing.T) {
+	h := runFTSS(6, nil, 12, 99)
+	m := core.MeasureStabilization(h, core.RoundAgreement{})
+	if m.Rounds != 1 {
+		t.Errorf("measured stabilization = %d, want 1", m.Rounds)
+	}
+}
+
+// TestConvergencePropertyQuick drives random corruption vectors through a
+// failure-free round and checks the one-round agreement property directly.
+func TestConvergencePropertyQuick(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		n := len(raw)
+		cs, ps := Procs(n)
+		for i, v := range raw {
+			cs[i].CorruptTo(uint64(v))
+		}
+		e := round.MustNewEngine(ps, nil)
+		e.Step()
+		want := cs[0].Clock()
+		for _, c := range cs {
+			if c.Clock() != want {
+				return false
+			}
+		}
+		// The agreed clock is max+1 of the corrupted inputs.
+		var max uint64
+		for _, v := range raw {
+			if uint64(v) > max {
+				max = uint64(v)
+			}
+		}
+		return want == max+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClockMonotoneProperty: under any failures, an alive process's clock
+// strictly increases each round (max includes self, then +1).
+func TestClockMonotoneProperty(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		adv := failure.NewRandom(failure.GeneralOmission, proc.NewSet(0, 1, 2), 0.6, seed, 0)
+		cs, ps := Procs(5)
+		rng := rand.New(rand.NewSource(seed))
+		for _, c := range cs {
+			c.Corrupt(rng)
+		}
+		e := round.MustNewEngine(ps, adv)
+		prev := make([]uint64, 5)
+		for i, c := range cs {
+			prev[i] = c.Clock()
+		}
+		for r := 0; r < 20; r++ {
+			e.Step()
+			for i, c := range cs {
+				if c.Clock() <= prev[i] {
+					t.Fatalf("seed=%d: clock of %v not increasing: %d → %d",
+						seed, c.ID(), prev[i], c.Clock())
+				}
+				prev[i] = c.Clock()
+			}
+		}
+	}
+}
+
+func TestUniformHaltsWhenBehind(t *testing.T) {
+	us := []*Uniform{NewUniformAt(0, 5), NewUniformAt(1, 50)}
+	ps := []round.Process{us[0], us[1]}
+	e := round.MustNewEngine(ps, nil)
+	e.Step()
+	if !us[0].Halted() {
+		t.Error("behind process must halt (self-check)")
+	}
+	if us[1].Halted() {
+		t.Error("ahead process must not halt")
+	}
+	if us[1].Clock() != 51 {
+		t.Errorf("ahead clock = %d, want 51", us[1].Clock())
+	}
+}
+
+func TestUniformHaltedStaysSilent(t *testing.T) {
+	us := []*Uniform{NewUniformAt(0, 5), NewUniformAt(1, 50)}
+	ps := []round.Process{us[0], us[1]}
+	e := round.MustNewEngine(ps, nil)
+	e.Run(3)
+	if us[0].StartRound() != nil {
+		t.Error("halted process must broadcast nothing")
+	}
+	if got := us[0].Clock(); got != 5 {
+		t.Errorf("halted clock moved: %d", got)
+	}
+}
+
+func TestUniformCleanRunNeverHalts(t *testing.T) {
+	us := []*Uniform{NewUniform(0), NewUniform(1), NewUniform(2)}
+	ps := []round.Process{us[0], us[1], us[2]}
+	e := round.MustNewEngine(ps, nil)
+	e.Run(10)
+	for _, u := range us {
+		if u.Halted() {
+			t.Errorf("%v halted on a clean run", u.ID())
+		}
+		if u.Clock() != 11 {
+			t.Errorf("%v clock = %d, want 11", u.ID(), u.Clock())
+		}
+	}
+}
+
+// TestTheorem2TwoScenarios is the executable version of the Theorem 2
+// argument: the same self-checking discipline that satisfies uniformity
+// when the laggard is faulty necessarily halts a correct process in the
+// indistinguishable corrupted-start execution, violating agreement forever.
+func TestTheorem2TwoScenarios(t *testing.T) {
+	// Scenario 1: p0 faulty and silent, clocks differ. p0 never halts nor
+	// agrees — uniformity needs p0 to halt, which it can only do upon
+	// evidence it never receives. (The protocol is "honest": it halts on
+	// evidence. A protocol halting WITHOUT evidence moves the violation to
+	// scenario 2.)
+	us := []*Uniform{NewUniformAt(0, 3), NewUniformAt(1, 900)}
+	adv := failure.NewScripted(0).SilenceBetween(0, 1, 1, 50)
+	h := history.New(2, adv.Faulty())
+	e := round.MustNewEngine(ps2(us), adv)
+	e.Observe(h)
+	e.Run(10)
+	if err := core.CheckFTSS(h, core.And{core.RoundAgreement{}, core.Uniformity{}}, 1); err == nil {
+		t.Error("scenario 1: uniform protocol unexpectedly satisfied Σ with uniformity")
+	}
+
+	// Scenario 2: both correct, corrupted clocks. The self-check halts the
+	// laggard p0 — a correct process — and agreement is violated for the
+	// rest of time even though the coterie is stable.
+	us = []*Uniform{NewUniformAt(0, 3), NewUniformAt(1, 900)}
+	h = history.New(2, proc.NewSet())
+	e = round.MustNewEngine(ps2(us), nil)
+	e.Observe(h)
+	e.Run(10)
+	if !us[0].Halted() {
+		t.Fatal("scenario 2: correct p0 should have self-halted")
+	}
+	if err := core.CheckFTSS(h, core.RoundAgreement{}, 1); err == nil {
+		t.Error("scenario 2: agreement should be violated forever after the halt")
+	}
+}
+
+func ps2(us []*Uniform) []round.Process {
+	ps := make([]round.Process, len(us))
+	for i, u := range us {
+		ps[i] = u
+	}
+	return ps
+}
+
+// TestTheorem3StaggeredRevelations stresses piece-wise stability with as
+// many de-stabilizing events as the adversary can manufacture: several
+// hidden faulty processes reveal themselves one by one, each revelation
+// falsifying agreement for exactly the one round the definition excuses.
+func TestTheorem3StaggeredRevelations(t *testing.T) {
+	reveals := map[proc.ID]uint64{1: 6, 3: 12, 4: 20}
+	adv := failure.NewStaggeredReveal(reveals)
+	cs, ps := Procs(5)
+	// Hidden processes carry wildly different corrupted clocks.
+	cs[0].CorruptTo(10)
+	cs[1].CorruptTo(1_000_000)
+	cs[2].CorruptTo(11)
+	cs[3].CorruptTo(50_000_000)
+	cs[4].CorruptTo(77)
+	h := history.New(5, adv.Faulty())
+	e := round.MustNewEngine(ps, adv)
+	e.Observe(h)
+	e.Run(30)
+
+	if err := core.CheckFTSS(h, core.RoundAgreement{}, 1); err != nil {
+		t.Fatalf("staggered revelations: %v", err)
+	}
+	// Each late reveal with a dominating clock is a distinct destabilizing
+	// event (the first event is the initial communication at round 1; p4's
+	// clock 77 is below the running max by its reveal, so its entry rides
+	// on whether it reaches everyone before being relayed — at least the
+	// reveals of p1 and p3 must register).
+	events := h.DestabilizingRounds()
+	if len(events) < 3 {
+		t.Errorf("expected ≥3 destabilizing events, got %v", events)
+	}
+}
+
+// TestTheorem3CombinedAdversary layers staggered reveals with random
+// omission noise.
+func TestTheorem3CombinedAdversary(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		adv := &failure.Combined{Layers: []failure.Adversary{
+			failure.NewStaggeredReveal(map[proc.ID]uint64{1: 8}),
+			failure.NewRandom(failure.GeneralOmission, proc.NewSet(2), 0.4, seed, 0),
+		}}
+		h := runFTSS(5, adv, 30, seed*7)
+		if err := core.CheckFTSS(h, core.RoundAgreement{}, 1); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package live runs asynchronous protocols (the async.Proc interface) on
+// real goroutines and channels instead of the deterministic discrete-event
+// engine. One goroutine per process serializes its callbacks; messages
+// travel through unbounded mailboxes, optionally delayed by a seeded
+// random duration, so links stay reliable no matter how bursty a protocol
+// is (a bounded channel could deadlock two processes sending to each
+// other).
+//
+// The runtime trades the simulator's replayability for actual concurrency:
+// it is the deployment-shaped backend, while sim/async remains the
+// verification backend. The conformance tests in this package run the §3
+// stabilizing consensus and the Figure 4 detector transform on both and
+// check the same eventual properties.
+//
+// Because process state is owned by its goroutine, external inspection
+// must go through Inspect, which executes a closure on the process's own
+// goroutine.
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ftss/internal/proc"
+	"ftss/internal/sim/async"
+)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Seed drives message-delay randomness.
+	Seed int64
+	// TickEvery is the interval between a process's OnTick calls.
+	// Default 1ms.
+	TickEvery time.Duration
+	// MinDelay and MaxDelay bound the artificial message delay.
+	// Both zero means immediate handoff.
+	MinDelay, MaxDelay time.Duration
+	// CrashAfter schedules crash failures relative to Start.
+	CrashAfter map[proc.ID]time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.TickEvery <= 0 {
+		c.TickEvery = time.Millisecond
+	}
+	if c.MaxDelay < c.MinDelay {
+		c.MaxDelay = c.MinDelay
+	}
+	return c
+}
+
+type item struct {
+	from    proc.ID
+	payload any
+	fn      func() // control item: runs on the process goroutine
+}
+
+// mailbox is an unbounded MPSC queue with channel-based wakeup.
+type mailbox struct {
+	mu     sync.Mutex
+	items  []item
+	closed bool
+	notify chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{notify: make(chan struct{}, 1)}
+}
+
+func (m *mailbox) put(it item) bool {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return false
+	}
+	m.items = append(m.items, it)
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+func (m *mailbox) drain() []item {
+	m.mu.Lock()
+	items := m.items
+	m.items = nil
+	m.mu.Unlock()
+	return items
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.items = nil
+	m.mu.Unlock()
+}
+
+// Runtime hosts one goroutine per process.
+type Runtime struct {
+	cfg   Config
+	procs map[proc.ID]*worker
+	start time.Time
+
+	mu      sync.Mutex
+	crashed proc.Set
+	started bool
+	stopped bool
+
+	wg     sync.WaitGroup
+	timers []*time.Timer
+}
+
+type worker struct {
+	rt   *Runtime
+	p    async.Proc
+	box  *mailbox
+	stop chan struct{}
+	rng  *rand.Rand
+}
+
+// New builds a runtime over the processes. IDs must be unique (density is
+// not required here; routing is by map).
+func New(procs []async.Proc, cfg Config) (*Runtime, error) {
+	cfg = cfg.withDefaults()
+	rt := &Runtime{
+		cfg:     cfg,
+		procs:   make(map[proc.ID]*worker, len(procs)),
+		crashed: proc.NewSet(),
+	}
+	for i, p := range procs {
+		id := p.ID()
+		if _, dup := rt.procs[id]; dup {
+			return nil, fmt.Errorf("duplicate process id %v", id)
+		}
+		rt.procs[id] = &worker{
+			rt:   rt,
+			p:    p,
+			box:  newMailbox(),
+			stop: make(chan struct{}),
+			rng:  rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+		}
+	}
+	return rt, nil
+}
+
+// MustNew panics on configuration errors.
+func MustNew(procs []async.Proc, cfg Config) *Runtime {
+	rt, err := New(procs, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Start launches every process goroutine and arms the crash schedule.
+// It may be called once.
+func (rt *Runtime) Start() {
+	rt.mu.Lock()
+	if rt.started {
+		rt.mu.Unlock()
+		return
+	}
+	rt.started = true
+	rt.start = time.Now()
+	for id, w := range rt.procs {
+		if d, dies := rt.cfg.CrashAfter[id]; dies {
+			w := w
+			id := id
+			rt.timers = append(rt.timers, time.AfterFunc(d, func() {
+				rt.mu.Lock()
+				if !rt.stopped {
+					rt.crashed.Add(id)
+				}
+				rt.mu.Unlock()
+				w.box.close()
+				close(w.stop)
+			}))
+		}
+	}
+	rt.mu.Unlock()
+
+	for _, w := range rt.procs {
+		rt.wg.Add(1)
+		go w.run()
+	}
+}
+
+// Stop shuts down every goroutine and waits for them to exit. Safe to call
+// once after Start.
+func (rt *Runtime) Stop() {
+	rt.mu.Lock()
+	if rt.stopped || !rt.started {
+		rt.stopped = true
+		rt.mu.Unlock()
+		return
+	}
+	rt.stopped = true
+	timers := rt.timers
+	rt.mu.Unlock()
+
+	for _, t := range timers {
+		t.Stop()
+	}
+	for id, w := range rt.procs {
+		rt.mu.Lock()
+		dead := rt.crashed.Has(id)
+		rt.mu.Unlock()
+		if !dead {
+			w.box.close()
+			close(w.stop)
+		}
+	}
+	rt.wg.Wait()
+}
+
+// Crashed returns the processes whose crash timers have fired.
+func (rt *Runtime) Crashed() proc.Set {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.crashed.Clone()
+}
+
+// Correct returns the processes with no scheduled crash.
+func (rt *Runtime) Correct() proc.Set {
+	c := proc.NewSet()
+	for id := range rt.procs {
+		if _, dies := rt.cfg.CrashAfter[id]; !dies {
+			c.Add(id)
+		}
+	}
+	return c
+}
+
+// Inspect runs fn on p's own goroutine (so fn may safely read the
+// process's state) and blocks until it has run. It returns false if the
+// process is crashed or the runtime is stopped.
+func (rt *Runtime) Inspect(id proc.ID, fn func(p async.Proc)) bool {
+	w, ok := rt.procs[id]
+	if !ok {
+		return false
+	}
+	done := make(chan struct{})
+	if !w.box.put(item{fn: func() {
+		fn(w.p)
+		close(done)
+	}}) {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-w.stop:
+		return false
+	}
+}
+
+func (w *worker) run() {
+	defer w.rt.wg.Done()
+	ticker := time.NewTicker(w.rt.cfg.TickEvery)
+	defer ticker.Stop()
+	ctx := &liveCtx{w: w}
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-w.box.notify:
+			for _, it := range w.box.drain() {
+				if it.fn != nil {
+					it.fn()
+					continue
+				}
+				w.p.OnMessage(ctx, it.from, it.payload)
+			}
+		case <-ticker.C:
+			w.p.OnTick(ctx)
+		}
+	}
+}
+
+type liveCtx struct {
+	w *worker
+}
+
+// Now implements async.Context: virtual time is wall time since Start, in
+// the engine's microsecond unit.
+func (c *liveCtx) Now() async.Time {
+	return async.Time(time.Since(c.w.rt.start) / time.Microsecond)
+}
+
+// Rand implements async.Context with the process-local source.
+func (c *liveCtx) Rand() *rand.Rand { return c.w.rng }
+
+// Send implements async.Context.
+func (c *liveCtx) Send(to proc.ID, payload any) {
+	target, ok := c.w.rt.procs[to]
+	if !ok {
+		return
+	}
+	it := item{from: c.w.p.ID(), payload: payload}
+	delay := c.w.rt.cfg.MinDelay
+	if span := c.w.rt.cfg.MaxDelay - c.w.rt.cfg.MinDelay; span > 0 {
+		delay += time.Duration(c.w.rng.Int63n(int64(span) + 1))
+	}
+	if delay <= 0 {
+		target.box.put(it)
+		return
+	}
+	time.AfterFunc(delay, func() { target.box.put(it) })
+}
+
+// Broadcast implements async.Context.
+func (c *liveCtx) Broadcast(payload any) {
+	for id := range c.w.rt.procs {
+		c.Send(id, payload)
+	}
+}
+
+var _ async.Context = (*liveCtx)(nil)

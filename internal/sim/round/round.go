@@ -1,0 +1,291 @@
+// Package round implements the paper's synchronous system model (§2): a
+// perfectly synchronous, completely-connected network in which computation
+// proceeds in rounds numbered from 1 by an external observer. In each round
+// every non-crashed process broadcasts one message, then processes
+// everything it received.
+//
+// The engine enforces the model's ground rules:
+//
+//   - Message delivery time is constant: a round-r broadcast is delivered at
+//     the end of round r or never.
+//   - Only designated-faulty processes lose messages or crash; the failure
+//     schedule comes from a failure.Adversary.
+//   - Every process, correct or faulty, receives its own broadcast
+//     (footnote 1 of the paper).
+//   - Crashes happen at round boundaries: a process crashed at round r takes
+//     no step in round r or later. (A mid-round crash is expressible as
+//     send-omission in the last round followed by a crash.)
+//
+// Systemic failures are injected with Engine.Corrupt, which strikes process
+// state between rounds; the protocol code is never altered, matching the
+// paper's definition of a self-stabilization failure.
+package round
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ftss/internal/failure"
+	"ftss/internal/proc"
+)
+
+// Message is one broadcast payload as received by a particular process.
+type Message struct {
+	From    proc.ID
+	Payload any
+}
+
+// Snapshot captures the externally meaningful part of a process state at
+// the start of a round: the distinguished round variable c_p, the rest of
+// the state s_p (protocol-specific, for the trace), and any output the
+// process has produced so far.
+type Snapshot struct {
+	// Clock is the value of the distinguished round variable c_p. Because
+	// of systemic failures it need not equal the actual round number.
+	Clock uint64
+	// State is a protocol-specific, immutable description of s_p.
+	State any
+	// Decided is the most recent output the process has produced (nil if
+	// none). For repeated problems this is the latest iteration's output.
+	Decided any
+	// Halted reports whether the process has halted itself (relevant only
+	// to uniform protocols, §2.2).
+	Halted bool
+}
+
+// Process is a round-based protocol instance driven by the Engine.
+//
+// The actual round number is deliberately absent from this interface: the
+// paper's processes cannot observe it, only their own (corruptible) round
+// variable.
+type Process interface {
+	// ID returns the process identifier.
+	ID() proc.ID
+	// StartRound returns the payload the process broadcasts this round,
+	// or nil to stay silent.
+	StartRound() any
+	// EndRound delivers the messages the process received this round,
+	// sorted by sender. The process updates its state.
+	EndRound(received []Message)
+	// Snapshot reports the process state for the execution trace. It must
+	// not alias mutable internals.
+	Snapshot() Snapshot
+}
+
+// Observation records everything that happened in one actual round: the
+// paper's "round history" (state at the start of the round plus the actions
+// taken during it).
+type Observation struct {
+	// Round is the actual round number, starting at 1.
+	Round uint64
+	// Alive holds the processes that had not crashed at the start of the
+	// round.
+	Alive proc.Set
+	// Start maps each alive process to its state at the start of the round.
+	Start map[proc.ID]Snapshot
+	// Sent maps each alive process to the payload it broadcast (absent if
+	// it stayed silent).
+	Sent map[proc.ID]any
+	// Delivered maps each alive process to the messages it received.
+	Delivered map[proc.ID][]Message
+	// End maps each alive process to its state at the end of the round
+	// (after absorbing deliveries). For a process alive in round r+1 this
+	// equals its Start snapshot there; recording it here makes the final
+	// recorded round's end state, which the Rate condition of Assumption 1
+	// references, available to checkers.
+	End map[proc.ID]Snapshot
+	// Deviated holds the processes that deviated from their protocol in
+	// this round (an actual message loss, or a crash taking effect).
+	Deviated proc.Set
+}
+
+// Observer consumes per-round observations, typically to build a history
+// for coterie computation and problem checking.
+type Observer interface {
+	ObserveRound(o Observation)
+}
+
+// Engine executes a synchronous round-based system.
+type Engine struct {
+	procs    []Process
+	byID     map[proc.ID]Process
+	adv      failure.Adversary
+	obs      []Observer
+	round    uint64 // next round to execute
+	crashed  proc.Set
+	designed proc.Set // designated faulty set, cached
+}
+
+// NewEngine builds an engine over the given processes and adversary.
+// Process IDs must be dense 0..n−1 and unique.
+func NewEngine(procs []Process, adv failure.Adversary) (*Engine, error) {
+	if adv == nil {
+		adv = failure.None{}
+	}
+	byID := make(map[proc.ID]Process, len(procs))
+	for _, p := range procs {
+		id := p.ID()
+		if int(id) < 0 || int(id) >= len(procs) {
+			return nil, fmt.Errorf("process id %v out of range [0,%d)", id, len(procs))
+		}
+		if _, dup := byID[id]; dup {
+			return nil, fmt.Errorf("duplicate process id %v", id)
+		}
+		byID[id] = p
+	}
+	return &Engine{
+		procs:    procs,
+		byID:     byID,
+		adv:      adv,
+		round:    1,
+		crashed:  proc.NewSet(),
+		designed: adv.Faulty().Clone(),
+	}, nil
+}
+
+// MustNewEngine is NewEngine that panics on configuration errors; intended
+// for tests and examples where the configuration is static.
+func MustNewEngine(procs []Process, adv failure.Adversary) *Engine {
+	e, err := NewEngine(procs, adv)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Observe registers an observer that will see every subsequent round.
+func (e *Engine) Observe(o Observer) { e.obs = append(e.obs, o) }
+
+// N returns the number of processes in the system.
+func (e *Engine) N() int { return len(e.procs) }
+
+// Round returns the next actual round number to be executed.
+func (e *Engine) Round() uint64 { return e.round }
+
+// Crashed returns the set of processes crashed at the start of the next
+// round.
+func (e *Engine) Crashed() proc.Set { return e.crashed.Clone() }
+
+// Process returns the process with the given ID, or nil.
+func (e *Engine) Process(id proc.ID) Process { return e.byID[id] }
+
+// Corrupt injects a systemic failure into every process in ids that
+// implements failure.Corruptible, using the seeded rng. It returns the
+// number of processes struck. Call it between rounds.
+func (e *Engine) Corrupt(rng *rand.Rand, ids proc.Set) int {
+	n := 0
+	for _, id := range ids.Sorted() {
+		p := e.byID[id]
+		if p == nil {
+			continue
+		}
+		if c, ok := p.(failure.Corruptible); ok {
+			c.Corrupt(rng)
+			n++
+		}
+	}
+	return n
+}
+
+// CorruptEverything strikes all processes.
+func (e *Engine) CorruptEverything(rng *rand.Rand) int {
+	return e.Corrupt(rng, proc.Universe(len(e.procs)))
+}
+
+// Step executes one round: crashes take effect, alive processes broadcast,
+// the adversary filters deliveries, alive processes absorb what arrived,
+// and observers are notified.
+func (e *Engine) Step() {
+	r := e.round
+	deviated := proc.NewSet()
+
+	// Crashes scheduled for this round take effect before any step.
+	for _, p := range e.procs {
+		id := p.ID()
+		if e.crashed.Has(id) {
+			continue
+		}
+		if cr := e.adv.CrashRound(id); cr != 0 && r >= cr && e.designed.Has(id) {
+			e.crashed.Add(id)
+			deviated.Add(id)
+		}
+	}
+
+	alive := proc.NewSet()
+	for _, p := range e.procs {
+		if !e.crashed.Has(p.ID()) {
+			alive.Add(p.ID())
+		}
+	}
+
+	start := make(map[proc.ID]Snapshot, alive.Len())
+	sent := make(map[proc.ID]any, alive.Len())
+	for _, p := range e.procs {
+		id := p.ID()
+		if !alive.Has(id) {
+			continue
+		}
+		start[id] = p.Snapshot()
+		if payload := p.StartRound(); payload != nil {
+			sent[id] = payload
+		}
+	}
+
+	delivered := make(map[proc.ID][]Message, alive.Len())
+	for _, to := range alive.Sorted() {
+		var msgs []Message
+		for _, from := range alive.Sorted() {
+			payload, ok := sent[from]
+			if !ok {
+				continue
+			}
+			if from != to { // self-delivery is unconditional (footnote 1)
+				if e.designed.Has(from) && e.adv.DropSend(r, from, to) {
+					deviated.Add(from)
+					continue
+				}
+				if e.designed.Has(to) && e.adv.DropRecv(r, from, to) {
+					deviated.Add(to)
+					continue
+				}
+			}
+			msgs = append(msgs, Message{From: from, Payload: payload})
+		}
+		sort.Slice(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+		delivered[to] = msgs
+	}
+
+	end := make(map[proc.ID]Snapshot, alive.Len())
+	for _, p := range e.procs {
+		id := p.ID()
+		if alive.Has(id) {
+			p.EndRound(delivered[id])
+			end[id] = p.Snapshot()
+		}
+	}
+
+	if len(e.obs) > 0 {
+		o := Observation{
+			Round:     r,
+			Alive:     alive,
+			Start:     start,
+			Sent:      sent,
+			Delivered: delivered,
+			End:       end,
+			Deviated:  deviated,
+		}
+		for _, ob := range e.obs {
+			ob.ObserveRound(o)
+		}
+	}
+
+	e.round++
+}
+
+// Run executes the next `rounds` rounds.
+func (e *Engine) Run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		e.Step()
+	}
+}

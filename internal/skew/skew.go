@@ -1,0 +1,257 @@
+// Package skew demonstrates the adaptation the paper asserts in §3's
+// opening sentence: "Both the protocol for round agreement and the
+// 'compiler' for perfectly synchronous systems readily adapt to
+// synchronous, but not perfectly synchronized systems."
+//
+// The imperfect synchrony is modeled as bounded delivery lag: a round-r
+// broadcast reaches each receiver at the end of round r or round r+1, the
+// choice made per (round, sender, receiver) by a timing schedule that is
+// part of the environment, not a process failure — correct processes'
+// messages may be late too.
+//
+// Two adaptations are implemented and verified:
+//
+//   - Round agreement (Figure 1) needs NO textual change: c := max(R)+1
+//     ignores stale values, and a late-but-high clock simply takes one
+//     extra round to propagate. Stabilization degrades from 1 round to
+//     1 + lag = 2 rounds (tests pin both the sufficiency and the
+//     necessity).
+//
+//   - The compiler (Figure 3) adapts by double-stepping: each protocol
+//     round of Π spans a window of two engine rounds, so that every
+//     window-opening broadcast arrives within the window regardless of
+//     lag; the suspect rule accepts round tags from the whole window
+//     {c−1, c} and is evaluated per window rather than per engine round.
+//     Stabilization doubles along with the rounds.
+package skew
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ftss/internal/failure"
+	"ftss/internal/proc"
+	"ftss/internal/sim/round"
+)
+
+// LagSchedule decides whether the round-r message from `from` to `to` is
+// delivered one round late. Implementations must be deterministic.
+type LagSchedule interface {
+	Late(r uint64, from, to proc.ID) bool
+}
+
+// NoLag delivers everything on time (the engine then behaves exactly like
+// sim/round).
+type NoLag struct{}
+
+// Late implements LagSchedule.
+func (NoLag) Late(uint64, proc.ID, proc.ID) bool { return false }
+
+// RandomLag delays each message independently with probability P, driven
+// by a seed.
+type RandomLag struct {
+	P    float64
+	Seed int64
+}
+
+// Late implements LagSchedule.
+func (l RandomLag) Late(r uint64, from, to proc.ID) bool {
+	x := uint64(l.Seed) ^ 0x51ab
+	x ^= r * 0x9e3779b97f4a7c15
+	x ^= uint64(int64(from)+1) * 0xbf58476d1ce4e5b9
+	x ^= uint64(int64(to)+1) * 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return float64(x>>11)/float64(1<<53) < l.P
+}
+
+// Engine is a synchronous round engine with bounded delivery lag. It
+// mirrors sim/round.Engine (same Process and Observer interfaces, so the
+// history/coterie machinery applies unchanged — causality edges land at
+// the actual delivery round) and adds the lag schedule.
+//
+// Self-delivery is never late: a process observes its own broadcast
+// immediately (the paper's footnote 1 plus the fact that a process cannot
+// be skewed against itself).
+type Engine struct {
+	procs    []round.Process
+	byID     map[proc.ID]round.Process
+	adv      failure.Adversary
+	lag      LagSchedule
+	obs      []round.Observer
+	round    uint64
+	crashed  proc.Set
+	designed proc.Set
+	// pending holds messages scheduled for delivery at the end of the
+	// NEXT round, per receiver.
+	pending map[proc.ID][]round.Message
+}
+
+// NewEngine builds a lagged engine. IDs must be dense 0..n−1 and unique.
+func NewEngine(procs []round.Process, adv failure.Adversary, lag LagSchedule) (*Engine, error) {
+	if adv == nil {
+		adv = failure.None{}
+	}
+	if lag == nil {
+		lag = NoLag{}
+	}
+	byID := make(map[proc.ID]round.Process, len(procs))
+	for _, p := range procs {
+		id := p.ID()
+		if int(id) < 0 || int(id) >= len(procs) {
+			return nil, fmt.Errorf("process id %v out of range [0,%d)", id, len(procs))
+		}
+		if _, dup := byID[id]; dup {
+			return nil, fmt.Errorf("duplicate process id %v", id)
+		}
+		byID[id] = p
+	}
+	return &Engine{
+		procs:    procs,
+		byID:     byID,
+		adv:      adv,
+		lag:      lag,
+		round:    1,
+		crashed:  proc.NewSet(),
+		designed: adv.Faulty().Clone(),
+		pending:  make(map[proc.ID][]round.Message),
+	}, nil
+}
+
+// MustNewEngine panics on configuration errors.
+func MustNewEngine(procs []round.Process, adv failure.Adversary, lag LagSchedule) *Engine {
+	e, err := NewEngine(procs, adv, lag)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Observe registers an observer for subsequent rounds.
+func (e *Engine) Observe(o round.Observer) { e.obs = append(e.obs, o) }
+
+// Round returns the next actual round number.
+func (e *Engine) Round() uint64 { return e.round }
+
+// Crashed returns the crashed set.
+func (e *Engine) Crashed() proc.Set { return e.crashed.Clone() }
+
+// Corrupt injects systemic failures, as in sim/round.
+func (e *Engine) Corrupt(rng *rand.Rand, ids proc.Set) int {
+	n := 0
+	for _, id := range ids.Sorted() {
+		if c, ok := e.byID[id].(failure.Corruptible); ok {
+			c.Corrupt(rng)
+			n++
+		}
+	}
+	return n
+}
+
+// CorruptEverything strikes all processes.
+func (e *Engine) CorruptEverything(rng *rand.Rand) int {
+	return e.Corrupt(rng, proc.Universe(len(e.procs)))
+}
+
+// Step executes one round with lagged delivery.
+func (e *Engine) Step() {
+	r := e.round
+	deviated := proc.NewSet()
+
+	for _, p := range e.procs {
+		id := p.ID()
+		if e.crashed.Has(id) {
+			continue
+		}
+		if cr := e.adv.CrashRound(id); cr != 0 && r >= cr && e.designed.Has(id) {
+			e.crashed.Add(id)
+			deviated.Add(id)
+		}
+	}
+	alive := proc.NewSet()
+	for _, p := range e.procs {
+		if !e.crashed.Has(p.ID()) {
+			alive.Add(p.ID())
+		}
+	}
+
+	start := make(map[proc.ID]round.Snapshot, alive.Len())
+	sent := make(map[proc.ID]any, alive.Len())
+	for _, p := range e.procs {
+		id := p.ID()
+		if !alive.Has(id) {
+			continue
+		}
+		start[id] = p.Snapshot()
+		if payload := p.StartRound(); payload != nil {
+			sent[id] = payload
+		}
+	}
+
+	// Late messages scheduled by the previous round arrive now.
+	delivered := make(map[proc.ID][]round.Message, alive.Len())
+	for _, to := range alive.Sorted() {
+		delivered[to] = append(delivered[to], e.pending[to]...)
+	}
+	e.pending = make(map[proc.ID][]round.Message)
+
+	for _, to := range alive.Sorted() {
+		for _, from := range alive.Sorted() {
+			payload, ok := sent[from]
+			if !ok {
+				continue
+			}
+			if from != to {
+				if e.designed.Has(from) && e.adv.DropSend(r, from, to) {
+					deviated.Add(from)
+					continue
+				}
+				if e.designed.Has(to) && e.adv.DropRecv(r, from, to) {
+					deviated.Add(to)
+					continue
+				}
+				if e.lag.Late(r, from, to) {
+					e.pending[to] = append(e.pending[to], round.Message{From: from, Payload: payload})
+					continue
+				}
+			}
+			delivered[to] = append(delivered[to], round.Message{From: from, Payload: payload})
+		}
+		msgs := delivered[to]
+		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+	}
+
+	end := make(map[proc.ID]round.Snapshot, alive.Len())
+	for _, p := range e.procs {
+		id := p.ID()
+		if alive.Has(id) {
+			p.EndRound(delivered[id])
+			end[id] = p.Snapshot()
+		}
+	}
+
+	if len(e.obs) > 0 {
+		o := round.Observation{
+			Round:     r,
+			Alive:     alive,
+			Start:     start,
+			Sent:      sent,
+			Delivered: delivered,
+			End:       end,
+			Deviated:  deviated,
+		}
+		for _, ob := range e.obs {
+			ob.ObserveRound(o)
+		}
+	}
+	e.round++
+}
+
+// Run executes the next `rounds` rounds.
+func (e *Engine) Run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		e.Step()
+	}
+}

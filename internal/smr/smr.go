@@ -1,0 +1,400 @@
+// Package smr composes the paper's asynchronous machinery into repeated
+// asynchronous consensus — a self-stabilizing replicated log. The paper's
+// synchronous sections take Repeated Consensus as the canonical
+// non-terminating problem ("a nonterminating protocol for Repeated
+// Consensus constructed by iterating a terminating protocol for a single
+// Consensus", §2); this package is the §3 analogue: slot s of the log is
+// one instance of the stabilizing ◊S-consensus, and the machinery that
+// carries a process from slot to slot is itself built from the paper's
+// self-stabilization toolkit:
+//
+//   - The log is a per-slot write-many decision lattice, gossiped
+//     continuously (the §3 decision-register rule, one register per slot).
+//     All corrupted log entries are just decisions — they merge like any
+//     other, so agreement and progress survive arbitrary corruption, with
+//     validity sacrificed for slots minted by the corruption (exactly the
+//     trade §3 makes for single-shot decisions).
+//
+//   - The slot cursor is DERIVED state: a replica works on the slot after
+//     the largest it has a decision for. A corrupted cursor cannot strand
+//     a replica because the cursor is recomputed from the lattice on
+//     every step.
+//
+//   - Slot instances are the ctcons state machine (re-send, round
+//     adoption, sanitization) with every message wrapped in its slot
+//     number; instance state for any slot other than the current one is
+//     discarded, which is the per-slot version of "abandon all work of
+//     the current phase".
+//
+// The retained log IS the gossip window: every replica keeps and
+// re-announces its most recent GossipWindow decided slots and prunes
+// older ones. Everything retained is therefore continuously reconciled by
+// the lattice gossip — a corrupted entry that disagrees with a peer's is
+// overwritten by the join within one round-trip, and no stale conflict
+// can hide below the window. Applications that need the full log add
+// snapshotting/state transfer on top (out of scope); the correctness
+// predicate is suffix-shaped, like everything else in the paper:
+// eventually, every retained slot is identical at all correct replicas
+// that hold it, and the decided frontier keeps advancing.
+package smr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftss/internal/ctcons"
+	"ftss/internal/detector"
+	"ftss/internal/proc"
+	"ftss/internal/sim/async"
+)
+
+// Value is the command domain of the log.
+type Value = ctcons.Value
+
+// CommandSource supplies replica p's proposal for slot s. Pure function.
+type CommandSource func(p proc.ID, slot uint64) Value
+
+// GossipWindow is how many recent decided slots each replica re-announces
+// per tick.
+const GossipWindow = 8
+
+// MaxCorruptSlot bounds corrupted slot numbers (feasibility bound, as for
+// every counter in this module).
+const MaxCorruptSlot = 1 << 40
+
+// SlotMsg wraps a single-slot consensus message.
+type SlotMsg struct {
+	Slot  uint64
+	Inner any
+}
+
+// SlotDecision is a gossiped log entry.
+type SlotDecision struct {
+	Slot  uint64
+	Round uint64
+	Val   Value
+}
+
+// LogGossip carries a batch of recent decisions.
+type LogGossip struct {
+	Entries []SlotDecision
+}
+
+// entry is a log record: the decision plus the round that minted it (for
+// the per-slot lattice).
+type entry struct {
+	round uint64
+	val   Value
+}
+
+// instance is the per-slot consensus state (a slim ctcons round machine;
+// the detector lives in the replica and is shared across slots).
+type instance struct {
+	round      uint64
+	estimate   Value
+	ts         uint64
+	proposed   bool
+	propVal    Value
+	estimates  map[proc.ID]ctcons.EstimateMsg
+	acks       proc.Set
+	nacks      proc.Set
+	gotPropose *ctcons.ProposeMsg
+}
+
+func newInstance(est Value) *instance {
+	return &instance{
+		estimate:  est,
+		estimates: make(map[proc.ID]ctcons.EstimateMsg),
+		acks:      proc.NewSet(),
+		nacks:     proc.NewSet(),
+	}
+}
+
+// Replica is one member of the replicated log.
+type Replica struct {
+	id   proc.ID
+	n    int
+	cmds CommandSource
+	det  *detector.StrongCore
+	log  map[uint64]entry
+	cur  uint64 // slot the active instance is for (derived; see syncCursor)
+	inst *instance
+}
+
+var _ async.Proc = (*Replica)(nil)
+
+// NewReplicas builds n replicas over a shared ◊W detector.
+func NewReplicas(n int, cmds CommandSource, weak detector.WeakDetector) ([]*Replica, []async.Proc) {
+	rs := make([]*Replica, n)
+	aps := make([]async.Proc, n)
+	for i := 0; i < n; i++ {
+		rs[i] = &Replica{
+			id:   proc.ID(i),
+			n:    n,
+			cmds: cmds,
+			det:  detector.NewStrongCore(proc.ID(i), n, weak),
+			log:  make(map[uint64]entry),
+		}
+		rs[i].syncCursor()
+		aps[i] = rs[i]
+	}
+	return rs, aps
+}
+
+// ID implements async.Proc.
+func (r *Replica) ID() proc.ID { return r.id }
+
+// CurrentSlot returns the slot the replica is working on.
+func (r *Replica) CurrentSlot() uint64 { return r.cur }
+
+// Get returns the decided command for a slot.
+func (r *Replica) Get(slot uint64) (Value, bool) {
+	e, ok := r.log[slot]
+	return e.val, ok
+}
+
+// Frontier returns the largest decided slot and whether any slot is
+// decided.
+func (r *Replica) Frontier() (uint64, bool) {
+	var max uint64
+	found := false
+	for s := range r.log {
+		if !found || s > max {
+			max, found = s, true
+		}
+	}
+	return max, found
+}
+
+// LogLen returns the number of decided slots held.
+func (r *Replica) LogLen() int { return len(r.log) }
+
+// Suspects implements detector.SuspectSource.
+func (r *Replica) Suspects() proc.Set { return r.det.Suspects() }
+
+func (r *Replica) majority() int { return r.n/2 + 1 }
+
+func (r *Replica) coord(round uint64) proc.ID { return proc.ID(round % uint64(r.n)) }
+
+// syncCursor recomputes the working slot from the log lattice and
+// (re)creates the instance when the slot changed. The cursor is never
+// trusted as stored state — this is what makes its corruption harmless.
+func (r *Replica) syncCursor() {
+	want := uint64(0)
+	if f, ok := r.Frontier(); ok {
+		want = f + 1
+	}
+	if r.inst == nil || r.cur != want {
+		r.cur = want
+		r.inst = newInstance(r.cmds(r.id, want))
+	}
+	// Prune below the gossip window: retained ⟺ reconciled.
+	if want > GossipWindow {
+		for s := range r.log {
+			if s < want-GossipWindow {
+				delete(r.log, s)
+			}
+		}
+	}
+}
+
+// adopt merges a decision into the log lattice (higher round wins, then
+// higher value).
+func (r *Replica) adopt(d SlotDecision) {
+	e, ok := r.log[d.Slot]
+	if !ok || d.Round > e.round || (d.Round == e.round && d.Val > e.val) {
+		r.log[d.Slot] = entry{round: d.Round, val: d.Val}
+	}
+}
+
+// OnTick implements async.Proc.
+func (r *Replica) OnTick(ctx async.Context) {
+	r.det.OnTick(ctx)
+	r.syncCursor()
+
+	// Gossip the most recent decided slots.
+	if f, ok := r.Frontier(); ok {
+		var entries []SlotDecision
+		lo := uint64(0)
+		if f+1 > GossipWindow {
+			lo = f + 1 - GossipWindow
+		}
+		for s := lo; s <= f; s++ {
+			if e, ok := r.log[s]; ok {
+				entries = append(entries, SlotDecision{Slot: s, Round: e.round, Val: e.val})
+			}
+		}
+		if len(entries) > 0 {
+			ctx.Broadcast(LogGossip{Entries: entries})
+		}
+	}
+
+	// Drive the current slot's instance (ctcons OnTick, slot-wrapped).
+	in := r.inst
+	// Sanitize (mechanism 3).
+	if in.ts > in.round {
+		in.ts = in.round
+	}
+	c := r.coord(in.round)
+
+	ctx.Broadcast(SlotMsg{Slot: r.cur, Inner: ctcons.RoundMsg{Round: in.round}})
+	ctx.Send(c, SlotMsg{Slot: r.cur, Inner: ctcons.EstimateMsg{Round: in.round, Val: in.estimate, TS: in.ts}})
+
+	if c != r.id && r.det.Suspects().Has(c) {
+		ctx.Send(c, SlotMsg{Slot: r.cur, Inner: ctcons.NackMsg{Round: in.round}})
+		r.advance(in.round + 1)
+		return
+	}
+	if in.gotPropose != nil && in.gotPropose.Round == in.round {
+		in.estimate = in.gotPropose.Val
+		in.ts = in.round
+		ctx.Send(c, SlotMsg{Slot: r.cur, Inner: ctcons.AckMsg{Round: in.round}})
+	}
+	if c == r.id {
+		if !in.proposed && len(in.estimates) >= r.majority() {
+			in.propVal = pick(in.estimates)
+			in.proposed = true
+		}
+		if in.proposed {
+			ctx.Broadcast(SlotMsg{Slot: r.cur, Inner: ctcons.ProposeMsg{Round: in.round, Val: in.propVal}})
+		}
+		if in.proposed && in.acks.Len() >= r.majority() {
+			r.adopt(SlotDecision{Slot: r.cur, Round: in.round, Val: in.propVal})
+			r.syncCursor()
+			return
+		}
+		if in.proposed && in.nacks.Len() > 0 && in.acks.Len()+in.nacks.Len() >= r.majority() {
+			r.advance(in.round + 1)
+		}
+	}
+}
+
+// advance abandons the instance's current round.
+func (r *Replica) advance(round uint64) {
+	in := r.inst
+	in.round = round
+	in.proposed = false
+	in.estimates = make(map[proc.ID]ctcons.EstimateMsg)
+	in.acks = proc.NewSet()
+	in.nacks = proc.NewSet()
+	in.gotPropose = nil
+}
+
+// OnMessage implements async.Proc.
+func (r *Replica) OnMessage(ctx async.Context, from proc.ID, payload any) {
+	if r.det.OnMessage(ctx, from, payload) {
+		return
+	}
+	switch m := payload.(type) {
+	case LogGossip:
+		for _, d := range m.Entries {
+			r.adopt(d)
+		}
+		r.syncCursor()
+	case SlotMsg:
+		if m.Slot != r.cur {
+			// A slot we've already decided: answer with its decision so
+			// laggards catch up even outside the gossip window.
+			if e, ok := r.log[m.Slot]; ok {
+				ctx.Send(from, LogGossip{Entries: []SlotDecision{
+					{Slot: m.Slot, Round: e.round, Val: e.val},
+				}})
+			}
+			return
+		}
+		r.onSlotMessage(from, m.Inner)
+	}
+}
+
+func (r *Replica) onSlotMessage(from proc.ID, inner any) {
+	in := r.inst
+	switch m := inner.(type) {
+	case ctcons.RoundMsg:
+		if m.Round > in.round {
+			r.advance(m.Round)
+		}
+	case ctcons.EstimateMsg:
+		if m.Round > in.round {
+			r.advance(m.Round)
+		}
+		if m.Round == in.round && r.coord(in.round) == r.id {
+			e := m
+			if e.TS > e.Round {
+				e.TS = e.Round
+			}
+			in.estimates[from] = e
+		}
+	case ctcons.ProposeMsg:
+		if m.Round > in.round {
+			r.advance(m.Round)
+		}
+		if m.Round == in.round && from == r.coord(in.round) {
+			prop := m
+			in.gotPropose = &prop
+		}
+	case ctcons.AckMsg:
+		if m.Round == in.round && r.coord(in.round) == r.id {
+			in.acks.Add(from)
+		}
+	case ctcons.NackMsg:
+		if m.Round > in.round {
+			r.advance(m.Round)
+		}
+		if m.Round == in.round && r.coord(in.round) == r.id {
+			in.nacks.Add(from)
+		}
+	}
+}
+
+// Corrupt implements failure.Corruptible: the detector, the instance, the
+// log (a few poisoned entries), and the cursor (which syncCursor will
+// immediately override — kept here to document that it is derived).
+func (r *Replica) Corrupt(rng *rand.Rand) {
+	r.det.Corrupt(rng)
+	r.cur = uint64(rng.Int63n(MaxCorruptSlot))
+	r.inst = newInstance(Value(rng.Int63n(1 << 20)))
+	r.inst.round = uint64(rng.Int63n(MaxCorruptSlot))
+	r.inst.ts = uint64(rng.Int63n(MaxCorruptSlot))
+	r.inst.proposed = rng.Intn(2) == 0
+	r.inst.propVal = Value(rng.Int63n(1 << 20))
+	// Poison a few log entries, including possibly a far-future slot.
+	for i := 0; i < 3; i++ {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		slot := uint64(rng.Int63n(12))
+		if rng.Intn(4) == 0 {
+			slot = uint64(rng.Int63n(1 << 20)) // far-future mint
+		}
+		r.log[slot] = entry{
+			round: uint64(rng.Int63n(1 << 20)),
+			val:   Value(rng.Int63n(1 << 20)),
+		}
+	}
+}
+
+func pick(ests map[proc.ID]ctcons.EstimateMsg) Value {
+	best := proc.None
+	var bestTS uint64
+	ids := make([]proc.ID, 0, len(ests))
+	for q := range ests {
+		ids = append(ids, q)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, q := range ids {
+		e := ests[q]
+		if best == proc.None || e.TS > bestTS {
+			best, bestTS = q, e.TS
+		}
+	}
+	return ests[best].Val
+}
+
+// String aids debugging.
+func (r *Replica) String() string {
+	return fmt.Sprintf("replica[%v slot=%d round=%d log=%d]", r.id, r.cur, r.inst.round, len(r.log))
+}

@@ -1,0 +1,113 @@
+package superimpose
+
+import (
+	"math/rand"
+
+	"ftss/internal/fullinfo"
+	"ftss/internal/proc"
+	"ftss/internal/sim/round"
+)
+
+// Naive repeats Π forever using only its local round counter — no round
+// agreement, no suspect filtering. It is the obvious-but-wrong way to make
+// Π non-terminating: it ft-solves Σ⁺ from a good initial state, but after a
+// systemic failure the processes' counters disagree forever, their
+// iterations stay misaligned, and Σ⁺ is never satisfied again. Experiment
+// E4 uses it as the baseline against the compiled Π⁺.
+type Naive struct {
+	id      proc.ID
+	n       int
+	pi      fullinfo.Protocol
+	input   InputSource
+	clock   uint64
+	state   fullinfo.State
+	decided *Decision
+}
+
+var _ round.Process = (*Naive)(nil)
+
+// NewNaive builds a naive repeater in the good initial state.
+func NewNaive(pi fullinfo.Protocol, id proc.ID, n int, input InputSource) *Naive {
+	return &Naive{
+		id:    id,
+		n:     n,
+		pi:    pi,
+		input: input,
+		state: pi.Init(id, n, input(id, 0)),
+	}
+}
+
+// NaiveProcs builds n naive repeaters.
+func NaiveProcs(pi fullinfo.Protocol, n int, input InputSource) ([]*Naive, []round.Process) {
+	cs := make([]*Naive, n)
+	ps := make([]round.Process, n)
+	for i := range cs {
+		cs[i] = NewNaive(pi, proc.ID(i), n, input)
+		ps[i] = cs[i]
+	}
+	return cs, ps
+}
+
+// ID implements round.Process.
+func (p *Naive) ID() proc.ID { return p.id }
+
+// Clock returns the local iteration counter.
+func (p *Naive) Clock() uint64 { return p.clock }
+
+// LastDecision returns the most recent iteration output.
+func (p *Naive) LastDecision() (Decision, bool) {
+	if p.decided == nil {
+		return Decision{}, false
+	}
+	return *p.decided, true
+}
+
+// StartRound implements round.Process.
+func (p *Naive) StartRound() any {
+	return Payload{State: p.state.Clone(), Clock: p.clock}
+}
+
+// EndRound implements round.Process: run Π's round k with everything
+// received, then just increment the local counter.
+func (p *Naive) EndRound(received []round.Message) {
+	finalRound := p.pi.FinalRound()
+	msgs := make([]fullinfo.StateMsg, 0, len(received))
+	for _, m := range received {
+		if pl, ok := m.Payload.(Payload); ok && pl.State != nil {
+			msgs = append(msgs, fullinfo.StateMsg{From: m.From, State: pl.State})
+		}
+	}
+	k := Normalize(p.clock, finalRound)
+	p.state = p.pi.Step(p.id, p.n, p.state, msgs, k)
+	if k == finalRound {
+		v, ok := p.pi.Output(p.state)
+		p.decided = &Decision{Iteration: Iteration(p.clock, finalRound), Value: v, OK: ok}
+	}
+	p.clock++
+	if Normalize(p.clock, finalRound) == 1 {
+		p.state = p.pi.Init(p.id, p.n, p.input(p.id, Iteration(p.clock, finalRound)))
+	}
+}
+
+// Snapshot implements round.Process.
+func (p *Naive) Snapshot() round.Snapshot {
+	var dec any
+	if p.decided != nil {
+		dec = *p.decided
+	}
+	return round.Snapshot{
+		Clock: p.clock,
+		State: Meta{
+			ProtocolRound: Normalize(p.clock, p.pi.FinalRound()),
+			State:         p.state.Clone(),
+		},
+		Decided: dec,
+	}
+}
+
+// Corrupt implements failure.Corruptible.
+func (p *Naive) Corrupt(rng *rand.Rand) {
+	p.clock = uint64(rng.Int63n(MaxCorruptClock))
+	p.state = p.pi.Corrupt(rng, p.id, p.n)
+	p.decided = nil
+}

@@ -1,0 +1,344 @@
+package superimpose
+
+import (
+	"fmt"
+
+	"ftss/internal/core"
+	"ftss/internal/fullinfo"
+	"ftss/internal/history"
+	"ftss/internal/proc"
+)
+
+// RepeatedConsensus is the Σ⁺ predicate for a compiled consensus protocol:
+// the window must satisfy Assumption 1 (round agreement), and every
+// iteration of Π that lies completely inside the window must satisfy the
+// single-shot Consensus specification among correct processes:
+//
+//	Termination: every correct process records a decision when the
+//	             iteration completes.
+//	Agreement:   those decisions are equal.
+//	Validity:    the decided value is some process's input for that
+//	             iteration; with unanimous inputs it is that input.
+//
+// Σ⁺ in the paper is an exact tiling H = H₁·…·Hᵢ·… with each Σ(Hᵢ, F)
+// satisfied. A checker window rarely aligns with iteration boundaries, so
+// this predicate checks the natural reading for non-terminating repetition:
+// the window tiles into (partial prefix)·H₁·…·H_k·(partial suffix) with
+// every complete tile satisfying Σ. The ragged edges are unconstrained
+// beyond Assumption 1.
+type RepeatedConsensus struct {
+	// FinalRound is Π's duration (the tile width).
+	FinalRound int
+	// Inputs re-derives the per-iteration inputs for validity checking.
+	Inputs InputSource
+}
+
+var _ core.Problem = RepeatedConsensus{}
+
+// Name implements core.Problem.
+func (rc RepeatedConsensus) Name() string { return "repeated-consensus (Σ⁺)" }
+
+// Check implements core.Problem.
+func (rc RepeatedConsensus) Check(h *history.History, lo, hi int, faulty proc.Set) error {
+	if err := (core.RoundAgreement{}).Check(h, lo, hi, faulty); err != nil {
+		return err
+	}
+	fr := rc.FinalRound
+
+	r := lo
+	for r <= hi {
+		clock, p, ok := referenceClock(h, r, faulty)
+		if !ok {
+			r++
+			continue
+		}
+		if Normalize(clock, fr) != 1 {
+			r++
+			continue
+		}
+		// A tile starts at round r; it completes at round r+fr−1.
+		end := r + fr - 1
+		if end > hi {
+			break // ragged suffix
+		}
+		iter := Iteration(clock, fr)
+		if err := rc.checkIteration(h, r, end, iter, faulty); err != nil {
+			return err
+		}
+		_ = p
+		r = end + 1
+	}
+	return nil
+}
+
+// checkIteration validates the decisions recorded at the end of round
+// `end` for the iteration spanning rounds [start, end].
+func (rc RepeatedConsensus) checkIteration(h *history.History, start, end int, iter uint64, faulty proc.Set) error {
+	var agreed *fullinfo.Value
+	var who proc.ID
+	for _, p := range h.Round(end).Alive.Sorted() {
+		if faulty.Has(p) {
+			continue
+		}
+		snap, ok := h.SnapshotAtEnd(end, p)
+		if !ok {
+			continue
+		}
+		dec, ok := snap.Decided.(Decision)
+		if !ok {
+			return &core.Violation{
+				Problem: "Σ⁺ termination",
+				Round:   end,
+				Detail:  fmt.Sprintf("correct %v has no decision at end of iteration %d", p, iter),
+			}
+		}
+		if dec.Iteration != iter {
+			return &core.Violation{
+				Problem: "Σ⁺ termination",
+				Round:   end,
+				Detail: fmt.Sprintf("correct %v's decision is for iteration %d, want %d",
+					p, dec.Iteration, iter),
+			}
+		}
+		if !dec.OK {
+			return &core.Violation{
+				Problem: "Σ⁺ termination",
+				Round:   end,
+				Detail:  fmt.Sprintf("correct %v produced no output for iteration %d", p, iter),
+			}
+		}
+		if agreed == nil {
+			v := dec.Value
+			agreed, who = &v, p
+			continue
+		}
+		if dec.Value != *agreed {
+			return &core.Violation{
+				Problem: "Σ⁺ agreement",
+				Round:   end,
+				Detail: fmt.Sprintf("iteration %d: %v decided %d but %v decided %d",
+					iter, who, *agreed, p, dec.Value),
+			}
+		}
+	}
+	if agreed == nil {
+		return nil // no correct processes alive: vacuous
+	}
+	// Validity against the iteration's inputs.
+	valid := false
+	unanimous := true
+	first := rc.Inputs(0, iter)
+	for q := 0; q < h.N(); q++ {
+		in := rc.Inputs(proc.ID(q), iter)
+		if in == *agreed {
+			valid = true
+		}
+		if in != first {
+			unanimous = false
+		}
+	}
+	if !valid {
+		return &core.Violation{
+			Problem: "Σ⁺ validity",
+			Round:   end,
+			Detail:  fmt.Sprintf("iteration %d: decision %d is no process's input", iter, *agreed),
+		}
+	}
+	if unanimous && *agreed != first {
+		return &core.Violation{
+			Problem: "Σ⁺ validity",
+			Round:   end,
+			Detail: fmt.Sprintf("iteration %d: unanimous input %d but decision %d",
+				iter, first, *agreed),
+		}
+	}
+	return nil
+}
+
+// referenceClock returns the clock of the lowest-numbered correct alive
+// process at round r.
+func referenceClock(h *history.History, r int, faulty proc.Set) (uint64, proc.ID, bool) {
+	for _, p := range h.Round(r).Alive.Sorted() {
+		if faulty.Has(p) {
+			continue
+		}
+		if c, ok := h.ClockAt(r, p); ok {
+			return c, p, true
+		}
+	}
+	return 0, proc.None, false
+}
+
+// RepeatedAgreement is the validity-free Σ⁺: Assumption 1 plus, per
+// complete iteration, termination and equality of the correct processes'
+// decisions. It fits compiled protocols whose outputs are not drawn from
+// the raw input domain (vector digests, commit verdicts).
+type RepeatedAgreement struct {
+	FinalRound int
+}
+
+var _ core.Problem = RepeatedAgreement{}
+
+// Name implements core.Problem.
+func (ra RepeatedAgreement) Name() string { return "repeated-agreement (Σ⁺, validity-free)" }
+
+// Check implements core.Problem.
+func (ra RepeatedAgreement) Check(h *history.History, lo, hi int, faulty proc.Set) error {
+	rc := RepeatedConsensus{FinalRound: ra.FinalRound}
+	if err := (core.RoundAgreement{}).Check(h, lo, hi, faulty); err != nil {
+		return err
+	}
+	r := lo
+	for r <= hi {
+		clock, _, ok := referenceClock(h, r, faulty)
+		if !ok {
+			r++
+			continue
+		}
+		if Normalize(clock, ra.FinalRound) != 1 {
+			r++
+			continue
+		}
+		end := r + ra.FinalRound - 1
+		if end > hi {
+			break
+		}
+		iter := Iteration(clock, ra.FinalRound)
+		if err := rc.checkAgreementOnly(h, end, iter, faulty); err != nil {
+			return err
+		}
+		r = end + 1
+	}
+	return nil
+}
+
+// checkAgreementOnly is checkIteration without the validity clause.
+func (rc RepeatedConsensus) checkAgreementOnly(h *history.History, end int, iter uint64, faulty proc.Set) error {
+	var agreed *fullinfo.Value
+	var who proc.ID
+	for _, p := range h.Round(end).Alive.Sorted() {
+		if faulty.Has(p) {
+			continue
+		}
+		snap, ok := h.SnapshotAtEnd(end, p)
+		if !ok {
+			continue
+		}
+		dec, ok := snap.Decided.(Decision)
+		if !ok || dec.Iteration != iter || !dec.OK {
+			return &core.Violation{
+				Problem: "Σ⁺ termination",
+				Round:   end,
+				Detail:  fmt.Sprintf("correct %v lacks a valid iteration-%d decision", p, iter),
+			}
+		}
+		if agreed == nil {
+			v := dec.Value
+			agreed, who = &v, p
+			continue
+		}
+		if dec.Value != *agreed {
+			return &core.Violation{
+				Problem: "Σ⁺ agreement",
+				Round:   end,
+				Detail: fmt.Sprintf("iteration %d: %v decided %d but %v decided %d",
+					iter, who, *agreed, p, dec.Value),
+			}
+		}
+	}
+	return nil
+}
+
+// RepeatedBroadcast is the Σ⁺ predicate for a compiled ReliableBroadcast:
+// Assumption 1 plus, per complete iteration, all-or-nothing delivery of the
+// initiator's per-iteration input among correct processes, with integrity.
+type RepeatedBroadcast struct {
+	Protocol fullinfo.ReliableBroadcast
+	Inputs   InputSource
+}
+
+var _ core.Problem = RepeatedBroadcast{}
+
+// Name implements core.Problem.
+func (rb RepeatedBroadcast) Name() string { return "repeated-broadcast (Σ⁺)" }
+
+// Check implements core.Problem.
+func (rb RepeatedBroadcast) Check(h *history.History, lo, hi int, faulty proc.Set) error {
+	if err := (core.RoundAgreement{}).Check(h, lo, hi, faulty); err != nil {
+		return err
+	}
+	fr := rb.Protocol.FinalRound()
+
+	r := lo
+	for r <= hi {
+		clock, _, ok := referenceClock(h, r, faulty)
+		if !ok {
+			r++
+			continue
+		}
+		if Normalize(clock, fr) != 1 {
+			r++
+			continue
+		}
+		end := r + fr - 1
+		if end > hi {
+			break
+		}
+		iter := Iteration(clock, fr)
+		if err := rb.checkIteration(h, end, iter, faulty); err != nil {
+			return err
+		}
+		r = end + 1
+	}
+	return nil
+}
+
+func (rb RepeatedBroadcast) checkIteration(h *history.History, end int, iter uint64, faulty proc.Set) error {
+	input := rb.Inputs(rb.Protocol.Initiator, iter)
+	delivered, missed := 0, 0
+	for _, p := range h.Round(end).Alive.Sorted() {
+		if faulty.Has(p) {
+			continue
+		}
+		snap, ok := h.SnapshotAtEnd(end, p)
+		if !ok {
+			continue
+		}
+		dec, ok := snap.Decided.(Decision)
+		if !ok || dec.Iteration != iter {
+			return &core.Violation{
+				Problem: "Σ⁺ broadcast termination",
+				Round:   end,
+				Detail:  fmt.Sprintf("correct %v lacks an iteration-%d outcome", p, iter),
+			}
+		}
+		if dec.OK {
+			delivered++
+			if dec.Value != input {
+				return &core.Violation{
+					Problem: "Σ⁺ broadcast integrity",
+					Round:   end,
+					Detail: fmt.Sprintf("iteration %d: %v delivered %d, initiator sent %d",
+						iter, p, dec.Value, input),
+				}
+			}
+		} else {
+			missed++
+		}
+	}
+	if delivered > 0 && missed > 0 {
+		return &core.Violation{
+			Problem: "Σ⁺ broadcast agreement",
+			Round:   end,
+			Detail:  fmt.Sprintf("iteration %d: %d delivered, %d did not", iter, delivered, missed),
+		}
+	}
+	if missed > 0 && !faulty.Has(rb.Protocol.Initiator) {
+		return &core.Violation{
+			Problem: "Σ⁺ broadcast validity",
+			Round:   end,
+			Detail:  fmt.Sprintf("iteration %d: correct initiator's value not delivered", iter),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+// Package superimpose implements the paper's compiler (§2.4, Figure 3): it
+// transforms a terminating, round-based, full-information protocol Π in the
+// canonical Figure 2 form into a non-terminating protocol Π⁺ that
+// infinitely repeats Π and tolerates both process failures and systemic
+// failures — Theorem 4: if Π ft-solves Σ, then Π⁺ ftss-solves Σ⁺ with
+// stabilization time final_round.
+//
+// The transformation superimposes the round agreement protocol of Figure 1
+// onto Π and "controls" Π as follows:
+//
+//   - Every message carries both Π's full-information state and the
+//     sender's round variable c_p.
+//   - Π executes its protocol round k = normalize(c_p) = c_p mod
+//     final_round + 1, so agreed round numbers align the iterations of Π.
+//   - A suspect set filters Π's inputs: a process is suspected when it
+//     fails to deliver a message tagged with the receiver's current round
+//     number (it is crashed, omitting, or disagrees about the round).
+//     Suspected processes' states are withheld from Π — but their round
+//     announcements still feed the round agreement's max, which is what
+//     lets strayed processes pull the system together.
+//   - At each iteration boundary (normalize(c_p) returning to 1) the
+//     protocol state is re-initialized from the per-iteration input source
+//     and the suspect set is cleared.
+package superimpose
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftss/internal/fullinfo"
+	"ftss/internal/proc"
+	"ftss/internal/sim/round"
+)
+
+// InputSource supplies process p's input for iteration iter of Π. It must
+// be a pure function: every call with the same arguments returns the same
+// value, because checkers re-derive inputs to validate decisions.
+type InputSource func(p proc.ID, iter uint64) fullinfo.Value
+
+// ConstantInputs returns an input source ignoring the iteration number.
+func ConstantInputs(vals []fullinfo.Value) InputSource {
+	return func(p proc.ID, _ uint64) fullinfo.Value { return vals[int(p)] }
+}
+
+// SeededInputs returns a deterministic pseudo-random input source, handy
+// for long repeated-consensus experiments.
+func SeededInputs(seed int64, span int64) InputSource {
+	return func(p proc.ID, iter uint64) fullinfo.Value {
+		x := uint64(seed)
+		x ^= uint64(int64(p)+1) * 0x9e3779b97f4a7c15
+		x ^= (iter + 1) * 0xbf58476d1ce4e5b9
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		return fullinfo.Value(int64(x>>1) % span)
+	}
+}
+
+// Payload is the Π⁺ broadcast: ((STATE: p, s_p), (ROUND: p, c_p)).
+type Payload struct {
+	State fullinfo.State
+	Clock uint64
+}
+
+// Decision is one completed iteration's output, recorded in snapshots so
+// that history checkers can validate Σ⁺.
+type Decision struct {
+	Iteration uint64
+	Value     fullinfo.Value
+	OK        bool
+}
+
+// Meta is the part of a Π⁺ process's state beyond Π's own, exposed in
+// snapshots for tracing.
+type Meta struct {
+	ProtocolRound int
+	Suspects      proc.Set
+	State         fullinfo.State
+}
+
+// Normalize converts a round variable into Π's round range
+// 1..final_round: normalize(c) = c mod final_round + 1, verbatim from
+// Figure 3. Protocol round 1 therefore corresponds to c ≡ 0
+// (mod final_round), and the "good" initial round variable is 0.
+func Normalize(c uint64, finalRound int) int {
+	return int(c%uint64(finalRound)) + 1
+}
+
+// Iteration returns the iteration index of Π that a process with round
+// variable c is executing: c div final_round.
+func Iteration(c uint64, finalRound int) uint64 {
+	return c / uint64(finalRound)
+}
+
+// MaxCorruptClock bounds corrupted round variables (the counter itself is
+// unbounded per the paper; the bound only keeps arithmetic overflow out of
+// reach for any feasible run).
+const MaxCorruptClock = 1 << 48
+
+// Proc is one process executing Π⁺ = compile(Π).
+type Proc struct {
+	id       proc.ID
+	n        int
+	pi       fullinfo.Protocol
+	input    InputSource
+	clock    uint64
+	state    fullinfo.State
+	suspects proc.Set
+	decided  *Decision
+
+	// noFilter disables the suspect-set message filter (ablation
+	// experiment E7); the suspect set is still maintained.
+	noFilter bool
+}
+
+var _ round.Process = (*Proc)(nil)
+
+// New builds a Π⁺ process in the good initial state: c_p = 0, s_p =
+// s_{p,init} for iteration 0, empty suspect set.
+func New(pi fullinfo.Protocol, id proc.ID, n int, input InputSource) *Proc {
+	return &Proc{
+		id:       id,
+		n:        n,
+		pi:       pi,
+		input:    input,
+		clock:    0,
+		state:    pi.Init(id, n, input(id, 0)),
+		suspects: proc.NewSet(),
+	}
+}
+
+// Procs builds n compiled processes and returns both concrete values and
+// the engine slice.
+func Procs(pi fullinfo.Protocol, n int, input InputSource) ([]*Proc, []round.Process) {
+	cs := make([]*Proc, n)
+	ps := make([]round.Process, n)
+	for i := range cs {
+		cs[i] = New(pi, proc.ID(i), n, input)
+		ps[i] = cs[i]
+	}
+	return cs, ps
+}
+
+// ID implements round.Process.
+func (p *Proc) ID() proc.ID { return p.id }
+
+// Clock returns the round variable c_p.
+func (p *Proc) Clock() uint64 { return p.clock }
+
+// Suspects returns a copy of the current suspect set.
+func (p *Proc) Suspects() proc.Set { return p.suspects.Clone() }
+
+// LastDecision returns the most recently completed iteration's output.
+func (p *Proc) LastDecision() (Decision, bool) {
+	if p.decided == nil {
+		return Decision{}, false
+	}
+	return *p.decided, true
+}
+
+// CorruptTo injects a scripted systemic failure: the round variable is set
+// to clock and Π's state to the matching iteration's initial state, with an
+// empty suspect set. It models a process whose memory reverted to an
+// earlier (or jumped to a later) iteration — the stale-replay hazard §2.4's
+// suspect sets exist to contain.
+func (p *Proc) CorruptTo(clock uint64) {
+	p.clock = clock
+	p.state = p.pi.Init(p.id, p.n, p.input(p.id, Iteration(clock, p.pi.FinalRound())))
+	p.suspects = proc.NewSet()
+	p.decided = nil
+}
+
+// SetSuspectFilter enables or disables the suspect-set message filter.
+// Disabling it is the E7 ablation: stale faulty processes' states then
+// reach Π and falsify Σ, exactly the hazard §2.4 describes.
+func (p *Proc) SetSuspectFilter(on bool) { p.noFilter = !on }
+
+// StartRound implements round.Process: broadcast state and round number.
+func (p *Proc) StartRound() any {
+	return Payload{State: p.state.Clone(), Clock: p.clock}
+}
+
+// EndRound implements round.Process; this is the Figure 3 end-of-round
+// block verbatim.
+func (p *Proc) EndRound(received []round.Message) {
+	finalRound := p.pi.FinalRound()
+
+	type envelope struct {
+		state fullinfo.State
+		clock uint64
+	}
+	got := make(map[proc.ID]envelope, len(received))
+	for _, m := range received {
+		if pl, ok := m.Payload.(Payload); ok {
+			got[m.From] = envelope{state: pl.State, clock: pl.Clock}
+		}
+	}
+
+	// S := suspects ∪ {q | no message from q tagged with c_p this round}.
+	s := p.suspects.Clone()
+	for q := proc.ID(0); int(q) < p.n; q++ {
+		env, ok := got[q]
+		if !ok || env.clock != p.clock {
+			s.Add(q)
+		}
+	}
+
+	// M := states from unsuspected senders.
+	msgs := make([]fullinfo.StateMsg, 0, len(got))
+	for _, q := range sortedKeys(got) {
+		if s.Has(q) && !p.noFilter {
+			continue
+		}
+		if st := got[q].state; st != nil {
+			msgs = append(msgs, fullinfo.StateMsg{From: q, State: st})
+		}
+	}
+
+	// Run Π's round k and record the decision if the iteration completed.
+	k := Normalize(p.clock, finalRound)
+	p.state = p.pi.Step(p.id, p.n, p.state, msgs, k)
+	if k == finalRound {
+		v, ok := p.pi.Output(p.state)
+		p.decided = &Decision{Iteration: Iteration(p.clock, finalRound), Value: v, OK: ok}
+	}
+	p.suspects = s
+
+	// Round agreement: c_p := max(R) + 1 over ALL received round numbers,
+	// suspected or not (self-delivery keeps R non-empty).
+	max := p.clock
+	for _, env := range got {
+		if env.clock > max {
+			max = env.clock
+		}
+	}
+	p.clock = max + 1
+
+	// New iteration: reset Π's state and the suspect set.
+	if Normalize(p.clock, finalRound) == 1 {
+		iter := Iteration(p.clock, finalRound)
+		p.state = p.pi.Init(p.id, p.n, p.input(p.id, iter))
+		p.suspects = proc.NewSet()
+	}
+}
+
+// Snapshot implements round.Process.
+func (p *Proc) Snapshot() round.Snapshot {
+	var dec any
+	if p.decided != nil {
+		dec = *p.decided
+	}
+	return round.Snapshot{
+		Clock: p.clock,
+		State: Meta{
+			ProtocolRound: Normalize(p.clock, p.pi.FinalRound()),
+			Suspects:      p.suspects.Clone(),
+			State:         p.state.Clone(),
+		},
+		Decided: dec,
+	}
+}
+
+// Corrupt implements failure.Corruptible: a systemic failure arbitrarily
+// rewrites the round variable, Π's state, the suspect set, and the
+// decision register.
+func (p *Proc) Corrupt(rng *rand.Rand) {
+	p.clock = uint64(rng.Int63n(MaxCorruptClock))
+	p.state = p.pi.Corrupt(rng, p.id, p.n)
+	p.suspects = proc.NewSet()
+	for q := 0; q < p.n; q++ {
+		if rng.Intn(2) == 0 {
+			p.suspects.Add(proc.ID(q))
+		}
+	}
+	if rng.Intn(2) == 0 {
+		p.decided = &Decision{
+			Iteration: rng.Uint64() % MaxCorruptClock,
+			Value:     fullinfo.Value(rng.Int63n(1 << 20)),
+			OK:        rng.Intn(2) == 0,
+		}
+	} else {
+		p.decided = nil
+	}
+}
+
+func sortedKeys[V any](m map[proc.ID]V) []proc.ID {
+	ids := make([]proc.ID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// String aids debugging.
+func (p *Proc) String() string {
+	return fmt.Sprintf("Π⁺[%v c=%d k=%d susp=%v]",
+		p.id, p.clock, Normalize(p.clock, p.pi.FinalRound()), p.suspects)
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ftss/internal/core"
+	"ftss/internal/failure"
+	"ftss/internal/fullinfo"
+	"ftss/internal/history"
+	"ftss/internal/proc"
+	"ftss/internal/sim/round"
+	"ftss/internal/superimpose"
+)
+
+func compiledHistory(t *testing.T) (*history.History, superimpose.RepeatedConsensus, int) {
+	t.Helper()
+	pi := fullinfo.WavefrontConsensus{F: 1}
+	in := superimpose.SeededInputs(4, 100)
+	adv := failure.NewScripted(2).CrashAt(2, 6)
+	cs, ps := superimpose.Procs(pi, 3, in)
+	rng := rand.New(rand.NewSource(9))
+	for _, c := range cs {
+		c.Corrupt(rng)
+	}
+	h := history.New(3, adv.Faulty())
+	e := round.MustNewEngine(ps, adv)
+	e.Observe(h)
+	e.Run(12)
+	return h, superimpose.RepeatedConsensus{FinalRound: pi.FinalRound(), Inputs: in}, pi.FinalRound()
+}
+
+func TestTimelineFull(t *testing.T) {
+	h, _, _ := compiledHistory(t)
+	var sb strings.Builder
+	Timeline(&sb, h, Full())
+	out := sb.String()
+
+	if !strings.Contains(out, "r1 ") {
+		t.Error("missing round 1 line")
+	}
+	if !strings.Contains(out, "p0:c=") {
+		t.Error("missing clock cells")
+	}
+	if !strings.Contains(out, "coterie=") {
+		t.Error("missing coterie column")
+	}
+	if !strings.Contains(out, "p2:†") {
+		t.Error("crashed process should render as †")
+	}
+	if !strings.Contains(out, "deviated=") {
+		t.Error("crash round should list the deviation")
+	}
+	if !strings.Contains(out, "d=") {
+		t.Error("decisions should appear after the first completed iteration")
+	}
+	if lines := strings.Count(out, "\n"); lines != 12 {
+		t.Errorf("timeline has %d lines, want 12", lines)
+	}
+}
+
+func TestTimelineBounds(t *testing.T) {
+	h, _, _ := compiledHistory(t)
+	var sb strings.Builder
+	Timeline(&sb, h, Options{From: 3, To: 5, Clocks: true})
+	out := sb.String()
+	if strings.Contains(out, "r2 ") || strings.Contains(out, "r6 ") {
+		t.Error("bounds not respected")
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("lines = %d, want 3", lines)
+	}
+	// Out-of-range bounds are clamped.
+	sb.Reset()
+	Timeline(&sb, h, Options{From: -5, To: 999, Clocks: true})
+	if lines := strings.Count(sb.String(), "\n"); lines != 12 {
+		t.Errorf("clamped lines = %d, want 12", lines)
+	}
+}
+
+func TestSegments(t *testing.T) {
+	h, _, _ := compiledHistory(t)
+	h.MarkSystemicFailure()
+	var sb strings.Builder
+	Segments(&sb, h)
+	out := sb.String()
+	if !strings.Contains(out, "prefixes [0..0]") {
+		t.Errorf("missing initial segment:\n%s", out)
+	}
+	if !strings.Contains(out, "coterie {") {
+		t.Error("missing coterie rendering")
+	}
+	if !strings.Contains(out, "systemic failures after prefixes") {
+		t.Error("missing marks line")
+	}
+}
+
+func TestVerdictSatisfied(t *testing.T) {
+	h, sigma, fr := compiledHistory(t)
+	var sb strings.Builder
+	if err := Verdict(&sb, h, sigma, fr); err != nil {
+		t.Fatalf("verdict: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "SATISFIED") {
+		t.Errorf("missing SATISFIED:\n%s", out)
+	}
+	if !strings.Contains(out, "final segment: event at round") {
+		t.Error("missing measurement line")
+	}
+}
+
+func TestVerdictViolated(t *testing.T) {
+	h, _, _ := compiledHistory(t)
+	var sb strings.Builder
+	always := core.Func{ProblemName: "never", CheckFunc: func(*history.History, int, int, proc.Set) error {
+		return &core.Violation{Problem: "never", Round: 1, Detail: "by construction"}
+	}}
+	if err := Verdict(&sb, h, always, 1); err == nil {
+		t.Fatal("expected an error")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "VIOLATED") || !strings.Contains(out, "never satisfied") {
+		t.Errorf("violated rendering wrong:\n%s", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	h, _, _ := compiledHistory(t)
+	var sb strings.Builder
+	Summary(&sb, h)
+	out := sb.String()
+	for _, want := range []string{"12 rounds", "3 processes", "coterie events at rounds", "final coterie"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
