@@ -45,6 +45,7 @@ func run(args []string) error {
 	if *crashes >= (*n+1)/2 {
 		return fmt.Errorf("need crashes < n/2 for liveness, got n=%d crashes=%d", *n, *crashes)
 	}
+	fmt.Printf("ftss-async: effective seed %d\n", *seed)
 
 	crashAt := map[proc.ID]async.Time{}
 	for i := 0; i < *crashes; i++ {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ftss-exp [-exp all|E1|…|E8] [-seeds N] [-rounds N] [-horizon MS] [-markdown]
+//	ftss-exp [-exp all|E1|…|E13] [-seed BASE] [-seeds N] [-rounds N] [-horizon MS] [-markdown]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ftss-exp", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment to run: all, or one of E1..E13")
+	seed := fs.Int64("seed", 0, "base seed; repetitions use seed+1..seed+seeds")
 	seeds := fs.Int("seeds", experiment.DefaultConfig().Seeds, "random repetitions per parameter point")
 	rounds := fs.Int("rounds", experiment.DefaultConfig().Rounds, "synchronous run length (rounds)")
 	horizon := fs.Int("horizon", experiment.DefaultConfig().HorizonMS, "asynchronous run length (virtual ms)")
@@ -34,7 +35,8 @@ func run(args []string) error {
 		return err
 	}
 
-	cfg := experiment.Config{Seeds: *seeds, Rounds: *rounds, HorizonMS: *horizon}
+	cfg := experiment.Config{Seeds: *seeds, Rounds: *rounds, HorizonMS: *horizon, BaseSeed: *seed}
+	fmt.Printf("ftss-exp: effective seeds %d..%d\n", cfg.BaseSeed+1, cfg.BaseSeed+int64(cfg.Seeds))
 	runners := map[string]func(experiment.Config) *experiment.Table{
 		"E1":  experiment.E1RoundAgreement,
 		"E2":  experiment.E2Theorem1,

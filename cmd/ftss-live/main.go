@@ -45,6 +45,7 @@ func run(args []string) error {
 	if *crashes >= (*n+1)/2 {
 		return fmt.Errorf("need crashes < n/2, got n=%d crashes=%d", *n, *crashes)
 	}
+	fmt.Printf("ftss-live: effective seed %d\n", *seed)
 
 	crashAtVirtual := map[proc.ID]async.Time{}
 	crashAfter := map[proc.ID]time.Duration{}

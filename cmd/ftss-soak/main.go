@@ -1,0 +1,319 @@
+// Command ftss-soak runs the paper's protocol stack under continuous
+// staged chaos on the supervised goroutine runtime: the fully
+// constructive §3 consensus (heartbeat timeout detector + Figure 4
+// ◊W→◊S transform + stabilizing consensus) and the self-stabilizing
+// replicated log, attacked by a seeded schedule of partitions, link
+// chaos (loss/duplication/reordering), crash-restarts from corrupted
+// state, in-place systemic corruption, and clock skew.
+//
+// Between chaos episodes the harness requires each cluster to
+// re-stabilize: the consensus cluster must reach stable agreement, the
+// log cluster must show no per-slot conflicts near its frontier. The
+// whole run is additionally folded into the paper's Definition 2.4
+// machinery — each poll is one observed round, each episode a systemic
+// failure mark — and the final verdict comes from the same
+// core.CheckFTSS / trace.Verdict path the simulators use.
+//
+// The fault schedule is a pure function of -seed: a failing run is
+// reproduced by re-running with the seed it printed at startup.
+//
+// Usage:
+//
+//	ftss-soak [-seed 1] [-n 5] [-episodes 5] [-episode-len 150ms]
+//	          [-quiet-len 350ms] [-tick 300us] [-cap 1024]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"ftss/internal/chaos"
+	"ftss/internal/core"
+	"ftss/internal/ctcons"
+	"ftss/internal/detector"
+	"ftss/internal/proc"
+	"ftss/internal/sim/async"
+	"ftss/internal/sim/live"
+	"ftss/internal/smr"
+	"ftss/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftss-soak:", err)
+		os.Exit(1)
+	}
+}
+
+// buildPlan derives the soak's chaos schedule; it is a pure function of
+// its arguments (same seed, same faults), which the tests pin down.
+func buildPlan(seed int64, n, episodes int, episodeLen, quietLen time.Duration) *chaos.Plan {
+	return chaos.NewPlan(seed, chaos.PlanConfig{
+		N: n, Episodes: episodes,
+		EpisodeLen: episodeLen, QuietLen: quietLen,
+	})
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ftss-soak", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "seed for the fault schedule, inputs, and delays")
+	n := fs.Int("n", 5, "processes per cluster")
+	episodes := fs.Int("episodes", 5, "chaos episodes to stage")
+	episodeLen := fs.Duration("episode-len", 150*time.Millisecond, "chaotic interval per episode")
+	quietLen := fs.Duration("quiet-len", 350*time.Millisecond, "recovery window after each episode")
+	tick := fs.Duration("tick", 300*time.Microsecond, "tick interval per process")
+	cap := fs.Int("cap", 1024, "mailbox capacity (0 = unbounded); overflow drops oldest")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 3 {
+		return fmt.Errorf("need n ≥ 3 for a crash-tolerant majority, got %d", *n)
+	}
+	fmt.Fprintf(w, "ftss-soak: effective seed %d\n", *seed)
+
+	plan := buildPlan(*seed, *n, *episodes, *episodeLen, *quietLen)
+	fmt.Fprint(w, plan)
+
+	rng := rand.New(rand.NewSource(*seed))
+	inputs := make([]ctcons.Value, *n)
+	for i := range inputs {
+		inputs[i] = ctcons.Value(rng.Int63n(1000))
+	}
+
+	// Cluster 1: oracle-free consensus — heartbeats, adaptive timeouts,
+	// Figure 4, §3 — the stack that must live off real traffic.
+	_, consProcs := ctcons.NewConstructiveProcs(*n, inputs, ctcons.Stabilizing(),
+		5*async.Millisecond, async.Millisecond)
+	consRT := live.MustNew(consProcs, live.Config{
+		Seed: *seed, TickEvery: *tick,
+		MinDelay: 50 * time.Microsecond, MaxDelay: 200 * time.Microsecond,
+		Nemesis: plan, MailboxCap: *cap, Overflow: live.DropOldest,
+	})
+
+	// Cluster 2: the replicated log, with a quiet (never-suspecting,
+	// legal) ◊W — every killed replica restarts, so completeness is
+	// vacuous and coordinator stalls end with the episode.
+	quiet := &detector.SimulatedWeak{N: *n, AccuracyAt: 0, NoiseP: 0, SlanderP: 0, Seed: *seed}
+	cmds := func(p proc.ID, slot uint64) smr.Value {
+		return smr.Value(int64(slot)*1000 + int64(p))
+	}
+	_, smrProcs := smr.NewReplicas(*n, cmds, quiet)
+	smrRT := live.MustNew(smrProcs, live.Config{
+		Seed: *seed + 1, TickEvery: *tick,
+		MinDelay: 50 * time.Microsecond, MaxDelay: 200 * time.Microsecond,
+		Nemesis: plan, MailboxCap: *cap, Overflow: live.DropOldest,
+	})
+
+	consRT.Start()
+	defer consRT.Stop()
+	smrRT.Start()
+	defer smrRT.Stop()
+	consDone := consRT.Apply(plan.Actions(), rand.New(rand.NewSource(*seed*5)))
+	smrDone := smrRT.Apply(plan.Actions(), rand.New(rand.NewSource(*seed*5+1)))
+
+	var failures []string
+	fail := func(format string, a ...any) {
+		failures = append(failures, fmt.Sprintf(format, a...))
+		fmt.Fprintf(w, "FAIL: %s\n", failures[len(failures)-1])
+	}
+
+	rec := chaos.NewRecorder(*n)
+	start := time.Now()
+	horizon := plan.Horizon()
+	const pollEvery = 10 * time.Millisecond
+	const needStreak = 3
+
+	nextEp := 0
+	var inEpisodeUntil time.Duration
+	streak := 0
+	windowStable := true // lead window counts from t=0
+	windowIdx := 0
+
+	closeWindow := func() {
+		if !windowStable {
+			fail("window %d: consensus cluster did not reach stable agreement before the next episode", windowIdx)
+		}
+		if msg := smrConflicts(smrRT, *n); msg != "" {
+			fail("window %d: replicated log: %s", windowIdx, msg)
+		}
+		windowIdx++
+		windowStable = false
+	}
+
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= horizon {
+			break
+		}
+		if nextEp < len(plan.Episodes) && elapsed >= plan.Episodes[nextEp].Start {
+			ep := plan.Episodes[nextEp]
+			closeWindow()
+			fmt.Fprintf(w, "t=%v episode %d (%s): %s\n",
+				elapsed.Round(time.Millisecond), ep.Index, ep.Class, ep.Desc)
+			rec.Mark()
+			inEpisodeUntil = ep.End
+			nextEp++
+			streak = 0
+		}
+		up, cells := pollConsensus(consRT, *n)
+		rec.Observe(up, cells)
+		if elapsed >= inEpisodeUntil && up.Len() == *n && allAgree(up, cells) {
+			streak++
+			if streak >= needStreak {
+				windowStable = true
+			}
+		} else {
+			streak = 0
+		}
+		time.Sleep(pollEvery)
+	}
+	closeWindow() // the final quiet window
+	<-consDone
+	<-smrDone
+
+	// Definition 2.4 verdict over the whole recorded run: find the
+	// smallest stabilization budget (in polls) that ftss-solves stable
+	// agreement, and report it exactly as the simulators would.
+	h := rec.History()
+	budget := -1
+	for b := 0; b <= int(rec.Polls()); b++ {
+		if core.CheckFTSS(h, chaos.StableAgreement, b) == nil {
+			budget = b
+			break
+		}
+	}
+	fmt.Fprintf(w, "\nconsensus cluster over %d polls, %d systemic marks:\n",
+		rec.Polls(), len(plan.Episodes))
+	if budget < 0 {
+		budget = int(rec.Polls())
+	}
+	if err := trace.Verdict(w, h, chaos.StableAgreement, budget); err != nil {
+		fail("Definition 2.4: %v", err)
+	}
+
+	if f, ok := minFrontier(smrRT, *n); !ok || f == 0 {
+		fmt.Fprintln(w, "replicated log: no common decided frontier (informational)")
+	} else {
+		fmt.Fprintf(w, "replicated log: common decided frontier %d\n", f)
+	}
+
+	fmt.Fprintf(w, "consensus %s\n", consRT.Health())
+	fmt.Fprintf(w, "log       %s\n", smrRT.Health())
+
+	if len(failures) > 0 {
+		return fmt.Errorf("%d check(s) failed; reproduce with -seed %d", len(failures), *seed)
+	}
+	fmt.Fprintf(w, "soak passed: %d episodes (%v), every quiet window re-stabilized\n",
+		len(plan.Episodes), classList(plan))
+	return nil
+}
+
+// pollConsensus snapshots every up process's decision register.
+func pollConsensus(rt *live.Runtime, n int) (proc.Set, map[proc.ID]chaos.DecisionCell) {
+	up := rt.Up()
+	cells := make(map[proc.ID]chaos.DecisionCell, n)
+	for _, p := range up.Sorted() {
+		p := p
+		ok := rt.Inspect(p, func(ap async.Proc) {
+			v, r, decided := ap.(*ctcons.HeartbeatProc).Decision()
+			cells[p] = chaos.DecisionCell{OK: decided, Round: r, Val: int64(v)}
+		})
+		if !ok { // crashed between Up() and Inspect
+			up.Remove(p)
+			delete(cells, p)
+		}
+	}
+	return up, cells
+}
+
+func allAgree(up proc.Set, cells map[proc.ID]chaos.DecisionCell) bool {
+	var common chaos.DecisionCell
+	first := true
+	for _, p := range up.Sorted() {
+		c := cells[p]
+		if !c.OK {
+			return false
+		}
+		if first {
+			common, first = c, false
+		} else if c != common {
+			return false
+		}
+	}
+	return !first
+}
+
+// smrConflicts checks per-slot agreement near the frontier across the up
+// replicas (the gossip window is the repair horizon, as in E13). It
+// returns "" when clean.
+func smrConflicts(rt *live.Runtime, n int) string {
+	seen := map[uint64]smr.Value{}
+	holder := map[uint64]proc.ID{}
+	for _, p := range rt.Up().Sorted() {
+		p := p
+		var msg string
+		rt.Inspect(p, func(ap async.Proc) {
+			r := ap.(*smr.Replica)
+			f, ok := r.Frontier()
+			if !ok {
+				return
+			}
+			lo := uint64(0)
+			if f > smr.GossipWindow {
+				lo = f - smr.GossipWindow
+			}
+			for s := lo; s <= f; s++ {
+				v, ok := r.Get(s)
+				if !ok {
+					continue
+				}
+				if prev, dup := seen[s]; dup && prev != v {
+					msg = fmt.Sprintf("slot %d: %v holds %d, %v holds %d",
+						s, p, v, holder[s], prev)
+					return
+				}
+				seen[s], holder[s] = v, p
+			}
+		})
+		if msg != "" {
+			return msg
+		}
+	}
+	return ""
+}
+
+// minFrontier is the smallest decided-slot frontier over up replicas.
+func minFrontier(rt *live.Runtime, n int) (uint64, bool) {
+	var min uint64
+	first := true
+	all := true
+	for _, p := range rt.Up().Sorted() {
+		p := p
+		rt.Inspect(p, func(ap async.Proc) {
+			f, ok := ap.(*smr.Replica).Frontier()
+			if !ok {
+				all = false
+				return
+			}
+			if first || f < min {
+				min, first = f, false
+			}
+		})
+	}
+	return min, all && !first
+}
+
+func classList(p *chaos.Plan) string {
+	s := ""
+	for i, c := range p.Classes() {
+		if i > 0 {
+			s += ", "
+		}
+		s += c.String()
+	}
+	return s
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShortSoakPasses runs a compressed soak — three episodes cover the
+// acceptance-critical fault classes (partition, link chaos,
+// crash-restart from corrupted state) — and requires the Definition 2.4
+// verdict plus every quiet-window check to pass.
+func TestShortSoakPasses(t *testing.T) {
+	var out bytes.Buffer
+	// A slower tick and roomier quiet windows keep the run honest under
+	// the race detector's instrumentation slowdown.
+	err := run([]string{
+		"-seed", "3", "-n", "5", "-episodes", "3",
+		"-episode-len", "80ms", "-quiet-len", "400ms", "-tick", "1ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("soak failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"effective seed 3",
+		"partition", "link-chaos", "crash-restart",
+		"SATISFIED",
+		"soak passed",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("soak output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestScheduleReproducibleFromSeed pins the soak's reproducibility
+// contract: the fault schedule is a pure function of the seed.
+func TestScheduleReproducibleFromSeed(t *testing.T) {
+	mk := func(seed int64) string {
+		return buildPlan(seed, 5, 5, 150*time.Millisecond, 350*time.Millisecond).String()
+	}
+	if mk(42) != mk(42) {
+		t.Error("same seed produced different fault schedules")
+	}
+	if mk(42) == mk(43) {
+		t.Error("different seeds produced identical fault schedules")
+	}
+}
+
+// TestRejectsTinyCluster: the harness refuses configurations with no
+// crash-tolerant majority.
+func TestRejectsTinyCluster(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "2"}, &out); err == nil {
+		t.Error("n=2 should be rejected")
+	}
+}

@@ -52,6 +52,7 @@ func run(args []string) error {
 	if *f >= *n || *f < 0 {
 		return fmt.Errorf("need 0 ≤ f < n, got n=%d f=%d", *n, *f)
 	}
+	fmt.Printf("ftss-sync: effective seed %d\n", *seed)
 
 	corruptAt := map[int]bool{}
 	for _, part := range strings.Split(*corrupt, ",") {

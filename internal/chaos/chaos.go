@@ -1,0 +1,226 @@
+// Package chaos is the fault-injection vocabulary for the live goroutine
+// runtime (internal/sim/live): the adversary classes the paper treats
+// abstractly — process failures and systemic state corruption — plus the
+// network misbehavior a deployment actually sees, expressed as composable
+// Nemesis values.
+//
+// A Nemesis decides, per message, whether the link drops, duplicates, or
+// delays it (delays reorder, since other messages overtake), and how much
+// each process's tick clock is skewed. Implementations must be pure
+// functions of their configuration and arguments: the live runtime calls
+// Fate concurrently from many goroutines, so a Nemesis must be safe for
+// concurrent use, which pureness gives for free.
+//
+// Determinism contract: every fault *schedule* — which episodes run when,
+// which links a partition cuts, each link's drop/duplicate/delay
+// probabilities, which processes crash-restart at which offsets — is a
+// pure function of a seed. Two runs with the same seed face the identical
+// adversary. Individual coin flips are keyed on a per-message sequence
+// number, which wall-clock scheduling assigns in a run-dependent order, so
+// per-message fates vary run to run while their distribution and the
+// schedule do not; this is the strongest reproducibility a wall-clock
+// runtime can offer, and it is what makes a failing soak run re-runnable
+// from its logged seed.
+package chaos
+
+import (
+	"time"
+
+	"ftss/internal/proc"
+)
+
+// Verdict is the fate of one message on one link.
+type Verdict struct {
+	// Drop discards the message entirely.
+	Drop bool
+	// Copies is the number of deliveries (1 = normal, ≥2 = duplicated).
+	// Ignored when Drop is set; 0 is normalized to 1.
+	Copies int
+	// ExtraDelay is added to the link's base delay. Because other traffic
+	// is not delayed by the same amount, extra delay is also the reorder
+	// fault: a delayed message is overtaken by later sends.
+	ExtraDelay time.Duration
+}
+
+// Deliver is the no-fault verdict.
+func Deliver() Verdict { return Verdict{Copies: 1} }
+
+// Nemesis injects faults into a live run. The zero duration of a run is
+// the runtime's Start; all elapsed arguments are measured from it.
+type Nemesis interface {
+	// Fate returns the verdict for message seq sent on link from→to at
+	// the given elapsed time.
+	Fate(elapsed time.Duration, seq uint64, from, to proc.ID) Verdict
+	// TickScale returns the multiplicative clock skew of p's tick
+	// interval at the given elapsed time (1 = no skew, 2 = half speed,
+	// 0.5 = double speed). Values ≤ 0 are treated as 1.
+	TickScale(elapsed time.Duration, p proc.ID) float64
+}
+
+// None injects nothing.
+type None struct{}
+
+// Fate implements Nemesis.
+func (None) Fate(time.Duration, uint64, proc.ID, proc.ID) Verdict { return Deliver() }
+
+// TickScale implements Nemesis.
+func (None) TickScale(time.Duration, proc.ID) float64 { return 1 }
+
+// Window bounds a fault in time. The zero window is always active; a zero
+// Until means "never heals".
+type Window struct {
+	From, Until time.Duration
+}
+
+// Active reports whether the window covers the elapsed time.
+func (w Window) Active(elapsed time.Duration) bool {
+	if elapsed < w.From {
+		return false
+	}
+	return w.Until == 0 || elapsed < w.Until
+}
+
+// Partition cuts the links between Side and its complement for the
+// window, then heals. With OneWay set the cut is asymmetric: messages
+// from Side to the rest are lost, while the reverse direction still
+// flows — the classic half-open partition that detector stacks find
+// hardest.
+type Partition struct {
+	Window
+	Side   proc.Set
+	OneWay bool
+}
+
+var _ Nemesis = Partition{}
+
+// Fate implements Nemesis.
+func (p Partition) Fate(elapsed time.Duration, _ uint64, from, to proc.ID) Verdict {
+	if !p.Active(elapsed) {
+		return Deliver()
+	}
+	crossesOut := p.Side.Has(from) && !p.Side.Has(to)
+	crossesIn := !p.Side.Has(from) && p.Side.Has(to)
+	if crossesOut || (!p.OneWay && crossesIn) {
+		return Verdict{Drop: true}
+	}
+	return Deliver()
+}
+
+// TickScale implements Nemesis.
+func (Partition) TickScale(time.Duration, proc.ID) float64 { return 1 }
+
+// Links applies seeded per-message drop/duplicate/delay distributions to
+// every link matching the optional From/To filters (nil = any process).
+// Delay is the reorder fault; see Verdict.ExtraDelay.
+type Links struct {
+	Window
+	Seed int64
+	// DropP, DupP, DelayP are independent per-message probabilities.
+	DropP, DupP, DelayP float64
+	// MaxExtraDelay bounds the delay fault (uniform in (0, MaxExtraDelay]).
+	MaxExtraDelay time.Duration
+	// From and To restrict the affected links; nil matches everything.
+	From, To proc.Set
+}
+
+var _ Nemesis = Links{}
+
+// Fate implements Nemesis.
+func (l Links) Fate(elapsed time.Duration, seq uint64, from, to proc.ID) Verdict {
+	if !l.Active(elapsed) {
+		return Deliver()
+	}
+	if l.From != nil && !l.From.Has(from) {
+		return Deliver()
+	}
+	if l.To != nil && !l.To.Has(to) {
+		return Deliver()
+	}
+	if coin(l.Seed, seq, from, to, 0xd10d) < l.DropP {
+		return Verdict{Drop: true}
+	}
+	v := Deliver()
+	if coin(l.Seed, seq, from, to, 0xd0b1) < l.DupP {
+		v.Copies = 2
+	}
+	if l.MaxExtraDelay > 0 && coin(l.Seed, seq, from, to, 0x0dd5) < l.DelayP {
+		span := int64(l.MaxExtraDelay)
+		v.ExtraDelay = time.Duration(1 + int64(coin(l.Seed, seq, from, to, 0x1a95)*float64(span)))
+	}
+	return v
+}
+
+// TickScale implements Nemesis.
+func (Links) TickScale(time.Duration, proc.ID) float64 { return 1 }
+
+// Skew stretches (Factor > 1) or compresses (Factor < 1) the tick
+// interval of the processes in Slow for the window — relative process
+// speeds drifting apart, the asynchrony the §3 model insists protocols
+// survive.
+type Skew struct {
+	Window
+	Slow   proc.Set
+	Factor float64
+}
+
+var _ Nemesis = Skew{}
+
+// Fate implements Nemesis.
+func (Skew) Fate(time.Duration, uint64, proc.ID, proc.ID) Verdict { return Deliver() }
+
+// TickScale implements Nemesis.
+func (s Skew) TickScale(elapsed time.Duration, p proc.ID) float64 {
+	if !s.Active(elapsed) || !s.Slow.Has(p) || s.Factor <= 0 {
+		return 1
+	}
+	return s.Factor
+}
+
+// Stack composes nemeses: a message drops if any layer drops it, copies
+// take the layer maximum, extra delays add, and tick scales multiply.
+type Stack []Nemesis
+
+var _ Nemesis = Stack(nil)
+
+// Fate implements Nemesis.
+func (st Stack) Fate(elapsed time.Duration, seq uint64, from, to proc.ID) Verdict {
+	out := Deliver()
+	for _, n := range st {
+		v := n.Fate(elapsed, seq, from, to)
+		if v.Drop {
+			return Verdict{Drop: true}
+		}
+		if v.Copies > out.Copies {
+			out.Copies = v.Copies
+		}
+		out.ExtraDelay += v.ExtraDelay
+	}
+	return out
+}
+
+// TickScale implements Nemesis.
+func (st Stack) TickScale(elapsed time.Duration, p proc.ID) float64 {
+	scale := 1.0
+	for _, n := range st {
+		if s := n.TickScale(elapsed, p); s > 0 {
+			scale *= s
+		}
+	}
+	return scale
+}
+
+// coin derives a deterministic uniform [0,1) value for one (message,
+// link, purpose) triple — the same splitmix64 construction the failure
+// package uses for its seeded adversaries.
+func coin(seed int64, seq uint64, from, to proc.ID, salt uint64) float64 {
+	x := uint64(seed) ^ salt
+	x ^= seq * 0x9e3779b97f4a7c15
+	x ^= uint64(int64(from)+1) * 0xbf58476d1ce4e5b9
+	x ^= uint64(int64(to)+1) * 0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,222 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"ftss/internal/core"
+	"ftss/internal/proc"
+)
+
+func TestPartitionSymmetric(t *testing.T) {
+	p := Partition{
+		Window: Window{From: 10 * time.Millisecond, Until: 20 * time.Millisecond},
+		Side:   proc.NewSet(0, 1),
+	}
+	at := 15 * time.Millisecond
+	if !p.Fate(at, 1, 0, 2).Drop {
+		t.Error("side→rest should drop during the window")
+	}
+	if !p.Fate(at, 2, 2, 0).Drop {
+		t.Error("rest→side should drop for a symmetric partition")
+	}
+	if p.Fate(at, 3, 0, 1).Drop {
+		t.Error("intra-side traffic must flow")
+	}
+	if p.Fate(at, 4, 2, 3).Drop {
+		t.Error("intra-rest traffic must flow")
+	}
+	if p.Fate(25*time.Millisecond, 5, 0, 2).Drop {
+		t.Error("partition must heal after the window")
+	}
+	if p.Fate(5*time.Millisecond, 6, 0, 2).Drop {
+		t.Error("partition must not act before the window")
+	}
+}
+
+func TestPartitionAsymmetric(t *testing.T) {
+	p := Partition{
+		Window: Window{From: 0, Until: time.Second},
+		Side:   proc.NewSet(0),
+		OneWay: true,
+	}
+	if !p.Fate(time.Millisecond, 1, 0, 1).Drop {
+		t.Error("side→rest should drop")
+	}
+	if p.Fate(time.Millisecond, 2, 1, 0).Drop {
+		t.Error("rest→side must flow for a one-way partition")
+	}
+}
+
+func TestLinksDeterministicAndDistributed(t *testing.T) {
+	l := Links{
+		Seed: 42, DropP: 0.3, DupP: 0.2, DelayP: 0.3,
+		MaxExtraDelay: 10 * time.Millisecond,
+	}
+	drops, dups, delays := 0, 0, 0
+	const trials = 5000
+	for seq := uint64(0); seq < trials; seq++ {
+		v1 := l.Fate(time.Millisecond, seq, 0, 1)
+		v2 := l.Fate(time.Millisecond, seq, 0, 1)
+		if v1 != v2 {
+			t.Fatalf("same (seed,seq,link) produced different verdicts: %+v vs %+v", v1, v2)
+		}
+		if v1.Drop {
+			drops++
+		}
+		if v1.Copies > 1 {
+			dups++
+		}
+		if v1.ExtraDelay > 0 {
+			delays++
+			if v1.ExtraDelay > l.MaxExtraDelay {
+				t.Fatalf("extra delay %v exceeds bound %v", v1.ExtraDelay, l.MaxExtraDelay)
+			}
+		}
+	}
+	within := func(name string, got int, p float64) {
+		frac := float64(got) / trials
+		if frac < p-0.05 || frac > p+0.05 {
+			t.Errorf("%s rate %.3f far from expected %.2f", name, frac, p)
+		}
+	}
+	within("drop", drops, l.DropP)
+	// Duplicate and delay faults only apply to non-dropped messages.
+	within("delay", delays, l.DelayP*(1-l.DropP))
+	within("dup", dups, l.DupP*(1-l.DropP))
+}
+
+func TestStackComposes(t *testing.T) {
+	st := Stack{
+		Links{Seed: 1, DupP: 1},                                           // always duplicate
+		Skew{Slow: proc.NewSet(1), Factor: 3},                             // slow p1
+		Partition{Window: Window{Until: time.Hour}, Side: proc.NewSet(2)}, // cut p2
+	}
+	v := st.Fate(time.Millisecond, 7, 0, 1)
+	if v.Drop || v.Copies != 2 {
+		t.Errorf("expected duplicated delivery, got %+v", v)
+	}
+	if !st.Fate(time.Millisecond, 8, 2, 0).Drop {
+		t.Error("partition layer should drop p2's traffic")
+	}
+	if got := st.TickScale(time.Millisecond, 1); got != 3 {
+		t.Errorf("TickScale(p1) = %v, want 3", got)
+	}
+	if got := st.TickScale(time.Millisecond, 0); got != 1 {
+		t.Errorf("TickScale(p0) = %v, want 1", got)
+	}
+}
+
+func TestPlanDeterministicAndCoversClasses(t *testing.T) {
+	cfg := PlanConfig{N: 5, Episodes: 6}
+	a := NewPlan(99, cfg)
+	b := NewPlan(99, cfg)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different schedules:\n%s\nvs\n%s", a, b)
+	}
+	c := NewPlan(100, cfg)
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical schedules (suspicious)")
+	}
+	classes := a.Classes()
+	if len(classes) < 3 {
+		t.Fatalf("plan stages only %d distinct fault classes: %v", len(classes), classes)
+	}
+	need := map[Class]bool{ClassPartition: true, ClassLinkChaos: true, ClassCrashRestart: true}
+	for _, cl := range classes {
+		delete(need, cl)
+	}
+	if len(need) > 0 {
+		t.Errorf("plan misses acceptance-critical classes: %v", need)
+	}
+	// Actions are time-ordered and victims are always minorities.
+	actions := a.Actions()
+	for i := 1; i < len(actions); i++ {
+		if actions[i].At < actions[i-1].At {
+			t.Fatalf("actions out of order: %+v before %+v", actions[i-1], actions[i])
+		}
+	}
+	for _, ep := range a.Episodes {
+		if ep.Victims.Len() >= (cfg.N+1)/2 {
+			t.Errorf("episode %d targets a majority: %v", ep.Index, ep.Victims)
+		}
+		if ep.End <= ep.Start {
+			t.Errorf("episode %d has empty window", ep.Index)
+		}
+	}
+	// Every kill has a matching later restart with corruption.
+	kills := map[proc.ID]time.Duration{}
+	for _, act := range actions {
+		switch act.Kind {
+		case ActKill:
+			kills[act.P] = act.At
+		case ActRestart:
+			killAt, ok := kills[act.P]
+			if !ok || act.At <= killAt {
+				t.Errorf("restart of %v at %v without earlier kill", act.P, act.At)
+			}
+			if !act.CorruptState {
+				t.Errorf("restart of %v does not corrupt state", act.P)
+			}
+			delete(kills, act.P)
+		}
+	}
+	if len(kills) > 0 {
+		t.Errorf("kills without restarts: %v", kills)
+	}
+}
+
+func TestRecorderAndStableAgreement(t *testing.T) {
+	const n = 3
+	rec := NewRecorder(n)
+	up := proc.Universe(n)
+	agree := func(v int64) map[proc.ID]DecisionCell {
+		m := map[proc.ID]DecisionCell{}
+		for i := 0; i < n; i++ {
+			m[proc.ID(i)] = DecisionCell{OK: true, Round: 1, Val: v}
+		}
+		return m
+	}
+	// Three stable polls, then a systemic event, two disturbed polls,
+	// then stable again on a (possibly different) register.
+	for i := 0; i < 3; i++ {
+		rec.Observe(up, agree(7))
+	}
+	rec.Mark()
+	bad := agree(7)
+	bad[1] = DecisionCell{} // p1 lost its decision (restarted from garbage)
+	rec.Observe(up, bad)
+	bad[1] = DecisionCell{OK: true, Round: 9, Val: 3} // disagrees while re-stabilizing
+	rec.Observe(up, bad)
+	for i := 0; i < 4; i++ {
+		rec.Observe(up, agree(7))
+	}
+
+	h := rec.History()
+	if err := core.CheckFTSS(h, StableAgreement, 2); err != nil {
+		t.Fatalf("Definition 2.4 should accept re-stabilization within 2 polls: %v", err)
+	}
+	if err := core.CheckFTSS(h, StableAgreement, 1); err == nil {
+		t.Fatal("stab=1 should be rejected: the disturbance lasted 2 polls")
+	}
+	m := core.MeasureStabilization(h, StableAgreement)
+	if m.Rounds != 2 {
+		t.Errorf("measured stabilization %d polls, want 2", m.Rounds)
+	}
+}
+
+func TestRecorderExemptsDownProcesses(t *testing.T) {
+	const n = 3
+	rec := NewRecorder(n)
+	cells := map[proc.ID]DecisionCell{
+		0: {OK: true, Round: 1, Val: 5},
+		2: {OK: true, Round: 1, Val: 5},
+	}
+	up := proc.NewSet(0, 2) // p1 is down: must not be required to agree
+	for i := 0; i < 3; i++ {
+		rec.Observe(up, cells)
+	}
+	if err := core.CheckFTSS(rec.History(), StableAgreement, 1); err != nil {
+		t.Fatalf("down process must be exempt from agreement: %v", err)
+	}
+}

@@ -1,0 +1,307 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"ftss/internal/proc"
+)
+
+// Class enumerates the staged fault classes a Plan cycles through.
+type Class int
+
+const (
+	// ClassPartition cuts a minority side off the network, sometimes
+	// asymmetrically, then heals.
+	ClassPartition Class = iota + 1
+	// ClassLinkChaos applies per-link drop/duplicate/reorder-delay
+	// distributions to all traffic.
+	ClassLinkChaos
+	// ClassCrashRestart kills processes mid-run and restarts them from
+	// corrupted state (the paper's §2.1: a process faithfully executing
+	// from arbitrary state is correct, so restarting from garbage is
+	// safe exactly when the protocol self-stabilizes).
+	ClassCrashRestart
+	// ClassCorrupt strikes running processes with a systemic failure
+	// (failure.Corruptible) without stopping them.
+	ClassCorrupt
+	// ClassSkew stretches a minority's tick clocks.
+	ClassSkew
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassPartition:
+		return "partition"
+	case ClassLinkChaos:
+		return "link-chaos"
+	case ClassCrashRestart:
+		return "crash-restart"
+	case ClassCorrupt:
+		return "corrupt"
+	case ClassSkew:
+		return "clock-skew"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ActionKind enumerates process-level fault actions (the faults a Nemesis
+// cannot express message-by-message).
+type ActionKind int
+
+const (
+	// ActKill stops a process's goroutine (crash).
+	ActKill ActionKind = iota + 1
+	// ActRestart relaunches a killed process, optionally from corrupted
+	// state.
+	ActRestart
+	// ActCorrupt strikes a running process's state in place.
+	ActCorrupt
+)
+
+// String implements fmt.Stringer.
+func (k ActionKind) String() string {
+	switch k {
+	case ActKill:
+		return "kill"
+	case ActRestart:
+		return "restart"
+	case ActCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Action is one scheduled process-level fault.
+type Action struct {
+	// At is the offset from the run's start.
+	At   time.Duration
+	Kind ActionKind
+	P    proc.ID
+	// CorruptState makes an ActRestart corrupt the process's state before
+	// it resumes, modeling a restart from garbage (disk corruption, torn
+	// writes, version skew — the systemic failure class).
+	CorruptState bool
+}
+
+// Episode is one staged chaos burst: a fault class active on [Start, End),
+// followed by quiet until the next episode, during which the system must
+// re-stabilize.
+type Episode struct {
+	Index int
+	Class Class
+	// Start and End bound the chaotic interval; the quiet recovery window
+	// runs from End to the next episode's Start.
+	Start, End time.Duration
+	// Net is the message/clock-level nemesis of this episode (nil for
+	// process-level classes). It is already windowed to [Start, End).
+	Net Nemesis
+	// Actions are the process-level faults of this episode.
+	Actions []Action
+	// Victims names the processes this episode targets (for the log).
+	Victims proc.Set
+	// Desc is a one-line human description.
+	Desc string
+}
+
+// PlanConfig parameterizes NewPlan.
+type PlanConfig struct {
+	// N is the cluster size.
+	N int
+	// Episodes is how many chaos episodes to stage.
+	Episodes int
+	// EpisodeLen is each episode's chaotic duration. Default 150ms.
+	EpisodeLen time.Duration
+	// QuietLen is the recovery window after each episode. Default 350ms.
+	QuietLen time.Duration
+	// Lead is quiet time before the first episode, giving the system a
+	// chance to stabilize from its initial state. Default QuietLen.
+	Lead time.Duration
+}
+
+func (c PlanConfig) withDefaults() PlanConfig {
+	if c.EpisodeLen <= 0 {
+		c.EpisodeLen = 150 * time.Millisecond
+	}
+	if c.QuietLen <= 0 {
+		c.QuietLen = 350 * time.Millisecond
+	}
+	if c.Lead <= 0 {
+		c.Lead = c.QuietLen
+	}
+	return c
+}
+
+// Plan is a seeded, staged chaos schedule. It implements Nemesis by
+// activating each episode's network faults during that episode's window;
+// process-level faults are exposed through Actions for the runtime to
+// apply. The whole schedule is a pure function of (seed, config): same
+// seed, same faults.
+type Plan struct {
+	Seed     int64
+	Config   PlanConfig
+	Episodes []Episode
+
+	net Stack
+}
+
+var _ Nemesis = (*Plan)(nil)
+
+// classOrder is the cycle of fault classes. The first three cover the
+// acceptance-critical adversaries (partition; loss/dup/reorder;
+// crash-restart from corrupted state); every plan with ≥3 episodes
+// therefore stages at least three distinct classes.
+var classOrder = []Class{
+	ClassPartition, ClassLinkChaos, ClassCrashRestart, ClassCorrupt, ClassSkew,
+}
+
+// NewPlan derives a chaos schedule from the seed. Victim sets are always
+// minorities (< n/2), so a majority of processes is never simultaneously
+// cut off or down — the liveness precondition of every protocol under
+// test; within that constraint sides, victims, probabilities, and offsets
+// are all seeded draws.
+func NewPlan(seed int64, cfg PlanConfig) *Plan {
+	cfg = cfg.withDefaults()
+	if cfg.N < 2 {
+		panic(fmt.Sprintf("chaos: plan needs n ≥ 2, got %d", cfg.N))
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0xc4a05))
+	p := &Plan{Seed: seed, Config: cfg}
+
+	period := cfg.EpisodeLen + cfg.QuietLen
+	for i := 0; i < cfg.Episodes; i++ {
+		start := cfg.Lead + time.Duration(i)*period
+		end := start + cfg.EpisodeLen
+		class := classOrder[i%len(classOrder)]
+		ep := Episode{Index: i, Class: class, Start: start, End: end}
+		victims := minority(rng, cfg.N)
+		ep.Victims = victims
+		w := Window{From: start, Until: end}
+
+		switch class {
+		case ClassPartition:
+			oneWay := rng.Intn(2) == 0
+			ep.Net = Partition{Window: w, Side: victims, OneWay: oneWay}
+			kind := "symmetric"
+			if oneWay {
+				kind = "asymmetric"
+			}
+			ep.Desc = fmt.Sprintf("%s partition isolating %s", kind, victims)
+		case ClassLinkChaos:
+			l := Links{
+				Window:        w,
+				Seed:          seed + int64(i)*7919,
+				DropP:         0.05 + 0.30*rng.Float64(),
+				DupP:          0.05 + 0.25*rng.Float64(),
+				DelayP:        0.10 + 0.40*rng.Float64(),
+				MaxExtraDelay: cfg.EpisodeLen / 6,
+			}
+			ep.Net = l
+			ep.Desc = fmt.Sprintf("link chaos drop=%.2f dup=%.2f reorder-delay=%.2f",
+				l.DropP, l.DupP, l.DelayP)
+		case ClassCrashRestart:
+			for _, v := range victims.Sorted() {
+				kill := start + time.Duration(rng.Int63n(int64(cfg.EpisodeLen)/3+1))
+				down := cfg.EpisodeLen/4 + time.Duration(rng.Int63n(int64(cfg.EpisodeLen)/2+1))
+				ep.Actions = append(ep.Actions,
+					Action{At: kill, Kind: ActKill, P: v},
+					Action{At: kill + down, Kind: ActRestart, P: v, CorruptState: true},
+				)
+			}
+			ep.Desc = fmt.Sprintf("crash-restart of %s from corrupted state", victims)
+		case ClassCorrupt:
+			for _, v := range victims.Sorted() {
+				at := start + time.Duration(rng.Int63n(int64(cfg.EpisodeLen)/2+1))
+				ep.Actions = append(ep.Actions, Action{At: at, Kind: ActCorrupt, P: v})
+			}
+			ep.Desc = fmt.Sprintf("systemic corruption of running %s", victims)
+		case ClassSkew:
+			factor := 2 + 4*rng.Float64()
+			ep.Net = Skew{Window: w, Slow: victims, Factor: factor}
+			ep.Desc = fmt.Sprintf("clock skew ×%.1f on %s", factor, victims)
+		}
+		if ep.Net != nil {
+			p.net = append(p.net, ep.Net)
+		}
+		p.Episodes = append(p.Episodes, ep)
+	}
+	return p
+}
+
+// minority draws a random non-empty process subset of size < n/2 (at least
+// one process, never a blocking majority).
+func minority(rng *rand.Rand, n int) proc.Set {
+	max := (n - 1) / 2
+	if max < 1 {
+		max = 1
+	}
+	k := 1 + rng.Intn(max)
+	perm := rng.Perm(n)
+	s := proc.NewSet()
+	for _, i := range perm[:k] {
+		s.Add(proc.ID(i))
+	}
+	return s
+}
+
+// Fate implements Nemesis.
+func (p *Plan) Fate(elapsed time.Duration, seq uint64, from, to proc.ID) Verdict {
+	return p.net.Fate(elapsed, seq, from, to)
+}
+
+// TickScale implements Nemesis.
+func (p *Plan) TickScale(elapsed time.Duration, id proc.ID) float64 {
+	return p.net.TickScale(elapsed, id)
+}
+
+// Actions returns every process-level fault of the plan in time order.
+func (p *Plan) Actions() []Action {
+	var all []Action
+	for _, ep := range p.Episodes {
+		all = append(all, ep.Actions...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].At < all[j].At })
+	return all
+}
+
+// Horizon is when the final episode's quiet window closes — the natural
+// run length for a soak over this plan.
+func (p *Plan) Horizon() time.Duration {
+	if len(p.Episodes) == 0 {
+		return p.Config.Lead
+	}
+	return p.Episodes[len(p.Episodes)-1].End + p.Config.QuietLen
+}
+
+// Classes returns the distinct fault classes the plan stages.
+func (p *Plan) Classes() []Class {
+	seen := map[Class]bool{}
+	var out []Class
+	for _, ep := range p.Episodes {
+		if !seen[ep.Class] {
+			seen[ep.Class] = true
+			out = append(out, ep.Class)
+		}
+	}
+	return out
+}
+
+// String renders the schedule, one line per episode — the log format a
+// failed soak run is reproduced from.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos plan seed=%d n=%d episodes=%d\n",
+		p.Seed, p.Config.N, len(p.Episodes))
+	for _, ep := range p.Episodes {
+		fmt.Fprintf(&b, "  e%d [%v..%v) %s: %s\n",
+			ep.Index, ep.Start.Round(time.Millisecond), ep.End.Round(time.Millisecond),
+			ep.Class, ep.Desc)
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package chaos
+
+import (
+	"fmt"
+
+	"ftss/internal/core"
+	"ftss/internal/history"
+	"ftss/internal/proc"
+	"ftss/internal/sim/round"
+)
+
+// This file bridges live (wall-clock) runs into the paper's Definition 2.4
+// machinery. A soak run has no synchronous rounds, but it has poll
+// windows: the harness periodically inspects every process's decision
+// register. Treating each poll as one observed "round" — with chaos
+// episodes and restarts-from-garbage recorded as systemic failure marks —
+// yields a history.History the existing core.CheckFTSS /
+// trace.Verdict machinery evaluates verbatim: after every de-stabilizing
+// event the system must re-satisfy Σ within the stabilization budget and
+// keep satisfying it until the next event.
+
+// DecisionCell is the externally observable state of one process at one
+// poll: its decision register.
+type DecisionCell struct {
+	// OK reports whether the process currently holds a decision.
+	OK bool
+	// Round is the register's round (lattice key).
+	Round uint64
+	// Val is the decision value.
+	Val int64
+}
+
+// String implements fmt.Stringer.
+func (c DecisionCell) String() string {
+	if !c.OK {
+		return "⊥"
+	}
+	return fmt.Sprintf("%d@%d", c.Val, c.Round)
+}
+
+// Recorder accumulates poll observations into a history.
+type Recorder struct {
+	n     int
+	polls uint64
+	h     *history.History
+}
+
+// NewRecorder builds a recorder for an n-process live run. No process is
+// designated faulty: under crash-restart every process eventually
+// executes its protocol again, which is the paper's definition of correct
+// (§2.1) — the disruptions are systemic events, recorded via Mark.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{n: n, h: history.New(n, proc.NewSet())}
+}
+
+// Observe appends one poll: up holds the processes currently running,
+// cells their decision registers. Down processes are recorded as absent
+// (they must not be required to agree while down).
+func (r *Recorder) Observe(up proc.Set, cells map[proc.ID]DecisionCell) {
+	r.polls++
+	o := round.Observation{
+		Round:     r.polls,
+		Alive:     up.Clone(),
+		Start:     make(map[proc.ID]round.Snapshot, up.Len()),
+		End:       make(map[proc.ID]round.Snapshot, up.Len()),
+		Delivered: make(map[proc.ID][]round.Message, r.n),
+		Deviated:  proc.NewSet(),
+	}
+	for _, p := range up.Sorted() {
+		snap := round.Snapshot{Clock: r.polls, Decided: cells[p]}
+		o.Start[p] = snap
+		o.End[p] = snap
+	}
+	// The live cluster is completely connected and gossips continuously;
+	// between marks every process causally reaches every other within a
+	// poll. Recording a full mesh keeps the coterie maximal and stable so
+	// that segment boundaries come only from the Marks — the chaos events
+	// themselves.
+	for q := 0; q < r.n; q++ {
+		msgs := make([]round.Message, 0, r.n)
+		for p := 0; p < r.n; p++ {
+			msgs = append(msgs, round.Message{From: proc.ID(p)})
+		}
+		o.Delivered[proc.ID(q)] = msgs
+	}
+	r.h.ObserveRound(o)
+}
+
+// Mark records a de-stabilizing systemic event (a chaos episode starting,
+// a restart from corrupted state) between the previous poll and the next.
+func (r *Recorder) Mark() { r.h.MarkSystemicFailure() }
+
+// History returns the accumulated history for core/trace checking.
+func (r *Recorder) History() *history.History { return r.h }
+
+// Polls returns how many observations have been recorded.
+func (r *Recorder) Polls() uint64 { return r.polls }
+
+// StableAgreement is the soak Σ: in every observed poll of the window,
+// every up process holds a decision, all held decisions are equal, and
+// the common register never changes between polls — the asynchronous
+// eventual-stable-agreement notion projected onto poll windows. Feed it
+// to core.CheckFTSS with a stabilization budget in polls.
+var StableAgreement core.Problem = core.Func{
+	ProblemName: "eventual-stable-agreement (soak)",
+	CheckFunc:   checkStableAgreement,
+}
+
+func checkStableAgreement(h *history.History, lo, hi int, faulty proc.Set) error {
+	var prev DecisionCell
+	havePrev := false
+	for r := lo; r <= hi; r++ {
+		o := h.Round(r)
+		var common DecisionCell
+		haveCommon := false
+		for _, p := range o.Alive.Sorted() {
+			if faulty.Has(p) {
+				continue
+			}
+			cell, _ := o.Start[p].Decided.(DecisionCell)
+			if !cell.OK {
+				return &core.Violation{
+					Problem: "eventual-stable-agreement (soak)", Round: r,
+					Detail: fmt.Sprintf("%v holds no decision", p),
+				}
+			}
+			if !haveCommon {
+				common, haveCommon = cell, true
+			} else if cell != common {
+				return &core.Violation{
+					Problem: "eventual-stable-agreement (soak)", Round: r,
+					Detail: fmt.Sprintf("%v holds %v, others hold %v", p, cell, common),
+				}
+			}
+		}
+		if haveCommon && havePrev && common != prev {
+			return &core.Violation{
+				Problem: "eventual-stable-agreement (soak)", Round: r,
+				Detail: fmt.Sprintf("common register changed %v → %v", prev, common),
+			}
+		}
+		if haveCommon {
+			prev, havePrev = common, true
+		}
+	}
+	return nil
+}

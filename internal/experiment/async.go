@@ -45,7 +45,7 @@ func E5DetectorTransform(cfg Config) *Table {
 			for _, corrupted := range []bool{false, true} {
 				pass := 0
 				var sumStab, maxStab async.Time
-				for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+				for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
 					crashAt := map[proc.ID]async.Time{}
 					for i := 0; i < crashes; i++ {
 						crashAt[proc.ID(n-1-i)] = async.Time(10+7*i) * ms
@@ -120,7 +120,7 @@ func E6AsyncConsensus(cfg Config) *Table {
 		for _, corrupted := range []bool{false, true} {
 			stabPass, basePass := 0, 0
 			var sumStable async.Time
-			for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+			for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
 				crashAt := map[proc.ID]async.Time{}
 				for i := 0; i < f; i++ {
 					crashAt[proc.ID(n-1-i)] = async.Time(15+9*i) * ms
@@ -187,7 +187,7 @@ func E8AblationResend(cfg Config) *Table {
 
 	run := func(c ctcons.Config) (int, int) {
 		pass, decidedAny := 0, 0
-		for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
 			inputs := []ctcons.Value{1, 2, 3}
 			cs, aps := ctcons.Procs(3, inputs, c, quiet)
 			e := async.MustNewEngine(aps, async.Config{

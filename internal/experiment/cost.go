@@ -31,7 +31,7 @@ func E11StabilizationCost(cfg Config) *Table {
 		f := (n - 1) / 2
 		var base, stab uint64
 		counted := 0
-		for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
 			crashAt := map[proc.ID]async.Time{}
 			for i := 0; i < f; i++ {
 				crashAt[proc.ID(n-1-i)] = async.Time(15+9*i) * ms

@@ -41,7 +41,7 @@ func E10ImperfectSynchrony(cfg Config) *Table {
 	// Row 1: Figure 1 under random lag + corruption.
 	{
 		pass, sum, max, meas := 0, 0, 0, 0
-		for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
 			cs, ps := roundagree.Procs(5)
 			rng := rand.New(rand.NewSource(seed))
 			for _, c := range cs {
@@ -98,7 +98,7 @@ func E10ImperfectSynchrony(cfg Config) *Table {
 		in := superimpose.SeededInputs(77, 300)
 		sigma := superimpose.RepeatedConsensus{FinalRound: skew.TileWidth(pi), Inputs: in}
 		pass, sum, max, meas := 0, 0, 0, 0
-		for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
 			faulty := proc.NewSet(proc.ID(int(seed) % 4))
 			adv := failure.NewRandom(failure.GeneralOmission, faulty, 0.3, seed, uint64(cfg.Rounds/2))
 			cs, ps := skew.Procs(pi, 4, in)

@@ -42,7 +42,7 @@ func E13RepeatedAsyncConsensus(cfg Config) *Table {
 	} {
 		agree := 0
 		var frontierSum uint64
-		for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
 			crashAt := map[proc.ID]async.Time{}
 			for i := 0; i < sc.crashes; i++ {
 				crashAt[proc.ID(sc.n-1-i)] = async.Time(40+30*i) * ms

@@ -38,7 +38,7 @@ func E12ParameterSweep(cfg Config) *Table {
 
 	runPoint := func(faultyCount int, p float64) (int, int) {
 		pass, maxStab := 0, 0
-		for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
 			faulty := proc.NewSet()
 			for i := 0; i < faultyCount; i++ {
 				faulty.Add(proc.ID((i*2 + int(seed)) % n))

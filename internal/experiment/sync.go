@@ -34,7 +34,7 @@ func E1RoundAgreement(cfg Config) *Table {
 				continue
 			}
 			pass, maxStab, sumStab, measured := 0, 0, 0, 0
-			for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+			for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
 				faulty := proc.NewSet()
 				for i := 0; i < f; i++ {
 					faulty.Add(proc.ID((i*3 + int(seed)) % n))
@@ -172,7 +172,7 @@ func E4Compiler(cfg Config) *Table {
 		sigma := superimpose.RepeatedConsensus{FinalRound: pi.FinalRound(), Inputs: in}
 
 		pass, naivePass, maxStab := 0, 0, 0
-		for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
 			faulty := proc.NewSet()
 			for i := 0; i < nf.f; i++ {
 				faulty.Add(proc.ID((i*2 + int(seed)) % nf.n))
@@ -309,7 +309,7 @@ func E7AblationSuspects(cfg Config) *Table {
 
 	run := func(filter bool) int {
 		pass := 0
-		for seed := int64(1); seed <= int64(cfg.Seeds); seed++ {
+		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
 			// p3 is faulty with total receive omission: it hears only its
 			// own broadcasts, so its round variable stays exactly one
 			// iteration behind forever, replaying stale inputs.

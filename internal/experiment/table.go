@@ -103,6 +103,10 @@ func pad(s string, w int) string {
 type Config struct {
 	// Seeds is the number of random repetitions per parameter point.
 	Seeds int
+	// BaseSeed offsets the repetition seeds: runs use BaseSeed+1 through
+	// BaseSeed+Seeds. The zero default reproduces EXPERIMENTS.md exactly;
+	// a different base re-runs every experiment on a fresh seed class.
+	BaseSeed int64
 	// Rounds is the synchronous run length per repetition.
 	Rounds int
 	// HorizonMS is the asynchronous run length per repetition, in virtual

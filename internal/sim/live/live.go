@@ -1,10 +1,18 @@
 // Package live runs asynchronous protocols (the async.Proc interface) on
 // real goroutines and channels instead of the deterministic discrete-event
 // engine. One goroutine per process serializes its callbacks; messages
-// travel through unbounded mailboxes, optionally delayed by a seeded
-// random duration, so links stay reliable no matter how bursty a protocol
-// is (a bounded channel could deadlock two processes sending to each
-// other).
+// travel through mailboxes (unbounded by default, boundable with a
+// configurable overflow policy), optionally delayed by a seeded random
+// duration.
+//
+// The runtime is supervised: every process callback runs under panic
+// recovery (a panicking process is resumed from its current state — which
+// self-stabilization makes safe), processes can be killed and restarted
+// mid-run (a restarted process resumes from arbitrary, possibly corrupted
+// state: the paper's §2.1 made operational), and a chaos.Nemesis can
+// drop, duplicate, delay, and reorder messages, partition the network,
+// and skew tick clocks. Health reports restarts, panics, drops, and
+// mailbox high-water marks.
 //
 // The runtime trades the simulator's replayability for actual concurrency:
 // it is the deployment-shaped backend, while sim/async remains the
@@ -21,11 +29,46 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ftss/internal/chaos"
+	"ftss/internal/failure"
 	"ftss/internal/proc"
 	"ftss/internal/sim/async"
 )
+
+// OverflowPolicy selects what a bounded mailbox does when full.
+type OverflowPolicy int
+
+const (
+	// Unbounded mailboxes never drop and never block (the default; a
+	// bounded channel could deadlock two processes sending to each
+	// other).
+	Unbounded OverflowPolicy = iota
+	// DropOldest discards the oldest queued message to admit the new one
+	// — the lossy-link policy; self-stabilizing protocols re-send, so
+	// the loss only delays them.
+	DropOldest
+	// Backpressure blocks the sender until the receiver drains. Beware:
+	// two processes flooding each other's full mailboxes deadlock until
+	// one is killed; prefer DropOldest for protocols that re-send.
+	Backpressure
+)
+
+// String implements fmt.Stringer.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case Unbounded:
+		return "unbounded"
+	case DropOldest:
+		return "drop-oldest"
+	case Backpressure:
+		return "backpressure"
+	default:
+		return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+	}
+}
 
 // Config parameterizes a Runtime.
 type Config struct {
@@ -37,8 +80,15 @@ type Config struct {
 	// MinDelay and MaxDelay bound the artificial message delay.
 	// Both zero means immediate handoff.
 	MinDelay, MaxDelay time.Duration
-	// CrashAfter schedules crash failures relative to Start.
+	// CrashAfter schedules crash failures relative to Start. (Restart
+	// re-animates a crashed process; see Runtime.Restart.)
 	CrashAfter map[proc.ID]time.Duration
+	// Nemesis injects network and clock faults (nil = none).
+	Nemesis chaos.Nemesis
+	// MailboxCap bounds each mailbox's queued messages (0 = unbounded).
+	MailboxCap int
+	// Overflow selects the full-mailbox policy when MailboxCap > 0.
+	Overflow OverflowPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -57,49 +107,171 @@ type item struct {
 	fn      func() // control item: runs on the process goroutine
 }
 
-// mailbox is an unbounded MPSC queue with channel-based wakeup.
+// mailbox is an MPSC queue with channel-based wakeup, optionally bounded.
+// Control items (Inspect closures) always bypass the bound: they belong
+// to the runtime, not the network.
 type mailbox struct {
 	mu     sync.Mutex
 	items  []item
+	msgs   int // queued non-control items
 	closed bool
-	notify chan struct{}
+	notify chan struct{} // new item available
+	space  chan struct{} // space freed (Backpressure wakeup)
+	done   chan struct{} // closed with the mailbox (unblocks putters)
+
+	cap    int
+	policy OverflowPolicy
+
+	highWater int
+	dropped   uint64
 }
 
-func newMailbox() *mailbox {
-	return &mailbox{notify: make(chan struct{}, 1)}
-}
-
-func (m *mailbox) put(it item) bool {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return false
+func newMailbox(cap int, policy OverflowPolicy) *mailbox {
+	return &mailbox{
+		notify: make(chan struct{}, 1),
+		space:  make(chan struct{}, 1),
+		done:   make(chan struct{}),
+		cap:    cap,
+		policy: policy,
 	}
-	m.items = append(m.items, it)
-	m.mu.Unlock()
+}
+
+func signal(ch chan struct{}) {
 	select {
-	case m.notify <- struct{}{}:
+	case ch <- struct{}{}:
 	default:
 	}
-	return true
+}
+
+// put enqueues it, honoring the overflow policy. Under Backpressure it
+// blocks until there is space, the mailbox closes, or cancel fires; it
+// reports whether the item was enqueued.
+func (m *mailbox) put(it item, cancel <-chan struct{}) bool {
+	for {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return false
+		}
+		bounded := m.cap > 0 && it.fn == nil
+		if !bounded || m.msgs < m.cap || m.policy == Unbounded {
+			m.enqueueLocked(it)
+			m.mu.Unlock()
+			signal(m.notify)
+			return true
+		}
+		if m.policy == DropOldest {
+			for i, old := range m.items {
+				if old.fn == nil {
+					copy(m.items[i:], m.items[i+1:])
+					m.items = m.items[:len(m.items)-1]
+					m.msgs--
+					m.dropped++
+					break
+				}
+			}
+			m.enqueueLocked(it)
+			m.mu.Unlock()
+			signal(m.notify)
+			return true
+		}
+		// Backpressure: wait for space.
+		m.mu.Unlock()
+		select {
+		case <-m.space:
+		case <-m.done:
+			return false
+		case <-cancel:
+			return false
+		}
+	}
+}
+
+func (m *mailbox) enqueueLocked(it item) {
+	m.items = append(m.items, it)
+	if it.fn == nil {
+		m.msgs++
+		if m.msgs > m.highWater {
+			m.highWater = m.msgs
+		}
+	}
 }
 
 func (m *mailbox) drain() []item {
 	m.mu.Lock()
 	items := m.items
 	m.items = nil
+	m.msgs = 0
 	m.mu.Unlock()
+	if len(items) > 0 {
+		signal(m.space)
+	}
 	return items
 }
 
 func (m *mailbox) close() {
 	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
 	m.closed = true
 	m.items = nil
+	m.msgs = 0
+	close(m.done)
 	m.mu.Unlock()
 }
 
-// Runtime hosts one goroutine per process.
+func (m *mailbox) stats() (highWater int, dropped uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.highWater, m.dropped
+}
+
+// Health is the runtime's operational report.
+type Health struct {
+	// Restarts counts Runtime.Restart calls per process.
+	Restarts map[proc.ID]int
+	// Panics counts recovered callback panics per process (each one is a
+	// supervised in-place resume).
+	Panics map[proc.ID]int
+	// MailboxHighWater is the deepest each process's mailbox has been
+	// (across restarts, the maximum over incarnations).
+	MailboxHighWater map[proc.ID]int
+	// OverflowDropped counts messages discarded by the DropOldest policy.
+	OverflowDropped map[proc.ID]uint64
+	// ChaosDropped and ChaosDuplicated count Nemesis verdicts applied.
+	ChaosDropped, ChaosDuplicated uint64
+	// Sent and Delivered count messages offered to and dispatched from
+	// mailboxes.
+	Sent, Delivered uint64
+}
+
+// String renders a compact single-run report.
+func (h Health) String() string {
+	restarts, panics := 0, 0
+	for _, v := range h.Restarts {
+		restarts += v
+	}
+	for _, v := range h.Panics {
+		panics += v
+	}
+	var overflow uint64
+	hw := 0
+	for _, v := range h.OverflowDropped {
+		overflow += v
+	}
+	for _, v := range h.MailboxHighWater {
+		if v > hw {
+			hw = v
+		}
+	}
+	return fmt.Sprintf(
+		"health: sent=%d delivered=%d chaos-dropped=%d chaos-duplicated=%d restarts=%d panics=%d overflow-dropped=%d mailbox-high-water=%d",
+		h.Sent, h.Delivered, h.ChaosDropped, h.ChaosDuplicated, restarts, panics, overflow, hw)
+}
+
+// Runtime hosts one goroutine per process, under supervision.
 type Runtime struct {
 	cfg   Config
 	procs map[proc.ID]*worker
@@ -110,16 +282,32 @@ type Runtime struct {
 	started bool
 	stopped bool
 
+	restarts map[proc.ID]int
+	panics   map[proc.ID]int
+	// retired accumulates mailbox stats of closed incarnations.
+	retiredHW   map[proc.ID]int
+	retiredDrop map[proc.ID]uint64
+
 	wg     sync.WaitGroup
 	timers []*time.Timer
+	seq    atomic.Uint64
+
+	sent, delivered, chaosDropped, chaosDuplicated atomic.Uint64
 }
 
+// worker supervises one process: its current mailbox, stop channel, and
+// goroutine incarnation.
 type worker struct {
-	rt   *Runtime
-	p    async.Proc
-	box  *mailbox
-	stop chan struct{}
-	rng  *rand.Rand
+	rt  *Runtime
+	id  proc.ID
+	p   async.Proc
+	rng *rand.Rand
+
+	mu     sync.Mutex
+	box    *mailbox
+	stop   chan struct{}
+	exited chan struct{} // closed when the current incarnation returns
+	alive  bool
 }
 
 // New builds a runtime over the processes. IDs must be unique (density is
@@ -127,9 +315,13 @@ type worker struct {
 func New(procs []async.Proc, cfg Config) (*Runtime, error) {
 	cfg = cfg.withDefaults()
 	rt := &Runtime{
-		cfg:     cfg,
-		procs:   make(map[proc.ID]*worker, len(procs)),
-		crashed: proc.NewSet(),
+		cfg:         cfg,
+		procs:       make(map[proc.ID]*worker, len(procs)),
+		crashed:     proc.NewSet(),
+		restarts:    make(map[proc.ID]int),
+		panics:      make(map[proc.ID]int),
+		retiredHW:   make(map[proc.ID]int),
+		retiredDrop: make(map[proc.ID]uint64),
 	}
 	for i, p := range procs {
 		id := p.ID()
@@ -137,11 +329,11 @@ func New(procs []async.Proc, cfg Config) (*Runtime, error) {
 			return nil, fmt.Errorf("duplicate process id %v", id)
 		}
 		rt.procs[id] = &worker{
-			rt:   rt,
-			p:    p,
-			box:  newMailbox(),
-			stop: make(chan struct{}),
-			rng:  rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+			rt:  rt,
+			id:  id,
+			p:   p,
+			box: newMailbox(cfg.MailboxCap, cfg.Overflow),
+			rng: rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
 		}
 	}
 	return rt, nil
@@ -166,27 +358,38 @@ func (rt *Runtime) Start() {
 	}
 	rt.started = true
 	rt.start = time.Now()
-	for id, w := range rt.procs {
-		if d, dies := rt.cfg.CrashAfter[id]; dies {
-			w := w
-			id := id
-			rt.timers = append(rt.timers, time.AfterFunc(d, func() {
-				rt.mu.Lock()
-				if !rt.stopped {
-					rt.crashed.Add(id)
-				}
-				rt.mu.Unlock()
-				w.box.close()
-				close(w.stop)
-			}))
-		}
+	for id, d := range rt.cfg.CrashAfter {
+		id := id
+		rt.timers = append(rt.timers, time.AfterFunc(d, func() { rt.Kill(id) }))
 	}
 	rt.mu.Unlock()
 
 	for _, w := range rt.procs {
-		rt.wg.Add(1)
-		go w.run()
+		w.launch()
 	}
+}
+
+// launch starts a fresh incarnation of the worker's goroutine. The
+// caller must guarantee no other incarnation is running.
+func (w *worker) launch() {
+	w.rt.mu.Lock()
+	stopped := w.rt.stopped
+	w.rt.mu.Unlock()
+	if stopped {
+		return
+	}
+	w.mu.Lock()
+	if w.box == nil {
+		w.box = newMailbox(w.rt.cfg.MailboxCap, w.rt.cfg.Overflow)
+	}
+	w.stop = make(chan struct{})
+	w.exited = make(chan struct{})
+	w.alive = true
+	box, stop, exited := w.box, w.stop, w.exited
+	w.mu.Unlock()
+
+	w.rt.wg.Add(1)
+	go w.run(box, stop, exited)
 }
 
 // Stop shuts down every goroutine and waits for them to exit. Safe to call
@@ -205,23 +408,205 @@ func (rt *Runtime) Stop() {
 	for _, t := range timers {
 		t.Stop()
 	}
-	for id, w := range rt.procs {
-		rt.mu.Lock()
-		dead := rt.crashed.Has(id)
-		rt.mu.Unlock()
-		if !dead {
+	for _, w := range rt.procs {
+		w.mu.Lock()
+		if w.alive {
+			w.alive = false
 			w.box.close()
 			close(w.stop)
 		}
+		w.mu.Unlock()
 	}
 	rt.wg.Wait()
 }
 
-// Crashed returns the processes whose crash timers have fired.
+// Kill crashes a process: its goroutine stops, its mailbox closes, and
+// in-flight messages to it are lost. It blocks until the goroutine has
+// exited and reports whether the process was running. The process's
+// in-memory state is retained for a later Restart.
+func (rt *Runtime) Kill(id proc.ID) bool {
+	w, ok := rt.procs[id]
+	if !ok {
+		return false
+	}
+	rt.mu.Lock()
+	if rt.stopped || !rt.started {
+		rt.mu.Unlock()
+		return false
+	}
+	rt.mu.Unlock()
+
+	w.mu.Lock()
+	if !w.alive {
+		w.mu.Unlock()
+		return false
+	}
+	w.alive = false
+	w.box.close()
+	hw, dropped := w.box.stats()
+	w.box = nil // next launch gets a fresh mailbox
+	close(w.stop)
+	exited := w.exited
+	w.mu.Unlock()
+
+	rt.mu.Lock()
+	rt.crashed.Add(id)
+	if hw > rt.retiredHW[id] {
+		rt.retiredHW[id] = hw
+	}
+	rt.retiredDrop[id] += dropped
+	rt.mu.Unlock()
+
+	<-exited
+	return true
+}
+
+// Restart re-animates a killed process. Its protocol resumes from
+// whatever in-memory state it holds — arbitrary garbage, as far as the
+// model is concerned, which is exactly the systemic-failure class
+// self-stabilization absorbs (§2.1). It reports whether a restart
+// happened (false if the process is running, unknown, or the runtime is
+// not in a running state).
+func (rt *Runtime) Restart(id proc.ID) bool {
+	return rt.restart(id, nil)
+}
+
+// CorruptAndRestart is Restart preceded by a systemic failure: if the
+// process implements failure.Corruptible its state is randomized with rng
+// before it resumes — a crash-restart from corrupted state.
+func (rt *Runtime) CorruptAndRestart(id proc.ID, rng *rand.Rand) bool {
+	return rt.restart(id, rng)
+}
+
+func (rt *Runtime) restart(id proc.ID, corrupt *rand.Rand) bool {
+	w, ok := rt.procs[id]
+	if !ok {
+		return false
+	}
+	rt.mu.Lock()
+	if rt.stopped || !rt.started {
+		rt.mu.Unlock()
+		return false
+	}
+	rt.mu.Unlock()
+
+	w.mu.Lock()
+	if w.alive {
+		w.mu.Unlock()
+		return false
+	}
+	exited := w.exited
+	w.mu.Unlock()
+	if exited != nil {
+		<-exited // never overlap incarnations: the old goroutine owns p's state
+	}
+
+	if corrupt != nil {
+		if c, ok := w.p.(failure.Corruptible); ok {
+			c.Corrupt(corrupt)
+		}
+	}
+
+	rt.mu.Lock()
+	rt.crashed.Remove(id)
+	rt.restarts[id]++
+	rt.mu.Unlock()
+
+	w.launch()
+	return true
+}
+
+// CorruptInPlace strikes a running process with a systemic failure on its
+// own goroutine (no crash): state is randomized mid-execution if the
+// process implements failure.Corruptible. It reports whether the strike
+// was delivered.
+func (rt *Runtime) CorruptInPlace(id proc.ID, rng *rand.Rand) bool {
+	struck := false
+	ok := rt.Inspect(id, func(p async.Proc) {
+		if c, isC := p.(failure.Corruptible); isC {
+			c.Corrupt(rng)
+			struck = true
+		}
+	})
+	return ok && struck
+}
+
+// Apply schedules a chaos action list (from chaos.Plan.Actions) against
+// the runtime: kills, restarts (optionally from corrupted state), and
+// in-place corruption fire at their offsets from Start. The returned
+// channel closes when every action has been applied; Stop cancels
+// outstanding ones. Call after Start. rng drives the corruption and must
+// not be used concurrently elsewhere.
+func (rt *Runtime) Apply(actions []chaos.Action, rng *rand.Rand) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, act := range actions {
+			d := time.Until(rt.start.Add(act.At))
+			if d > 0 {
+				timer := time.NewTimer(d)
+				select {
+				case <-timer.C:
+				case <-rt.stoppedCh():
+					timer.Stop()
+					return
+				}
+			}
+			switch act.Kind {
+			case chaos.ActKill:
+				rt.Kill(act.P)
+			case chaos.ActRestart:
+				if act.CorruptState {
+					rt.CorruptAndRestart(act.P, rng)
+				} else {
+					rt.Restart(act.P)
+				}
+			case chaos.ActCorrupt:
+				rt.CorruptInPlace(act.P, rng)
+			}
+		}
+	}()
+	return done
+}
+
+// stoppedCh returns a channel that is closed once the runtime stops.
+// (Polling granularity: the Apply loop re-checks between actions.)
+func (rt *Runtime) stoppedCh() <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		for {
+			rt.mu.Lock()
+			stopped := rt.stopped
+			rt.mu.Unlock()
+			if stopped {
+				close(ch)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	return ch
+}
+
+// Crashed returns the processes currently down (killed or crash-timer
+// fired, and not yet restarted).
 func (rt *Runtime) Crashed() proc.Set {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.crashed.Clone()
+}
+
+// Up returns the processes currently running.
+func (rt *Runtime) Up() proc.Set {
+	up := proc.NewSet()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for id := range rt.procs {
+		if !rt.crashed.Has(id) {
+			up.Add(id)
+		}
+	}
+	return up
 }
 
 // Correct returns the processes with no scheduled crash.
@@ -235,6 +620,48 @@ func (rt *Runtime) Correct() proc.Set {
 	return c
 }
 
+// Health snapshots the runtime's operational counters.
+func (rt *Runtime) Health() Health {
+	h := Health{
+		Restarts:         make(map[proc.ID]int),
+		Panics:           make(map[proc.ID]int),
+		MailboxHighWater: make(map[proc.ID]int),
+		OverflowDropped:  make(map[proc.ID]uint64),
+	}
+	rt.mu.Lock()
+	for id, n := range rt.restarts {
+		h.Restarts[id] = n
+	}
+	for id, n := range rt.panics {
+		h.Panics[id] = n
+	}
+	for id, hw := range rt.retiredHW {
+		h.MailboxHighWater[id] = hw
+	}
+	for id, d := range rt.retiredDrop {
+		h.OverflowDropped[id] = d
+	}
+	rt.mu.Unlock()
+	for id, w := range rt.procs {
+		w.mu.Lock()
+		box := w.box
+		w.mu.Unlock()
+		if box == nil {
+			continue
+		}
+		hw, dropped := box.stats()
+		if hw > h.MailboxHighWater[id] {
+			h.MailboxHighWater[id] = hw
+		}
+		h.OverflowDropped[id] += dropped
+	}
+	h.ChaosDropped = rt.chaosDropped.Load()
+	h.ChaosDuplicated = rt.chaosDuplicated.Load()
+	h.Sent = rt.sent.Load()
+	h.Delivered = rt.delivered.Load()
+	return h
+}
+
 // Inspect runs fn on p's own goroutine (so fn may safely read the
 // process's state) and blocks until it has run. It returns false if the
 // process is crashed or the runtime is stopped.
@@ -243,46 +670,103 @@ func (rt *Runtime) Inspect(id proc.ID, fn func(p async.Proc)) bool {
 	if !ok {
 		return false
 	}
+	w.mu.Lock()
+	if !w.alive {
+		w.mu.Unlock()
+		return false
+	}
+	box, stop := w.box, w.stop
+	w.mu.Unlock()
+
 	done := make(chan struct{})
-	if !w.box.put(item{fn: func() {
+	if !box.put(item{fn: func() {
 		fn(w.p)
 		close(done)
-	}}) {
+	}}, stop) {
 		return false
 	}
 	select {
 	case <-done:
 		return true
-	case <-w.stop:
+	case <-stop:
 		return false
 	}
 }
 
-func (w *worker) run() {
+// deliver routes it into the worker's current mailbox (which may have
+// been replaced by a restart since the message was sent). cancel bounds a
+// Backpressure wait.
+func (w *worker) deliver(it item, cancel <-chan struct{}) bool {
+	w.mu.Lock()
+	if !w.alive {
+		w.mu.Unlock()
+		return false
+	}
+	box := w.box
+	w.mu.Unlock()
+	return box.put(it, cancel)
+}
+
+// run is one incarnation of the worker's goroutine. Callbacks execute
+// under panic supervision: a panic is recovered, counted, and the loop
+// resumes from the process's current state.
+func (w *worker) run(box *mailbox, stop, exited chan struct{}) {
 	defer w.rt.wg.Done()
-	ticker := time.NewTicker(w.rt.cfg.TickEvery)
-	defer ticker.Stop()
-	ctx := &liveCtx{w: w}
+	defer close(exited)
+	ctx := &liveCtx{w: w, stop: stop}
+	timer := time.NewTimer(w.tickInterval())
+	defer timer.Stop()
 	for {
 		select {
-		case <-w.stop:
+		case <-stop:
 			return
-		case <-w.box.notify:
-			for _, it := range w.box.drain() {
+		case <-box.notify:
+			for _, it := range box.drain() {
+				it := it
 				if it.fn != nil {
-					it.fn()
+					w.supervised(it.fn)
 					continue
 				}
-				w.p.OnMessage(ctx, it.from, it.payload)
+				w.rt.delivered.Add(1)
+				w.supervised(func() { w.p.OnMessage(ctx, it.from, it.payload) })
 			}
-		case <-ticker.C:
-			w.p.OnTick(ctx)
+		case <-timer.C:
+			w.supervised(func() { w.p.OnTick(ctx) })
+			timer.Reset(w.tickInterval())
 		}
 	}
 }
 
+// supervised runs one callback under panic recovery.
+func (w *worker) supervised(f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.rt.mu.Lock()
+			w.rt.panics[w.id]++
+			w.rt.mu.Unlock()
+		}
+	}()
+	f()
+}
+
+// tickInterval is the configured tick, stretched by any active clock
+// skew.
+func (w *worker) tickInterval() time.Duration {
+	d := w.rt.cfg.TickEvery
+	if nem := w.rt.cfg.Nemesis; nem != nil {
+		if scale := nem.TickScale(time.Since(w.rt.start), w.id); scale > 0 {
+			d = time.Duration(float64(d) * scale)
+		}
+	}
+	if d <= 0 {
+		d = w.rt.cfg.TickEvery
+	}
+	return d
+}
+
 type liveCtx struct {
-	w *worker
+	w    *worker
+	stop chan struct{} // this incarnation's stop channel (Backpressure cancel)
 }
 
 // Now implements async.Context: virtual time is wall time since Start, in
@@ -294,22 +778,44 @@ func (c *liveCtx) Now() async.Time {
 // Rand implements async.Context with the process-local source.
 func (c *liveCtx) Rand() *rand.Rand { return c.w.rng }
 
-// Send implements async.Context.
+// Send implements async.Context. The message passes through the
+// Nemesis, which may drop, duplicate, or add delay (reordering it past
+// later traffic).
 func (c *liveCtx) Send(to proc.ID, payload any) {
-	target, ok := c.w.rt.procs[to]
+	rt := c.w.rt
+	target, ok := rt.procs[to]
 	if !ok {
 		return
 	}
+	rt.sent.Add(1)
 	it := item{from: c.w.p.ID(), payload: payload}
-	delay := c.w.rt.cfg.MinDelay
-	if span := c.w.rt.cfg.MaxDelay - c.w.rt.cfg.MinDelay; span > 0 {
-		delay += time.Duration(c.w.rng.Int63n(int64(span) + 1))
+	verdict := chaos.Deliver()
+	if rt.cfg.Nemesis != nil {
+		seq := rt.seq.Add(1)
+		verdict = rt.cfg.Nemesis.Fate(time.Since(rt.start), seq, it.from, to)
 	}
-	if delay <= 0 {
-		target.box.put(it)
+	if verdict.Drop {
+		rt.chaosDropped.Add(1)
 		return
 	}
-	time.AfterFunc(delay, func() { target.box.put(it) })
+	copies := verdict.Copies
+	if copies < 1 {
+		copies = 1
+	}
+	if copies > 1 {
+		rt.chaosDuplicated.Add(uint64(copies - 1))
+	}
+	for i := 0; i < copies; i++ {
+		delay := rt.cfg.MinDelay + verdict.ExtraDelay
+		if span := rt.cfg.MaxDelay - rt.cfg.MinDelay; span > 0 {
+			delay += time.Duration(c.w.rng.Int63n(int64(span) + 1))
+		}
+		if delay <= 0 {
+			target.deliver(it, c.stop)
+			continue
+		}
+		time.AfterFunc(delay, func() { target.deliver(it, nil) })
+	}
 }
 
 // Broadcast implements async.Context.
