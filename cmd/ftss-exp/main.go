@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ftss-exp [-exp all|E1|…|E13] [-seed BASE] [-seeds N] [-rounds N] [-horizon MS] [-markdown]
+//	ftss-exp [-exp all|E1|…|E13] [-seed BASE] [-seeds N] [-rounds N] [-horizon MS] [-workers N] [-markdown]
 package main
 
 import (
@@ -30,12 +30,15 @@ func run(args []string) error {
 	seeds := fs.Int("seeds", experiment.DefaultConfig().Seeds, "random repetitions per parameter point")
 	rounds := fs.Int("rounds", experiment.DefaultConfig().Rounds, "synchronous run length (rounds)")
 	horizon := fs.Int("horizon", experiment.DefaultConfig().HorizonMS, "asynchronous run length (virtual ms)")
+	workers := fs.Int("workers", 0, "repetitions run concurrently; 0 = GOMAXPROCS. "+
+		"Tables are byte-identical for any value, so -workers 1 exactly "+
+		"reproduces the committed EXPERIMENTS.md tables")
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := experiment.Config{Seeds: *seeds, Rounds: *rounds, HorizonMS: *horizon, BaseSeed: *seed}
+	cfg := experiment.Config{Seeds: *seeds, Rounds: *rounds, HorizonMS: *horizon, BaseSeed: *seed, Workers: *workers}
 	fmt.Printf("ftss-exp: effective seeds %d..%d\n", cfg.BaseSeed+1, cfg.BaseSeed+int64(cfg.Seeds))
 	runners := map[string]func(experiment.Config) *experiment.Table{
 		"E1":  experiment.E1RoundAgreement,

@@ -17,18 +17,27 @@
 // The fault schedule is a pure function of -seed: a failing run is
 // reproduced by re-running with the seed it printed at startup.
 //
+// With -runs R the harness stages R independent soaks on seeds
+// seed..seed+R-1, fanned across -workers goroutines. Each run's output is
+// buffered and emitted whole, in seed order, so the report is
+// byte-identical to running the seeds sequentially.
+//
 // Usage:
 //
 //	ftss-soak [-seed 1] [-n 5] [-episodes 5] [-episode-len 150ms]
 //	          [-quiet-len 350ms] [-tick 300us] [-cap 1024]
+//	          [-runs 1] [-workers 0]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"ftss/internal/chaos"
@@ -58,6 +67,17 @@ func buildPlan(seed int64, n, episodes int, episodeLen, quietLen time.Duration) 
 	})
 }
 
+// soakParams is one soak run's full configuration.
+type soakParams struct {
+	seed       int64
+	n          int
+	episodes   int
+	episodeLen time.Duration
+	quietLen   time.Duration
+	tick       time.Duration
+	cap        int
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("ftss-soak", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "seed for the fault schedule, inputs, and delays")
@@ -67,53 +87,122 @@ func run(args []string, w io.Writer) error {
 	quietLen := fs.Duration("quiet-len", 350*time.Millisecond, "recovery window after each episode")
 	tick := fs.Duration("tick", 300*time.Microsecond, "tick interval per process")
 	cap := fs.Int("cap", 1024, "mailbox capacity (0 = unbounded); overflow drops oldest")
+	runs := fs.Int("runs", 1, "independent soak runs on seeds seed..seed+runs-1")
+	workers := fs.Int("workers", 0, "runs executed concurrently; 0 = GOMAXPROCS. "+
+		"Output is merged in seed order, byte-identical to a sequential run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *n < 3 {
 		return fmt.Errorf("need n ≥ 3 for a crash-tolerant majority, got %d", *n)
 	}
-	fmt.Fprintf(w, "ftss-soak: effective seed %d\n", *seed)
+	p := soakParams{
+		seed: *seed, n: *n, episodes: *episodes,
+		episodeLen: *episodeLen, quietLen: *quietLen,
+		tick: *tick, cap: *cap,
+	}
+	if *runs <= 1 {
+		return soak(p, w)
+	}
+	return soakMany(p, *runs, *workers, w)
+}
 
-	plan := buildPlan(*seed, *n, *episodes, *episodeLen, *quietLen)
+// soakMany stages `runs` independent soaks on consecutive seeds across a
+// bounded worker pool, buffering each run's report and emitting them in
+// seed order.
+func soakMany(p soakParams, runs, workers int, w io.Writer) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	outs := make([]bytes.Buffer, runs)
+	errs := make([]error, runs)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= runs {
+					return
+				}
+				pi := p
+				pi.seed = p.seed + int64(i)
+				errs[i] = soak(pi, &outs[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	failed := 0
+	for i := 0; i < runs; i++ {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		w.Write(outs[i].Bytes())
+		if errs[i] != nil {
+			failed++
+			fmt.Fprintf(w, "run %d (seed %d): %v\n", i, p.seed+int64(i), errs[i])
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d soak run(s) failed", failed, runs)
+	}
+	fmt.Fprintf(w, "\nall %d soak runs passed (seeds %d..%d)\n", runs, p.seed, p.seed+int64(runs)-1)
+	return nil
+}
+
+func soak(p soakParams, w io.Writer) error {
+	seed, n := p.seed, p.n
+	fmt.Fprintf(w, "ftss-soak: effective seed %d\n", seed)
+
+	plan := buildPlan(seed, n, p.episodes, p.episodeLen, p.quietLen)
 	fmt.Fprint(w, plan)
 
-	rng := rand.New(rand.NewSource(*seed))
-	inputs := make([]ctcons.Value, *n)
+	rng := rand.New(rand.NewSource(seed))
+	inputs := make([]ctcons.Value, n)
 	for i := range inputs {
 		inputs[i] = ctcons.Value(rng.Int63n(1000))
 	}
 
 	// Cluster 1: oracle-free consensus — heartbeats, adaptive timeouts,
 	// Figure 4, §3 — the stack that must live off real traffic.
-	_, consProcs := ctcons.NewConstructiveProcs(*n, inputs, ctcons.Stabilizing(),
+	_, consProcs := ctcons.NewConstructiveProcs(n, inputs, ctcons.Stabilizing(),
 		5*async.Millisecond, async.Millisecond)
 	consRT := live.MustNew(consProcs, live.Config{
-		Seed: *seed, TickEvery: *tick,
+		Seed: seed, TickEvery: p.tick,
 		MinDelay: 50 * time.Microsecond, MaxDelay: 200 * time.Microsecond,
-		Nemesis: plan, MailboxCap: *cap, Overflow: live.DropOldest,
+		Nemesis: plan, MailboxCap: p.cap, Overflow: live.DropOldest,
 	})
 
 	// Cluster 2: the replicated log, with a quiet (never-suspecting,
 	// legal) ◊W — every killed replica restarts, so completeness is
 	// vacuous and coordinator stalls end with the episode.
-	quiet := &detector.SimulatedWeak{N: *n, AccuracyAt: 0, NoiseP: 0, SlanderP: 0, Seed: *seed}
+	quiet := &detector.SimulatedWeak{N: n, AccuracyAt: 0, NoiseP: 0, SlanderP: 0, Seed: seed}
 	cmds := func(p proc.ID, slot uint64) smr.Value {
 		return smr.Value(int64(slot)*1000 + int64(p))
 	}
-	_, smrProcs := smr.NewReplicas(*n, cmds, quiet)
+	_, smrProcs := smr.NewReplicas(n, cmds, quiet)
 	smrRT := live.MustNew(smrProcs, live.Config{
-		Seed: *seed + 1, TickEvery: *tick,
+		Seed: seed + 1, TickEvery: p.tick,
 		MinDelay: 50 * time.Microsecond, MaxDelay: 200 * time.Microsecond,
-		Nemesis: plan, MailboxCap: *cap, Overflow: live.DropOldest,
+		Nemesis: plan, MailboxCap: p.cap, Overflow: live.DropOldest,
 	})
 
 	consRT.Start()
 	defer consRT.Stop()
 	smrRT.Start()
 	defer smrRT.Stop()
-	consDone := consRT.Apply(plan.Actions(), rand.New(rand.NewSource(*seed*5)))
-	smrDone := smrRT.Apply(plan.Actions(), rand.New(rand.NewSource(*seed*5+1)))
+	consDone := consRT.Apply(plan.Actions(), rand.New(rand.NewSource(seed*5)))
+	smrDone := smrRT.Apply(plan.Actions(), rand.New(rand.NewSource(seed*5+1)))
 
 	var failures []string
 	fail := func(format string, a ...any) {
@@ -121,7 +210,7 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "FAIL: %s\n", failures[len(failures)-1])
 	}
 
-	rec := chaos.NewRecorder(*n)
+	rec := chaos.NewRecorder(n)
 	start := time.Now()
 	horizon := plan.Horizon()
 	const pollEvery = 10 * time.Millisecond
@@ -137,7 +226,7 @@ func run(args []string, w io.Writer) error {
 		if !windowStable {
 			fail("window %d: consensus cluster did not reach stable agreement before the next episode", windowIdx)
 		}
-		if msg := smrConflicts(smrRT, *n); msg != "" {
+		if msg := smrConflicts(smrRT, n); msg != "" {
 			fail("window %d: replicated log: %s", windowIdx, msg)
 		}
 		windowIdx++
@@ -159,9 +248,9 @@ func run(args []string, w io.Writer) error {
 			nextEp++
 			streak = 0
 		}
-		up, cells := pollConsensus(consRT, *n)
+		up, cells := pollConsensus(consRT, n)
 		rec.Observe(up, cells)
-		if elapsed >= inEpisodeUntil && up.Len() == *n && allAgree(up, cells) {
+		if elapsed >= inEpisodeUntil && up.Len() == n && allAgree(up, cells) {
 			streak++
 			if streak >= needStreak {
 				windowStable = true
@@ -195,7 +284,7 @@ func run(args []string, w io.Writer) error {
 		fail("Definition 2.4: %v", err)
 	}
 
-	if f, ok := minFrontier(smrRT, *n); !ok || f == 0 {
+	if f, ok := minFrontier(smrRT, n); !ok || f == 0 {
 		fmt.Fprintln(w, "replicated log: no common decided frontier (informational)")
 	} else {
 		fmt.Fprintf(w, "replicated log: common decided frontier %d\n", f)
@@ -205,7 +294,7 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "log       %s\n", smrRT.Health())
 
 	if len(failures) > 0 {
-		return fmt.Errorf("%d check(s) failed; reproduce with -seed %d", len(failures), *seed)
+		return fmt.Errorf("%d check(s) failed; reproduce with -seed %d", len(failures), seed)
 	}
 	fmt.Fprintf(w, "soak passed: %d episodes (%v), every quiet window re-stabilized\n",
 		len(plan.Episodes), classList(plan))

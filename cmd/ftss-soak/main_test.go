@@ -48,6 +48,60 @@ func TestScheduleReproducibleFromSeed(t *testing.T) {
 	}
 }
 
+// TestSameSeedSameVerdict: two soaks with the same -seed stage the same
+// plan and reach the same verdict. Wall-clock timestamps in the report
+// may differ, but the seed-derived content — effective seed, episode
+// schedule, pass/fail — must match.
+func TestSameSeedSameVerdict(t *testing.T) {
+	soakOnce := func() (error, string) {
+		var out bytes.Buffer
+		err := run([]string{
+			"-seed", "7", "-n", "5", "-episodes", "2",
+			"-episode-len", "60ms", "-quiet-len", "350ms", "-tick", "1ms",
+		}, &out)
+		return err, out.String()
+	}
+	err1, out1 := soakOnce()
+	err2, out2 := soakOnce()
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("same seed, different verdicts: %v vs %v\n--- run 1 ---\n%s--- run 2 ---\n%s",
+			err1, err2, out1, out2)
+	}
+	// The plan header is seed-derived and timestamp-free: both reports
+	// must open identically through the full schedule.
+	plan := buildPlan(7, 5, 2, 60*time.Millisecond, 350*time.Millisecond).String()
+	for i, out := range []string{out1, out2} {
+		if !strings.Contains(out, plan) {
+			t.Errorf("run %d report missing the seed-derived plan:\n%s", i+1, out)
+		}
+	}
+}
+
+// TestMultiRunFansOutSeeds: -runs R stages R independent soaks on
+// consecutive seeds through the soakMany pool, merges reports in seed
+// order, and summarizes. -workers 1 keeps the live clusters' timing
+// honest under the race detector on small machines; the merged report
+// is byte-identical for any worker count.
+func TestMultiRunFansOutSeeds(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-seed", "3", "-n", "5", "-episodes", "2", "-runs", "2", "-workers", "1",
+		"-episode-len", "60ms", "-quiet-len", "600ms", "-tick", "1ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("multi-run soak failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	i3 := strings.Index(s, "effective seed 3")
+	i4 := strings.Index(s, "effective seed 4")
+	if i3 < 0 || i4 < 0 || i3 > i4 {
+		t.Errorf("reports missing or out of seed order (seed3@%d, seed4@%d):\n%s", i3, i4, s)
+	}
+	if !strings.Contains(s, "all 2 soak runs passed (seeds 3..4)") {
+		t.Errorf("missing multi-run summary:\n%s", s)
+	}
+}
+
 // TestRejectsTinyCluster: the harness refuses configurations with no
 // crash-tolerant majority.
 func TestRejectsTinyCluster(t *testing.T) {

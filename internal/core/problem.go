@@ -19,6 +19,9 @@ import (
 // Check evaluates Σ on actual rounds lo..hi (inclusive, 1-based) of h,
 // treating `faulty` as F. A window with lo > hi is empty and trivially
 // satisfied. Check returns nil if Σ holds and a *Violation otherwise.
+//
+// Implementations must treat `faulty` as read-only: the solve-checkers
+// pass the history's internal set without a defensive copy.
 type Problem interface {
 	Name() string
 	Check(h *history.History, lo, hi int, faulty proc.Set) error
@@ -48,11 +51,15 @@ func (RoundAgreement) Name() string { return "round-agreement (Assumption 1)" }
 // Check implements Problem.
 func (RoundAgreement) Check(h *history.History, lo, hi int, faulty proc.Set) error {
 	for r := lo; r <= hi; r++ {
-		// Agreement: c_p^r equal across correct alive processes.
+		// Agreement: c_p^r equal across correct alive processes. Iterating
+		// IDs in 0..n−1 order visits the same processes as Alive.Sorted()
+		// without allocating.
+		alive := h.Round(r).Alive
 		first := proc.None
 		var firstClock uint64
-		for _, p := range h.Round(r).Alive.Sorted() {
-			if faulty.Has(p) {
+		for i := 0; i < h.N(); i++ {
+			p := proc.ID(i)
+			if !alive.Has(p) || faulty.Has(p) {
 				continue
 			}
 			c, ok := h.ClockAt(r, p)
@@ -79,8 +86,9 @@ func (RoundAgreement) Check(h *history.History, lo, hi int, faulty proc.Set) err
 		if r == hi {
 			continue
 		}
-		for _, p := range h.Round(r).Alive.Sorted() {
-			if faulty.Has(p) {
+		for i := 0; i < h.N(); i++ {
+			p := proc.ID(i)
+			if !alive.Has(p) || faulty.Has(p) {
 				continue
 			}
 			before, ok1 := h.ClockAt(r, p)

@@ -61,7 +61,7 @@ func CheckFTSS(h *history.History, sigma Problem, stab int) error {
 			lo = 1
 		}
 		for b := lo; b <= seg.End; b++ {
-			if err := sigma.Check(h, lo, b, h.FaultyUpTo(b)); err != nil {
+			if err := sigma.Check(h, lo, b, h.FaultyUpToView(b)); err != nil {
 				return fmt.Errorf("segment [%d,%d] coterie %v: %w",
 					seg.Start, seg.End, seg.Coterie, err)
 			}
@@ -103,7 +103,7 @@ func MeasureStabilization(h *history.History, sigma Problem) StabilizationMeasur
 	for s := lo; s <= last.End; s++ {
 		ok := true
 		for b := s; b <= last.End; b++ {
-			if sigma.Check(h, s, b, h.FaultyUpTo(b)) != nil {
+			if sigma.Check(h, s, b, h.FaultyUpToView(b)) != nil {
 				ok = false
 				break
 			}

@@ -43,9 +43,11 @@ func E5DetectorTransform(cfg Config) *Table {
 	for _, n := range []int{3, 5, 7, 9} {
 		for _, crashes := range []int{0, 1, n - 1} {
 			for _, corrupted := range []bool{false, true} {
-				pass := 0
-				var sumStab, maxStab async.Time
-				for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
+				type rep struct {
+					pass bool
+					stab async.Time
+				}
+				reps := runSeeds(cfg, func(seed int64) rep {
 					crashAt := map[proc.ID]async.Time{}
 					for i := 0; i < crashes; i++ {
 						crashAt[proc.ID(n-1-i)] = async.Time(10+7*i) * ms
@@ -77,13 +79,21 @@ func E5DetectorTransform(cfg Config) *Table {
 					})
 					samples := detector.SampleRun(e, srcs, 3*ms, horizon)
 					out, err := detector.VerifyEventuallyStrong(samples, correct, crashAt, 30*ms)
-					if err == nil {
-						pass++
-						st := out.StabilizedFrom()
-						sumStab += st
-						if st > maxStab {
-							maxStab = st
-						}
+					if err != nil {
+						return rep{}
+					}
+					return rep{pass: true, stab: out.StabilizedFrom()}
+				})
+				pass := 0
+				var sumStab, maxStab async.Time
+				for _, r := range reps {
+					if !r.pass {
+						continue
+					}
+					pass++
+					sumStab += r.stab
+					if r.stab > maxStab {
+						maxStab = r.stab
 					}
 				}
 				mean := async.Time(0)
@@ -118,9 +128,11 @@ func E6AsyncConsensus(cfg Config) *Table {
 	for _, n := range []int{3, 5, 7, 9} {
 		f := (n - 1) / 2
 		for _, corrupted := range []bool{false, true} {
-			stabPass, basePass := 0, 0
-			var sumStable async.Time
-			for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
+			type rep struct {
+				stabPass, basePass bool
+				stable             async.Time
+			}
+			reps := runSeeds(cfg, func(seed int64) rep {
 				crashAt := map[proc.ID]async.Time{}
 				for i := 0; i < f; i++ {
 					crashAt[proc.ID(n-1-i)] = async.Time(15+9*i) * ms
@@ -148,11 +160,23 @@ func E6AsyncConsensus(cfg Config) *Table {
 					return err == nil, out.StableFrom
 				}
 
+				var rp rep
 				if ok, st := run(ctcons.Stabilizing()); ok {
-					stabPass++
-					sumStable += st
+					rp.stabPass = true
+					rp.stable = st
 				}
-				if ok, _ := run(ctcons.Baseline()); ok {
+				ok, _ := run(ctcons.Baseline())
+				rp.basePass = ok
+				return rp
+			})
+			stabPass, basePass := 0, 0
+			var sumStable async.Time
+			for _, r := range reps {
+				if r.stabPass {
+					stabPass++
+					sumStable += r.stable
+				}
+				if r.basePass {
 					basePass++
 				}
 			}
@@ -186,8 +210,10 @@ func E8AblationResend(cfg Config) *Table {
 	horizon := async.Time(cfg.HorizonMS) * ms
 
 	run := func(c ctcons.Config) (int, int) {
-		pass, decidedAny := 0, 0
-		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
+		type rep struct {
+			pass, decided bool
+		}
+		reps := runSeeds(cfg, func(seed int64) rep {
 			inputs := []ctcons.Value{1, 2, 3}
 			cs, aps := ctcons.Procs(3, inputs, c, quiet)
 			e := async.MustNewEngine(aps, async.Config{
@@ -197,14 +223,25 @@ func E8AblationResend(cfg Config) *Table {
 				p.CorruptSentFlags()
 			}
 			samples := ctcons.SampleDecisions(e, cs, 5*ms, horizon)
+			var rp rep
 			if _, err := ctcons.VerifyStableAgreement(samples, proc.Universe(3)); err == nil {
-				pass++
+				rp.pass = true
 			}
 			for _, p := range cs {
 				if _, _, ok := p.Decision(); ok {
-					decidedAny++
+					rp.decided = true
 					break
 				}
+			}
+			return rp
+		})
+		pass, decidedAny := 0, 0
+		for _, r := range reps {
+			if r.pass {
+				pass++
+			}
+			if r.decided {
+				decidedAny++
 			}
 		}
 		return pass, decidedAny

@@ -29,9 +29,11 @@ func E11StabilizationCost(cfg Config) *Table {
 	}
 	for _, n := range []int{3, 5, 7, 9} {
 		f := (n - 1) / 2
-		var base, stab uint64
-		counted := 0
-		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
+		type rep struct {
+			base, stab uint64
+			ok         bool
+		}
+		reps := runSeeds(cfg, func(seed int64) rep {
 			crashAt := map[proc.ID]async.Time{}
 			for i := 0; i < f; i++ {
 				crashAt[proc.ID(n-1-i)] = async.Time(15+9*i) * ms
@@ -58,9 +60,14 @@ func E11StabilizationCost(cfg Config) *Table {
 			}
 			b, okB := run(ctcons.Baseline())
 			s, okS := run(ctcons.Stabilizing())
-			if okB && okS {
-				base += b
-				stab += s
+			return rep{base: b, stab: s, ok: okB && okS}
+		})
+		var base, stab uint64
+		counted := 0
+		for _, r := range reps {
+			if r.ok {
+				base += r.base
+				stab += r.stab
 				counted++
 			}
 		}

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAllDeterministicAcrossWorkers is the parallel runner's contract: every
+// table All renders is byte-identical whether repetitions run sequentially
+// or fanned across 8 workers. Each repetition derives all randomness from
+// its own seed and rows merge in seed order, so the worker count must be
+// unobservable in the output.
+func TestAllDeterministicAcrossWorkers(t *testing.T) {
+	seq := tiny()
+	seq.Workers = 1
+	par := tiny()
+	par.Workers = 8
+
+	a := All(seq)
+	b := All(par)
+	if len(a) != len(b) {
+		t.Fatalf("table count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		ma, mb := a[i].Markdown(), b[i].Markdown()
+		if ma != mb {
+			t.Errorf("%s: Workers=1 and Workers=8 render different Markdown:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				a[i].ID, ma, mb)
+		}
+	}
+}
+
+// TestRunIndexedOrderAndCoverage pins the pool mechanics: every index is
+// evaluated exactly once and results land at their own index, for worker
+// counts below, at, and above the item count.
+func TestRunIndexedOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 16, 100} {
+		got := runIndexed(workers, 37, func(i int) string {
+			return fmt.Sprintf("item-%d", i)
+		})
+		if len(got) != 37 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, s := range got {
+			if want := fmt.Sprintf("item-%d", i); s != want {
+				t.Errorf("workers=%d: out[%d] = %q, want %q", workers, i, s, want)
+			}
+		}
+	}
+}
+
+// TestRunSeedsSeedRange checks the seed derivation: BaseSeed+1 through
+// BaseSeed+Seeds, in order.
+func TestRunSeedsSeedRange(t *testing.T) {
+	cfg := Config{Seeds: 5, BaseSeed: 100, Workers: 3}
+	got := runSeeds(cfg, func(seed int64) int64 { return seed })
+	want := []int64{101, 102, 103, 104, 105}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("runSeeds order = %v, want %v", got, want)
+		}
+	}
+}

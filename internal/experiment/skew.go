@@ -40,8 +40,7 @@ func E10ImperfectSynchrony(cfg Config) *Table {
 
 	// Row 1: Figure 1 under random lag + corruption.
 	{
-		pass, sum, max, meas := 0, 0, 0, 0
-		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
+		stabs := runSeeds(cfg, func(seed int64) int {
 			cs, ps := roundagree.Procs(5)
 			rng := rand.New(rand.NewSource(seed))
 			for _, c := range cs {
@@ -51,13 +50,16 @@ func E10ImperfectSynchrony(cfg Config) *Table {
 			e := skew.MustNewEngine(ps, nil, skew.RandomLag{P: 0.4, Seed: seed})
 			e.Observe(h)
 			e.Run(cfg.Rounds)
-			m := core.MeasureStabilization(h, core.RoundAgreement{})
-			if m.Rounds >= 0 {
+			return core.MeasureStabilization(h, core.RoundAgreement{}).Rounds
+		})
+		pass, sum, max, meas := 0, 0, 0, 0
+		for _, stab := range stabs {
+			if stab >= 0 {
 				pass++
 				meas++
-				sum += m.Rounds
-				if m.Rounds > max {
-					max = m.Rounds
+				sum += stab
+				if stab > max {
+					max = stab
 				}
 			}
 		}
@@ -97,8 +99,11 @@ func E10ImperfectSynchrony(cfg Config) *Table {
 		pi := fullinfo.WavefrontConsensus{F: 1}
 		in := superimpose.SeededInputs(77, 300)
 		sigma := superimpose.RepeatedConsensus{FinalRound: skew.TileWidth(pi), Inputs: in}
-		pass, sum, max, meas := 0, 0, 0, 0
-		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
+		type rep struct {
+			pass bool
+			stab int
+		}
+		reps := runSeeds(cfg, func(seed int64) rep {
 			faulty := proc.NewSet(proc.ID(int(seed) % 4))
 			adv := failure.NewRandom(failure.GeneralOmission, faulty, 0.3, seed, uint64(cfg.Rounds/2))
 			cs, ps := skew.Procs(pi, 4, in)
@@ -110,14 +115,21 @@ func E10ImperfectSynchrony(cfg Config) *Table {
 			e := skew.MustNewEngine(ps, adv, skew.RandomLag{P: 0.35, Seed: seed})
 			e.Observe(h)
 			e.Run(cfg.Rounds)
-			if core.CheckFTSS(h, sigma, 12) == nil {
+			return rep{
+				pass: core.CheckFTSS(h, sigma, 12) == nil,
+				stab: core.MeasureStabilization(h, sigma).Rounds,
+			}
+		})
+		pass, sum, max, meas := 0, 0, 0, 0
+		for _, r := range reps {
+			if r.pass {
 				pass++
 			}
-			if m := core.MeasureStabilization(h, sigma); m.Rounds >= 0 {
+			if r.stab >= 0 {
 				meas++
-				sum += m.Rounds
-				if m.Rounds > max {
-					max = m.Rounds
+				sum += r.stab
+				if r.stab > max {
+					max = r.stab
 				}
 			}
 		}

@@ -40,9 +40,11 @@ func E13RepeatedAsyncConsensus(cfg Config) *Table {
 		{"crashes f<n/2", 5, 2, false},
 		{"corrupted start", 5, 1, true},
 	} {
-		agree := 0
-		var frontierSum uint64
-		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
+		type rep struct {
+			agree    bool
+			frontier uint64
+		}
+		reps := runSeeds(cfg, func(seed int64) rep {
 			crashAt := map[proc.ID]async.Time{}
 			for i := 0; i < sc.crashes; i++ {
 				crashAt[proc.ID(sc.n-1-i)] = async.Time(40+30*i) * ms
@@ -98,19 +100,27 @@ func E13RepeatedAsyncConsensus(cfg Config) *Table {
 					minF, firstF = 0, false
 				}
 			}
-			if !conflict {
-				agree++
-			}
+			var rp rep
+			rp.agree = !conflict
 			if sc.corrupt {
 				// Corrupted frontiers can be astronomically minted; count
 				// progress as 1 if any progress happened (frontier grew past
 				// any initial poison is unknowable cheaply) — report 0/1.
 				if minF > 0 {
-					frontierSum++
+					rp.frontier = 1
 				}
 			} else {
-				frontierSum += minF
+				rp.frontier = minF
 			}
+			return rp
+		})
+		agree := 0
+		var frontierSum uint64
+		for _, r := range reps {
+			if r.agree {
+				agree++
+			}
+			frontierSum += r.frontier
 		}
 		mean := float64(frontierSum) / float64(cfg.Seeds)
 		label := fmt.Sprintf("%.1f", mean)

@@ -37,8 +37,11 @@ func E12ParameterSweep(cfg Config) *Table {
 	sigma := superimpose.RepeatedConsensus{FinalRound: pi.FinalRound(), Inputs: in}
 
 	runPoint := func(faultyCount int, p float64) (int, int) {
-		pass, maxStab := 0, 0
-		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
+		type rep struct {
+			pass bool
+			stab int
+		}
+		reps := runSeeds(cfg, func(seed int64) rep {
 			faulty := proc.NewSet()
 			for i := 0; i < faultyCount; i++ {
 				faulty.Add(proc.ID((i*2 + int(seed)) % n))
@@ -53,11 +56,18 @@ func E12ParameterSweep(cfg Config) *Table {
 			e := round.MustNewEngine(ps, adv)
 			e.Observe(h)
 			e.Run(cfg.Rounds)
-			if core.CheckFTSS(h, sigma, pi.FinalRound()) == nil {
+			return rep{
+				pass: core.CheckFTSS(h, sigma, pi.FinalRound()) == nil,
+				stab: core.MeasureStabilization(h, sigma).Rounds,
+			}
+		})
+		pass, maxStab := 0, 0
+		for _, r := range reps {
+			if r.pass {
 				pass++
 			}
-			if m := core.MeasureStabilization(h, sigma); m.Rounds > maxStab {
-				maxStab = m.Rounds
+			if r.stab > maxStab {
+				maxStab = r.stab
 			}
 		}
 		return pass, maxStab

@@ -33,8 +33,11 @@ func E1RoundAgreement(cfg Config) *Table {
 			if f < 0 || (f == 0 && n/4 == 0 && f != 0) {
 				continue
 			}
-			pass, maxStab, sumStab, measured := 0, 0, 0, 0
-			for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
+			type rep struct {
+				pass bool
+				stab int // measured stabilization; −1 if never
+			}
+			reps := runSeeds(cfg, func(seed int64) rep {
 				faulty := proc.NewSet()
 				for i := 0; i < f; i++ {
 					faulty.Add(proc.ID((i*3 + int(seed)) % n))
@@ -50,15 +53,19 @@ func E1RoundAgreement(cfg Config) *Table {
 				e.Observe(h)
 				e.Run(cfg.Rounds)
 
-				if core.CheckFTSS(h, sigma, 1) == nil {
+				m := core.MeasureStabilization(h, sigma)
+				return rep{pass: core.CheckFTSS(h, sigma, 1) == nil, stab: m.Rounds}
+			})
+			pass, maxStab, sumStab, measured := 0, 0, 0, 0
+			for _, r := range reps {
+				if r.pass {
 					pass++
 				}
-				m := core.MeasureStabilization(h, sigma)
-				if m.Rounds >= 0 {
+				if r.stab >= 0 {
 					measured++
-					sumStab += m.Rounds
-					if m.Rounds > maxStab {
-						maxStab = m.Rounds
+					sumStab += r.stab
+					if r.stab > maxStab {
+						maxStab = r.stab
 					}
 				}
 			}
@@ -89,7 +96,7 @@ func E2Theorem1(cfg Config) *Table {
 		Notes: "2 processes, corrupted clocks, mutual silence for rounds 1..r " +
 			"caused by the faulty process, then failure-free",
 	}
-	for _, r := range []int{1, 2, 4, 8, 16, 32} {
+	rows := runPoints(cfg, []int{1, 2, 4, 8, 16, 32}, func(r int) []any {
 		adv := failure.NewScripted(1).SilenceBetween(1, 0, 1, uint64(r))
 		cs, ps := roundagree.Procs(2)
 		cs[0].CorruptTo(10)
@@ -105,7 +112,10 @@ func E2Theorem1(cfg Config) *Table {
 			violRound = fmt.Sprint(v.Round)
 		}
 		ftssErr := core.CheckFTSS(h, core.RoundAgreement{}, 1)
-		t.AddRow(r, tentErr == nil, violRound, ftssErr == nil)
+		return []any{r, tentErr == nil, violRound, ftssErr == nil}
+	})
+	for _, cells := range rows {
+		t.AddRow(cells...)
 	}
 	return t
 }
@@ -171,8 +181,11 @@ func E4Compiler(cfg Config) *Table {
 		in := superimpose.SeededInputs(int64(nf.n)*31+int64(nf.f), 1000)
 		sigma := superimpose.RepeatedConsensus{FinalRound: pi.FinalRound(), Inputs: in}
 
-		pass, naivePass, maxStab := 0, 0, 0
-		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
+		type rep struct {
+			pass, naivePass bool
+			stab            int
+		}
+		reps := runSeeds(cfg, func(seed int64) rep {
 			faulty := proc.NewSet()
 			for i := 0; i < nf.f; i++ {
 				faulty.Add(proc.ID((i*2 + int(seed)) % nf.n))
@@ -189,12 +202,9 @@ func E4Compiler(cfg Config) *Table {
 			e := round.MustNewEngine(ps, adv)
 			e.Observe(h)
 			e.Run(cfg.Rounds)
-			if core.CheckFTSS(h, sigma, pi.FinalRound()) == nil {
-				pass++
-			}
-			if m := core.MeasureStabilization(h, sigma); m.Rounds > maxStab {
-				maxStab = m.Rounds
-			}
+			var r rep
+			r.pass = core.CheckFTSS(h, sigma, pi.FinalRound()) == nil
+			r.stab = core.MeasureStabilization(h, sigma).Rounds
 
 			// Naive baseline.
 			ns, nps := superimpose.NaiveProcs(pi, nf.n, in)
@@ -206,8 +216,19 @@ func E4Compiler(cfg Config) *Table {
 			ne := round.MustNewEngine(nps, adv)
 			ne.Observe(nh)
 			ne.Run(cfg.Rounds)
-			if core.CheckFTSS(nh, sigma, pi.FinalRound()) == nil {
+			r.naivePass = core.CheckFTSS(nh, sigma, pi.FinalRound()) == nil
+			return r
+		})
+		pass, naivePass, maxStab := 0, 0, 0
+		for _, r := range reps {
+			if r.pass {
+				pass++
+			}
+			if r.naivePass {
 				naivePass++
+			}
+			if r.stab > maxStab {
+				maxStab = r.stab
 			}
 		}
 		t.AddRow(nf.n, nf.f, pi.FinalRound(), cfg.Seeds,
@@ -245,7 +266,7 @@ func E9BoundedCounters(cfg Config) *Table {
 		{"cyclic thirds", 12, []uint64{0, 4, 8}},
 		{"cyclic thirds (big K)", 48, []uint64{0, 16, 32}},
 	}
-	for _, sc := range scens {
+	rows := runPoints(cfg, scens, func(sc scen) []any {
 		n := len(sc.clocks)
 
 		bs, bps := roundagree.BoundedProcs(n, sc.k)
@@ -282,7 +303,10 @@ func E9BoundedCounters(cfg Config) *Table {
 			}
 		}
 
-		t.AddRow(sc.name, sc.k, n, bConv, uConv)
+		return []any{sc.name, sc.k, n, bConv, uConv}
+	})
+	for _, cells := range rows {
+		t.AddRow(cells...)
 	}
 	return t
 }
@@ -308,8 +332,7 @@ func E7AblationSuspects(cfg Config) *Table {
 	sigma := superimpose.RepeatedConsensus{FinalRound: pi.FinalRound(), Inputs: in}
 
 	run := func(filter bool) int {
-		pass := 0
-		for seed := cfg.BaseSeed + 1; seed <= cfg.BaseSeed+int64(cfg.Seeds); seed++ {
+		reps := runSeeds(cfg, func(seed int64) bool {
 			// p3 is faulty with total receive omission: it hears only its
 			// own broadcasts, so its round variable stays exactly one
 			// iteration behind forever, replaying stale inputs.
@@ -334,7 +357,11 @@ func E7AblationSuspects(cfg Config) *Table {
 			e := round.MustNewEngine(ps, adv)
 			e.Observe(h)
 			e.Run(cfg.Rounds)
-			if core.CheckFTSS(h, sigma, pi.FinalRound()) == nil {
+			return core.CheckFTSS(h, sigma, pi.FinalRound()) == nil
+		})
+		pass := 0
+		for _, ok := range reps {
+			if ok {
 				pass++
 			}
 		}

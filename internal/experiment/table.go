@@ -112,6 +112,11 @@ type Config struct {
 	// HorizonMS is the asynchronous run length per repetition, in virtual
 	// milliseconds.
 	HorizonMS int
+	// Workers bounds the number of repetitions run concurrently. Zero (the
+	// default) uses GOMAXPROCS; 1 forces sequential execution. Results are
+	// merged in seed order, so every table is byte-identical for any
+	// Workers value.
+	Workers int
 }
 
 // DefaultConfig returns the EXPERIMENTS.md-scale configuration.

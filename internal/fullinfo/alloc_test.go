@@ -1,0 +1,63 @@
+package fullinfo
+
+import (
+	"testing"
+
+	"ftss/internal/proc"
+)
+
+// The dense adoption tables exist so that Clone — executed by every process
+// every round in Runner.StartRound and at the top of every Step — is a
+// single slice copy instead of a map rebuild. These ceilings are generous
+// but binding: the map representation sat far above them (one allocation
+// per entry plus bucket growth).
+
+func clonesPerRun(t *testing.T, name string, s State, ceiling float64) {
+	t.Helper()
+	var sink State
+	avg := testing.AllocsPerRun(100, func() { sink = s.Clone() })
+	_ = sink
+	if avg > ceiling {
+		t.Errorf("%s.Clone: %.1f allocs, ceiling %.0f", name, avg, ceiling)
+	}
+}
+
+func TestCloneAllocationCeilings(t *testing.T) {
+	const n = 32
+
+	cs := NewConsensusState(n)
+	for i := 0; i < n; i++ {
+		cs.Adopted[i] = Adoption{Val: Value(i), Round: i % 4}
+	}
+	clonesPerRun(t, "ConsensusState", cs, 2) // struct + backing array
+
+	vs := NewVectorState(n)
+	for i := 0; i < n; i++ {
+		vs.Adopted[i] = Adoption{Val: Value(i), Round: i % 4}
+	}
+	clonesPerRun(t, "VectorState", vs, 2)
+
+	bs := &BroadcastState{Have: true, Val: 7, Round: 1}
+	clonesPerRun(t, "BroadcastState", bs, 1)
+}
+
+// TestWavefrontStepAllocationCeiling bounds one full-information Step with
+// n senders: clone of own state plus the merged next table, with no
+// per-entry allocations.
+func TestWavefrontStepAllocationCeiling(t *testing.T) {
+	const n = 16
+	pi := WavefrontConsensus{F: n/2 - 1}
+	own := pi.Init(0, n, 5)
+	received := make([]StateMsg, 0, n)
+	for i := 1; i < n; i++ {
+		s := pi.Init(proc.ID(i), n, Value(i)).(*ConsensusState)
+		received = append(received, StateMsg{From: proc.ID(i), State: s})
+	}
+	var sink State
+	avg := testing.AllocsPerRun(100, func() { sink = pi.Step(0, n, own, received, 1) })
+	_ = sink
+	const ceiling = 4
+	if avg > ceiling {
+		t.Errorf("WavefrontConsensus.Step: %.1f allocs, ceiling %d", avg, ceiling)
+	}
+}

@@ -9,34 +9,68 @@ import (
 
 // Adoption records when a process learned a value: the origin's own value
 // has Round 0; a value first accepted at the end of protocol round k has
-// Round k. The wavefront rule keys on this field.
+// Round k. The wavefront rule keys on this field. In the dense adoption
+// tables below, Round == AbsentRound marks an origin whose value is not
+// known.
 type Adoption struct {
 	Val   Value
 	Round int
 }
 
+// AbsentRound is the Round sentinel of an absent entry in a dense adoption
+// table. It is negative, so it can never collide with a real adoption round
+// (the origin's own value has Round 0, relayed values have Round ≥ 1).
+const AbsentRound = -1
+
 // ConsensusState is the full-information state of both consensus protocols:
-// the set of (origin, value) pairs known, with adoption rounds.
+// the (origin, value) pairs known, with adoption rounds. The table is dense,
+// indexed by origin ID; entries with Round == AbsentRound are not known.
+// Well-formed states have length n; corrupted states may be shorter or
+// longer (indices ≥ n model out-of-range origins that a systemic failure
+// wrote into the state).
 type ConsensusState struct {
-	Adopted map[proc.ID]Adoption
+	Adopted []Adoption
 }
 
 var _ State = (*ConsensusState)(nil)
 
-// Clone implements State.
-func (s *ConsensusState) Clone() State {
-	c := &ConsensusState{Adopted: make(map[proc.ID]Adoption, len(s.Adopted))}
-	for k, v := range s.Adopted {
-		c.Adopted[k] = v
+// NewConsensusState returns an empty state for a system of n processes:
+// every entry absent.
+func NewConsensusState(n int) *ConsensusState {
+	s := &ConsensusState{Adopted: make([]Adoption, n)}
+	for i := range s.Adopted {
+		s.Adopted[i].Round = AbsentRound
 	}
+	return s
+}
+
+// Clone implements State with a single slice copy.
+func (s *ConsensusState) Clone() State {
+	c := &ConsensusState{Adopted: make([]Adoption, len(s.Adopted))}
+	copy(c.Adopted, s.Adopted)
 	return c
+}
+
+// Known returns the number of origins whose value is known.
+func (s *ConsensusState) Known() int {
+	n := 0
+	for i := range s.Adopted {
+		if s.Adopted[i].Round != AbsentRound {
+			n++
+		}
+	}
+	return n
 }
 
 // Min returns the smallest adopted value and whether any exists.
 func (s *ConsensusState) Min() (Value, bool) {
 	first := true
 	var min Value
-	for _, a := range s.Adopted {
+	for i := range s.Adopted {
+		a := s.Adopted[i]
+		if a.Round == AbsentRound {
+			continue
+		}
 		if first || a.Val < min {
 			min = a.Val
 			first = false
@@ -47,7 +81,42 @@ func (s *ConsensusState) Min() (Value, bool) {
 
 // String renders the state compactly for traces.
 func (s *ConsensusState) String() string {
-	return fmt.Sprintf("known=%d", len(s.Adopted))
+	return fmt.Sprintf("known=%d", s.Known())
+}
+
+// growAdoptions extends a dense adoption table to length n, filling the new
+// tail with absent entries. Needed only when a corrupted (short) state flows
+// into Step.
+func growAdoptions(a []Adoption, n int) []Adoption {
+	if len(a) >= n {
+		return a
+	}
+	g := make([]Adoption, n)
+	copy(g, a)
+	for i := len(a); i < n; i++ {
+		g[i].Round = AbsentRound
+	}
+	return g
+}
+
+// corruptAdoptions builds an arbitrary dense adoption table, as a systemic
+// failure would leave it: random length up to n+2 (indices ≥ n model
+// out-of-range origins), each entry absent or carrying an arbitrary value
+// and round.
+func corruptAdoptions(rng *rand.Rand, n, finalRound int, valSpan int64, valShift int64) []Adoption {
+	m := rng.Intn(n + 3)
+	a := make([]Adoption, m)
+	for i := range a {
+		a[i].Round = AbsentRound
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		a[i] = Adoption{
+			Val:   Value(rng.Int63n(valSpan) - valShift),
+			Round: rng.Intn(finalRound + 3),
+		}
+	}
+	return a
 }
 
 // WavefrontConsensus solves Consensus in f+1 rounds, tolerating
@@ -75,34 +144,38 @@ func (w WavefrontConsensus) FinalRound() int { return w.F + 1 }
 
 // Init implements Protocol: p knows only its own input, adopted at round 0.
 func (w WavefrontConsensus) Init(p proc.ID, n int, input Value) State {
-	return &ConsensusState{Adopted: map[proc.ID]Adoption{
-		p: {Val: input, Round: 0},
-	}}
+	s := NewConsensusState(n)
+	s.Adopted[p] = Adoption{Val: input, Round: 0}
+	return s
 }
 
 // Step implements Protocol: adopt (u, v) at the end of round k iff some
 // sender's state shows it adopted (u, v) at the end of round k−1. Stale or
 // future-dated entries — which only corrupted states can contain — are
-// ignored, as are entries for origins already known.
+// ignored, as are entries for origins already known and entries beyond the
+// ID range (a corrupted table longer than n).
 func (w WavefrontConsensus) Step(p proc.ID, n int, s State, received []StateMsg, k int) State {
 	cur, ok := s.(*ConsensusState)
-	if !ok || cur == nil || cur.Adopted == nil {
-		cur = &ConsensusState{Adopted: make(map[proc.ID]Adoption)}
+	if !ok || cur == nil {
+		cur = NewConsensusState(n)
 	}
 	next := cur.Clone().(*ConsensusState)
+	next.Adopted = growAdoptions(next.Adopted, n)
 	for _, m := range received {
 		sender, ok := m.State.(*ConsensusState)
 		if !ok || sender == nil {
 			continue
 		}
-		for origin, a := range sender.Adopted {
+		limit := len(sender.Adopted)
+		if limit > n {
+			limit = n // corrupted out-of-range origins
+		}
+		for origin := 0; origin < limit; origin++ {
+			a := sender.Adopted[origin]
 			if a.Round != k-1 {
-				continue // not on the wavefront
+				continue // absent, or not on the wavefront
 			}
-			if int(origin) < 0 || int(origin) >= n {
-				continue // corrupted origin
-			}
-			if _, known := next.Adopted[origin]; known {
+			if next.Adopted[origin].Round != AbsentRound {
 				continue
 			}
 			next.Adopted[origin] = Adoption{Val: a.Val, Round: k}
@@ -120,19 +193,11 @@ func (w WavefrontConsensus) Output(s State) (Value, bool) {
 	return cs.Min()
 }
 
-// Corrupt implements Protocol: an arbitrary adoption map.
+// Corrupt implements Protocol: an arbitrary adoption table.
 func (w WavefrontConsensus) Corrupt(rng *rand.Rand, p proc.ID, n int) State {
-	s := &ConsensusState{Adopted: make(map[proc.ID]Adoption)}
-	for i := 0; i < n; i++ {
-		if rng.Intn(2) == 0 {
-			continue
-		}
-		s.Adopted[proc.ID(rng.Intn(n+2)-1)] = Adoption{
-			Val:   Value(rng.Int63n(1<<30) - (1 << 29)),
-			Round: rng.Intn(w.FinalRound() + 3),
-		}
+	return &ConsensusState{
+		Adopted: corruptAdoptions(rng, n, w.FinalRound(), 1<<30, 1<<29),
 	}
-	return s
 }
 
 // FloodMinConsensus is the textbook crash-tolerant consensus: flood every
@@ -156,29 +221,35 @@ func (f FloodMinConsensus) FinalRound() int { return f.F + 1 }
 
 // Init implements Protocol.
 func (f FloodMinConsensus) Init(p proc.ID, n int, input Value) State {
-	return &ConsensusState{Adopted: map[proc.ID]Adoption{
-		p: {Val: input, Round: 0},
-	}}
+	s := NewConsensusState(n)
+	s.Adopted[p] = Adoption{Val: input, Round: 0}
+	return s
 }
 
 // Step implements Protocol: adopt every previously unknown pair, no
 // wavefront restriction.
 func (f FloodMinConsensus) Step(p proc.ID, n int, s State, received []StateMsg, k int) State {
 	cur, ok := s.(*ConsensusState)
-	if !ok || cur == nil || cur.Adopted == nil {
-		cur = &ConsensusState{Adopted: make(map[proc.ID]Adoption)}
+	if !ok || cur == nil {
+		cur = NewConsensusState(n)
 	}
 	next := cur.Clone().(*ConsensusState)
+	next.Adopted = growAdoptions(next.Adopted, n)
 	for _, m := range received {
 		sender, ok := m.State.(*ConsensusState)
 		if !ok || sender == nil {
 			continue
 		}
-		for origin, a := range sender.Adopted {
-			if int(origin) < 0 || int(origin) >= n {
+		limit := len(sender.Adopted)
+		if limit > n {
+			limit = n
+		}
+		for origin := 0; origin < limit; origin++ {
+			a := sender.Adopted[origin]
+			if a.Round == AbsentRound {
 				continue
 			}
-			if _, known := next.Adopted[origin]; known {
+			if next.Adopted[origin].Round != AbsentRound {
 				continue
 			}
 			next.Adopted[origin] = Adoption{Val: a.Val, Round: k}

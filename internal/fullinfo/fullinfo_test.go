@@ -168,11 +168,15 @@ func TestWavefrontCrashProperty(t *testing.T) {
 }
 
 func TestConsensusStateClone(t *testing.T) {
-	s := &ConsensusState{Adopted: map[proc.ID]Adoption{0: {Val: 1, Round: 0}}}
+	s := NewConsensusState(2)
+	s.Adopted[0] = Adoption{Val: 1, Round: 0}
 	c := s.Clone().(*ConsensusState)
 	c.Adopted[1] = Adoption{Val: 2, Round: 1}
-	if len(s.Adopted) != 1 {
+	if s.Known() != 1 {
 		t.Error("Clone is not deep")
+	}
+	if c.Known() != 2 {
+		t.Error("clone did not take the write")
 	}
 	if s.String() == "" || c.String() == "" {
 		t.Error("String empty")
@@ -180,12 +184,12 @@ func TestConsensusStateClone(t *testing.T) {
 }
 
 func TestConsensusStateMin(t *testing.T) {
-	s := &ConsensusState{Adopted: map[proc.ID]Adoption{}}
+	s := NewConsensusState(2)
 	if _, ok := s.Min(); ok {
 		t.Error("empty state should have no min")
 	}
-	s.Adopted[0] = Adoption{Val: 5}
-	s.Adopted[1] = Adoption{Val: -3}
+	s.Adopted[0] = Adoption{Val: 5, Round: 0}
+	s.Adopted[1] = Adoption{Val: -3, Round: 0}
 	if v, ok := s.Min(); !ok || v != -3 {
 		t.Errorf("Min = %d,%v", v, ok)
 	}
@@ -215,17 +219,20 @@ func TestStepToleratesCorruptedStates(t *testing.T) {
 
 func TestCorruptedOriginsRejected(t *testing.T) {
 	pi := WavefrontConsensus{F: 1}
-	evil := &ConsensusState{Adopted: map[proc.ID]Adoption{
-		99: {Val: -100, Round: 0}, // origin out of range
-		-1: {Val: -200, Round: 0},
-	}}
+	// A corrupted table longer than n: entries at indices ≥ n are
+	// out-of-range origins and must not be adopted.
+	evil := NewConsensusState(5)
+	evil.Adopted[3] = Adoption{Val: -100, Round: 0}
+	evil.Adopted[4] = Adoption{Val: -200, Round: 0}
 	s := pi.Init(0, 3, 7)
 	out := pi.Step(0, 3, s, []StateMsg{{From: 1, State: evil}}, 1).(*ConsensusState)
-	if _, ok := out.Adopted[99]; ok {
-		t.Error("out-of-range origin accepted")
+	for origin := 3; origin < len(out.Adopted); origin++ {
+		if out.Adopted[origin].Round != AbsentRound {
+			t.Errorf("out-of-range origin %d accepted", origin)
+		}
 	}
-	if _, ok := out.Adopted[-1]; ok {
-		t.Error("negative origin accepted")
+	if v, ok := out.Min(); !ok || v != 7 {
+		t.Errorf("Min = %d,%v; corrupted values must not leak in", v, ok)
 	}
 }
 

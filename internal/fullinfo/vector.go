@@ -8,25 +8,43 @@ import (
 )
 
 // VectorState is the full-information state of the vector protocols: the
-// adoption map (as in consensus) read out as a whole vector rather than
-// folded to a minimum.
+// dense adoption table (as in consensus) read out as a whole vector rather
+// than folded to a minimum. Entries with Round == AbsentRound are ⊥.
 type VectorState struct {
-	Adopted map[proc.ID]Adoption
+	Adopted []Adoption
 }
 
 var _ State = (*VectorState)(nil)
 
-// Clone implements State.
-func (s *VectorState) Clone() State {
-	c := &VectorState{Adopted: make(map[proc.ID]Adoption, len(s.Adopted))}
-	for k, v := range s.Adopted {
-		c.Adopted[k] = v
+// NewVectorState returns an empty state for a system of n processes.
+func NewVectorState(n int) *VectorState {
+	s := &VectorState{Adopted: make([]Adoption, n)}
+	for i := range s.Adopted {
+		s.Adopted[i].Round = AbsentRound
 	}
+	return s
+}
+
+// Clone implements State with a single slice copy.
+func (s *VectorState) Clone() State {
+	c := &VectorState{Adopted: make([]Adoption, len(s.Adopted))}
+	copy(c.Adopted, s.Adopted)
 	return c
 }
 
+// Known returns the number of origins whose value is known.
+func (s *VectorState) Known() int {
+	n := 0
+	for i := range s.Adopted {
+		if s.Adopted[i].Round != AbsentRound {
+			n++
+		}
+	}
+	return n
+}
+
 // String renders the state compactly.
-func (s *VectorState) String() string { return fmt.Sprintf("vec(known=%d)", len(s.Adopted)) }
+func (s *VectorState) String() string { return fmt.Sprintf("vec(known=%d)", s.Known()) }
 
 // InteractiveConsistency is the vector form of agreement: after f+1 rounds
 // every correct process holds a vector V with V[q] = q's input or ⊥, such
@@ -56,31 +74,34 @@ func (ic InteractiveConsistency) FinalRound() int { return ic.F + 1 }
 
 // Init implements Protocol.
 func (ic InteractiveConsistency) Init(p proc.ID, n int, input Value) State {
-	return &VectorState{Adopted: map[proc.ID]Adoption{
-		p: {Val: input, Round: 0},
-	}}
+	s := NewVectorState(n)
+	s.Adopted[p] = Adoption{Val: input, Round: 0}
+	return s
 }
 
 // Step implements Protocol: wavefront adoption, exactly as consensus.
 func (ic InteractiveConsistency) Step(p proc.ID, n int, s State, received []StateMsg, k int) State {
 	cur, ok := s.(*VectorState)
-	if !ok || cur == nil || cur.Adopted == nil {
-		cur = &VectorState{Adopted: make(map[proc.ID]Adoption)}
+	if !ok || cur == nil {
+		cur = NewVectorState(n)
 	}
 	next := cur.Clone().(*VectorState)
+	next.Adopted = growAdoptions(next.Adopted, n)
 	for _, m := range received {
 		sender, ok := m.State.(*VectorState)
 		if !ok || sender == nil {
 			continue
 		}
-		for origin, a := range sender.Adopted {
+		limit := len(sender.Adopted)
+		if limit > n {
+			limit = n
+		}
+		for origin := 0; origin < limit; origin++ {
+			a := sender.Adopted[origin]
 			if a.Round != k-1 {
-				continue
+				continue // absent, or not on the wavefront
 			}
-			if int(origin) < 0 || int(origin) >= n {
-				continue
-			}
-			if _, known := next.Adopted[origin]; known {
+			if next.Adopted[origin].Round != AbsentRound {
 				continue
 			}
 			next.Adopted[origin] = Adoption{Val: a.Val, Round: k}
@@ -98,9 +119,13 @@ func (ic InteractiveConsistency) Vector(s State, n int) ([]Value, []bool) {
 	if !ok || vs == nil {
 		return vals, have
 	}
-	for q, a := range vs.Adopted {
-		if int(q) >= 0 && int(q) < n {
-			vals[q] = a.Val
+	limit := len(vs.Adopted)
+	if limit > n {
+		limit = n
+	}
+	for q := 0; q < limit; q++ {
+		if vs.Adopted[q].Round != AbsentRound {
+			vals[q] = vs.Adopted[q].Val
 			have[q] = true
 		}
 	}
@@ -110,13 +135,11 @@ func (ic InteractiveConsistency) Vector(s State, n int) ([]Value, []bool) {
 // Output implements Protocol: a deterministic digest of the vector, so
 // vector agreement is observable through the scalar interface (equal
 // digests ⟺ equal vectors, up to hash collisions that 64-bit FNV-style
-// mixing makes irrelevant for tests).
+// mixing makes irrelevant for tests). Dense-table index order is ID order,
+// so iterating the slice gives the deterministic origin order directly.
 func (ic InteractiveConsistency) Output(s State) (Value, bool) {
 	vs, ok := s.(*VectorState)
 	if !ok || vs == nil {
-		return 0, false
-	}
-	if len(vs.Adopted) == 0 {
 		return 0, false
 	}
 	var h uint64 = 1469598103934665603
@@ -124,36 +147,27 @@ func (ic InteractiveConsistency) Output(s State) (Value, bool) {
 		h ^= x
 		h *= 1099511628211
 	}
-	// Iterate origins in ID order for determinism.
-	ids := make([]proc.ID, 0, len(vs.Adopted))
+	any := false
 	for q := range vs.Adopted {
-		ids = append(ids, q)
-	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
+		a := vs.Adopted[q]
+		if a.Round == AbsentRound {
+			continue
 		}
-	}
-	for _, q := range ids {
+		any = true
 		mix(uint64(int64(q)) + 1)
-		mix(uint64(vs.Adopted[q].Val))
+		mix(uint64(a.Val))
+	}
+	if !any {
+		return 0, false
 	}
 	return Value(h & (1<<62 - 1)), true
 }
 
 // Corrupt implements Protocol.
 func (ic InteractiveConsistency) Corrupt(rng *rand.Rand, p proc.ID, n int) State {
-	s := &VectorState{Adopted: make(map[proc.ID]Adoption)}
-	for i := 0; i < n; i++ {
-		if rng.Intn(2) == 0 {
-			continue
-		}
-		s.Adopted[proc.ID(rng.Intn(n+2)-1)] = Adoption{
-			Val:   Value(rng.Int63n(1 << 30)),
-			Round: rng.Intn(ic.FinalRound() + 3),
-		}
+	return &VectorState{
+		Adopted: corruptAdoptions(rng, n, ic.FinalRound(), 1<<30, 0),
 	}
-	return s
 }
 
 // CommitVote is non-blocking-atomic-commitment-flavored agreement: every
@@ -190,9 +204,9 @@ func (cv CommitVote) Init(p proc.ID, n int, input Value) State {
 	if input != 0 {
 		vote = Commit
 	}
-	return &VectorState{Adopted: map[proc.ID]Adoption{
-		p: {Val: vote, Round: 0},
-	}}
+	s := NewVectorState(n)
+	s.Adopted[p] = Adoption{Val: vote, Round: 0}
+	return s
 }
 
 // Step implements Protocol.
@@ -211,14 +225,20 @@ func (cv CommitVote) Output(s State) (Value, bool) {
 	// requires a yes from every origin in 0..max-origin AND a full house.
 	// Output is therefore computed by the runner with n known — here we
 	// conservatively require: no recorded abstain/no-vote and at least one
-	// vote. NOut gives the n-aware verdict.
-	if len(vs.Adopted) == 0 {
-		return 0, false
-	}
-	for _, a := range vs.Adopted {
+	// vote. Verdict gives the n-aware result.
+	any := false
+	for i := range vs.Adopted {
+		a := vs.Adopted[i]
+		if a.Round == AbsentRound {
+			continue
+		}
+		any = true
 		if a.Val != Commit {
 			return Abort, true
 		}
+	}
+	if !any {
+		return 0, false
 	}
 	return Commit, true
 }
@@ -231,7 +251,7 @@ func (cv CommitVote) Verdict(s State, n int) (Value, bool) {
 		return 0, false
 	}
 	vs := s.(*VectorState)
-	if v == Commit && len(vs.Adopted) < n {
+	if v == Commit && vs.Known() < n {
 		return Abort, true // missing votes: cannot commit
 	}
 	return v, true

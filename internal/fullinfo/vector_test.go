@@ -93,9 +93,16 @@ func TestInteractiveConsistencyProperty(t *testing.T) {
 
 func TestVectorDigestDistinguishesVectors(t *testing.T) {
 	ic := InteractiveConsistency{F: 1}
-	a := &VectorState{Adopted: map[proc.ID]Adoption{0: {Val: 1}, 1: {Val: 2}}}
-	b := &VectorState{Adopted: map[proc.ID]Adoption{0: {Val: 1}, 1: {Val: 3}}}
-	c := &VectorState{Adopted: map[proc.ID]Adoption{0: {Val: 1}}}
+	vec := func(entries ...Adoption) *VectorState {
+		s := NewVectorState(2)
+		for i, a := range entries {
+			s.Adopted[i] = a
+		}
+		return s
+	}
+	a := vec(Adoption{Val: 1}, Adoption{Val: 2})
+	b := vec(Adoption{Val: 1}, Adoption{Val: 3})
+	c := vec(Adoption{Val: 1})
 	da, _ := ic.Output(a)
 	db, _ := ic.Output(b)
 	dc, _ := ic.Output(c)
@@ -104,12 +111,12 @@ func TestVectorDigestDistinguishesVectors(t *testing.T) {
 	}
 	// Same vector, different adoption rounds: same digest (rounds are
 	// bookkeeping, not content).
-	a2 := &VectorState{Adopted: map[proc.ID]Adoption{0: {Val: 1, Round: 2}, 1: {Val: 2, Round: 1}}}
+	a2 := vec(Adoption{Val: 1, Round: 2}, Adoption{Val: 2, Round: 1})
 	da2, _ := ic.Output(a2)
 	if da != da2 {
 		t.Error("digest depends on adoption rounds")
 	}
-	if _, ok := ic.Output(&VectorState{Adopted: map[proc.ID]Adoption{}}); ok {
+	if _, ok := ic.Output(NewVectorState(2)); ok {
 		t.Error("empty vector should have no output")
 	}
 	if _, ok := ic.Output(nil); ok {
@@ -118,10 +125,11 @@ func TestVectorDigestDistinguishesVectors(t *testing.T) {
 }
 
 func TestVectorStateClone(t *testing.T) {
-	s := &VectorState{Adopted: map[proc.ID]Adoption{0: {Val: 1}}}
+	s := NewVectorState(2)
+	s.Adopted[0] = Adoption{Val: 1, Round: 0}
 	c := s.Clone().(*VectorState)
-	c.Adopted[1] = Adoption{Val: 9}
-	if len(s.Adopted) != 1 {
+	c.Adopted[1] = Adoption{Val: 9, Round: 0}
+	if s.Known() != 1 {
 		t.Error("Clone is shallow")
 	}
 	if s.String() == "" {

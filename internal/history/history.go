@@ -98,7 +98,7 @@ func (h *History) ObserveRound(o round.Observation) {
 	h.influence = append(h.influence, next)
 
 	f := h.faulty[t]
-	if o.Deviated.Len() > 0 {
+	if o.Deviated.Len() > 0 && !o.Deviated.Subset(f) {
 		f = f.Union(o.Deviated)
 	}
 	h.faulty = append(h.faulty, f)
@@ -106,10 +106,17 @@ func (h *History) ObserveRound(o round.Observation) {
 }
 
 func (h *History) computeCoterie(t int) proc.Set {
-	correct := h.CorrectUpTo(t)
+	// One Universe allocation is inherent (the result is retained in
+	// h.coterie); the intersection itself is in place, with no per-process
+	// clones.
 	cot := proc.Universe(h.n)
-	for q := range correct {
-		cot = cot.Intersect(h.influence[t][q])
+	f := h.faulty[t]
+	for i := 0; i < h.n; i++ {
+		q := proc.ID(i)
+		if f.Has(q) {
+			continue
+		}
+		cot.IntersectWith(h.influence[t][q])
 	}
 	return cot
 }
@@ -132,6 +139,10 @@ func (h *History) Round(r int) round.Observation {
 // deviated from their protocol in rounds 1..t. t may be 0..Len().
 func (h *History) FaultyUpTo(t int) proc.Set { return h.faulty[t].Clone() }
 
+// FaultyUpToView is FaultyUpTo without the defensive copy. The returned
+// set is shared internal state: callers must treat it as read-only.
+func (h *History) FaultyUpToView(t int) proc.Set { return h.faulty[t] }
+
 // Faulty returns F(H,Π) of the whole recorded history.
 func (h *History) Faulty() proc.Set { return h.FaultyUpTo(h.Len()) }
 
@@ -145,9 +156,19 @@ func (h *History) Influence(t int, q proc.ID) proc.Set {
 	return h.influence[t][q].Clone()
 }
 
+// InfluenceView is Influence without the defensive copy; read-only.
+func (h *History) InfluenceView(t int, q proc.ID) proc.Set {
+	return h.influence[t][q]
+}
+
 // CoterieAt returns the coterie of the t-prefix (Definition 2.3). t may be
 // 0..Len().
 func (h *History) CoterieAt(t int) proc.Set { return h.coterie[t].Clone() }
+
+// CoterieAtView is CoterieAt without the defensive copy. The returned set
+// is shared internal state: callers must treat it as read-only. Checkers
+// that walk every prefix should prefer it over CoterieAt.
+func (h *History) CoterieAtView(t int) proc.Set { return h.coterie[t] }
 
 // Coterie returns the coterie of the whole recorded history.
 func (h *History) Coterie() proc.Set { return h.CoterieAt(h.Len()) }

@@ -82,6 +82,24 @@ func (s Set) Union(t Set) Set {
 	return u
 }
 
+// AddAll inserts every member of t into s, in place. The set must be
+// non-nil. It is the allocation-free counterpart of Union for hot paths.
+func (s Set) AddAll(t Set) {
+	for id := range t {
+		s[id] = struct{}{}
+	}
+}
+
+// IntersectWith removes from s, in place, every member not in t. It is the
+// allocation-free counterpart of Intersect for hot paths.
+func (s Set) IntersectWith(t Set) {
+	for id := range s {
+		if !t.Has(id) {
+			delete(s, id)
+		}
+	}
+}
+
 // Intersect returns a new set holding the members common to s and t.
 func (s Set) Intersect(t Set) Set {
 	u := make(Set)

@@ -24,7 +24,6 @@ package round
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"ftss/internal/failure"
 	"ftss/internal/proc"
@@ -66,7 +65,9 @@ type Process interface {
 	// or nil to stay silent.
 	StartRound() any
 	// EndRound delivers the messages the process received this round,
-	// sorted by sender. The process updates its state.
+	// sorted by sender. The slice is only valid for the duration of the
+	// call: the engine may reuse its backing storage on the next round, so
+	// implementations must not retain it (retaining the payloads is fine).
 	EndRound(received []Message)
 	// Snapshot reports the process state for the execution trace. It must
 	// not alias mutable internals.
@@ -109,12 +110,20 @@ type Observer interface {
 // Engine executes a synchronous round-based system.
 type Engine struct {
 	procs    []Process
-	byID     map[proc.ID]Process
+	byID     []Process // dense, indexed by proc.ID (IDs are 0..n−1)
 	adv      failure.Adversary
 	obs      []Observer
 	round    uint64 // next round to execute
 	crashed  proc.Set
 	designed proc.Set // designated faulty set, cached
+
+	// Reusable per-round scratch, dense by process ID. The inbox buffers
+	// are handed to EndRound and recycled on the next Step — except when
+	// observers are registered, in which case each round's delivery slices
+	// are freshly allocated because the Observation retains them.
+	aliveIDs []proc.ID
+	sent     []any
+	inbox    [][]Message
 }
 
 // NewEngine builds an engine over the given processes and adversary.
@@ -123,13 +132,13 @@ func NewEngine(procs []Process, adv failure.Adversary) (*Engine, error) {
 	if adv == nil {
 		adv = failure.None{}
 	}
-	byID := make(map[proc.ID]Process, len(procs))
+	byID := make([]Process, len(procs))
 	for _, p := range procs {
 		id := p.ID()
 		if int(id) < 0 || int(id) >= len(procs) {
 			return nil, fmt.Errorf("process id %v out of range [0,%d)", id, len(procs))
 		}
-		if _, dup := byID[id]; dup {
+		if byID[id] != nil {
 			return nil, fmt.Errorf("duplicate process id %v", id)
 		}
 		byID[id] = p
@@ -168,7 +177,12 @@ func (e *Engine) Round() uint64 { return e.round }
 func (e *Engine) Crashed() proc.Set { return e.crashed.Clone() }
 
 // Process returns the process with the given ID, or nil.
-func (e *Engine) Process(id proc.ID) Process { return e.byID[id] }
+func (e *Engine) Process(id proc.ID) Process {
+	if int(id) < 0 || int(id) >= len(e.byID) {
+		return nil
+	}
+	return e.byID[id]
+}
 
 // Corrupt injects a systemic failure into every process in ids that
 // implements failure.Corruptible, using the seeded rng. It returns the
@@ -176,7 +190,7 @@ func (e *Engine) Process(id proc.ID) Process { return e.byID[id] }
 func (e *Engine) Corrupt(rng *rand.Rand, ids proc.Set) int {
 	n := 0
 	for _, id := range ids.Sorted() {
-		p := e.byID[id]
+		p := e.Process(id)
 		if p == nil {
 			continue
 		}
@@ -196,8 +210,16 @@ func (e *Engine) CorruptEverything(rng *rand.Rand) int {
 // Step executes one round: crashes take effect, alive processes broadcast,
 // the adversary filters deliveries, alive processes absorb what arrived,
 // and observers are notified.
+//
+// Deliveries are bucketed per receiver by iterating senders in increasing
+// ID order, so each inbox is sorted by sender by construction — no sorting
+// pass. When no observer is registered the engine also skips snapshotting
+// and reuses its per-round buffers, so a steady-state round allocates
+// almost nothing beyond what the protocols themselves allocate.
 func (e *Engine) Step() {
 	r := e.round
+	n := len(e.procs)
+	observed := len(e.obs) > 0
 	deviated := proc.NewSet()
 
 	// Crashes scheduled for this round take effect before any step.
@@ -212,32 +234,44 @@ func (e *Engine) Step() {
 		}
 	}
 
-	alive := proc.NewSet()
-	for _, p := range e.procs {
-		if !e.crashed.Has(p.ID()) {
-			alive.Add(p.ID())
+	// Alive IDs in increasing order: a counting pass over the dense ID
+	// space, not a set sort.
+	if e.aliveIDs == nil {
+		e.aliveIDs = make([]proc.ID, 0, n)
+		e.sent = make([]any, n)
+		e.inbox = make([][]Message, n)
+	}
+	aliveIDs := e.aliveIDs[:0]
+	for i := 0; i < n; i++ {
+		if !e.crashed.Has(proc.ID(i)) {
+			aliveIDs = append(aliveIDs, proc.ID(i))
 		}
 	}
+	e.aliveIDs = aliveIDs
 
-	start := make(map[proc.ID]Snapshot, alive.Len())
-	sent := make(map[proc.ID]any, alive.Len())
-	for _, p := range e.procs {
-		id := p.ID()
-		if !alive.Has(id) {
-			continue
+	var start map[proc.ID]Snapshot
+	if observed {
+		start = make(map[proc.ID]Snapshot, len(aliveIDs))
+	}
+	for _, id := range aliveIDs {
+		p := e.byID[id]
+		if observed {
+			start[id] = p.Snapshot()
 		}
-		start[id] = p.Snapshot()
-		if payload := p.StartRound(); payload != nil {
-			sent[id] = payload
-		}
+		e.sent[id] = p.StartRound()
 	}
 
-	delivered := make(map[proc.ID][]Message, alive.Len())
-	for _, to := range alive.Sorted() {
+	for _, to := range aliveIDs {
 		var msgs []Message
-		for _, from := range alive.Sorted() {
-			payload, ok := sent[from]
-			if !ok {
+		if observed {
+			// The Observation retains this slice; it must be fresh.
+			msgs = make([]Message, 0, len(aliveIDs))
+		} else {
+			msgs = e.inbox[to][:0]
+		}
+		for _, from := range aliveIDs {
+			payload := e.sent[from]
+			if payload == nil {
 				continue
 			}
 			if from != to { // self-delivery is unconditional (footnote 1)
@@ -252,20 +286,33 @@ func (e *Engine) Step() {
 			}
 			msgs = append(msgs, Message{From: from, Payload: payload})
 		}
-		sort.Slice(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
-		delivered[to] = msgs
+		e.inbox[to] = msgs
 	}
 
-	end := make(map[proc.ID]Snapshot, alive.Len())
-	for _, p := range e.procs {
-		id := p.ID()
-		if alive.Has(id) {
-			p.EndRound(delivered[id])
+	var end map[proc.ID]Snapshot
+	if observed {
+		end = make(map[proc.ID]Snapshot, len(aliveIDs))
+	}
+	for _, id := range aliveIDs {
+		p := e.byID[id]
+		p.EndRound(e.inbox[id])
+		if observed {
 			end[id] = p.Snapshot()
 		}
 	}
 
-	if len(e.obs) > 0 {
+	if observed {
+		alive := proc.NewSet()
+		sent := make(map[proc.ID]any, len(aliveIDs))
+		delivered := make(map[proc.ID][]Message, len(aliveIDs))
+		for _, id := range aliveIDs {
+			alive.Add(id)
+			if e.sent[id] != nil {
+				sent[id] = e.sent[id]
+			}
+			delivered[id] = e.inbox[id]
+			e.inbox[id] = nil // retained by the Observation; do not reuse
+		}
 		o := Observation{
 			Round:     r,
 			Alive:     alive,
@@ -278,6 +325,9 @@ func (e *Engine) Step() {
 		for _, ob := range e.obs {
 			ob.ObserveRound(o)
 		}
+	}
+	for i := range e.sent {
+		e.sent[i] = nil
 	}
 
 	e.round++

@@ -1,0 +1,106 @@
+package round
+
+import (
+	"testing"
+
+	"ftss/internal/failure"
+	"ftss/internal/proc"
+)
+
+// sortedCheckProc asserts, inside EndRound, that its inbox is sorted by
+// sender — the engine's by-construction guarantee, checked on the live
+// slice (observed or not) rather than on a retained Observation.
+type sortedCheckProc struct {
+	id         proc.ID
+	violations int
+	deliveries int
+}
+
+func (p *sortedCheckProc) ID() proc.ID     { return p.id }
+func (p *sortedCheckProc) StartRound() any { return int(p.id) }
+
+func (p *sortedCheckProc) EndRound(received []Message) {
+	p.deliveries += len(received)
+	for i := 1; i < len(received); i++ {
+		if received[i-1].From >= received[i].From {
+			p.violations++
+		}
+	}
+}
+
+func (p *sortedCheckProc) Snapshot() Snapshot { return Snapshot{} }
+
+// TestInboxSortedBySenderProperty: under randomized general-omission and
+// crash adversaries, every delivered inbox is strictly sorted by sender, in
+// both the unobserved (buffer-reusing) and observed (fresh-slice) engine
+// paths.
+func TestInboxSortedBySenderProperty(t *testing.T) {
+	const n = 7
+	for _, observed := range []bool{false, true} {
+		for seed := int64(1); seed <= 25; seed++ {
+			faulty := proc.NewSet()
+			for i := 0; i < n/2; i++ {
+				faulty.Add(proc.ID((i*3 + int(seed)) % n))
+			}
+			mode := failure.GeneralOmission
+			if seed%3 == 0 {
+				mode = failure.Crash
+			}
+			adv := failure.NewRandom(mode, faulty, 0.4, seed, 10)
+			cs := make([]*sortedCheckProc, n)
+			ps := make([]Process, n)
+			for i := range cs {
+				cs[i] = &sortedCheckProc{id: proc.ID(i)}
+				ps[i] = cs[i]
+			}
+			e := MustNewEngine(ps, adv)
+			if observed {
+				e.Observe(&recordObserver{})
+			}
+			e.Run(20)
+			delivered := 0
+			for _, c := range cs {
+				if c.violations > 0 {
+					t.Fatalf("observed=%v seed=%d: %v saw %d unsorted inboxes",
+						observed, seed, c.id, c.violations)
+				}
+				delivered += c.deliveries
+			}
+			if delivered == 0 {
+				t.Fatalf("observed=%v seed=%d: nothing delivered, property vacuous", observed, seed)
+			}
+		}
+	}
+}
+
+// quietProc is a zero-allocation process: it broadcasts a pre-boxed
+// payload and discards its inbox, so AllocsPerRun sees only the engine.
+type quietProc struct {
+	id      proc.ID
+	payload any
+}
+
+func (p *quietProc) ID() proc.ID        { return p.id }
+func (p *quietProc) StartRound() any    { return p.payload }
+func (p *quietProc) EndRound([]Message) {}
+func (p *quietProc) Snapshot() Snapshot { return Snapshot{} }
+
+// TestStepAllocationCeiling pins the unobserved steady-state allocation
+// budget of Engine.Step: after warm-up, a round over non-allocating
+// processes must stay within a small constant (the per-round deviated
+// set), independent of n — the scratch buffers are reused.
+func TestStepAllocationCeiling(t *testing.T) {
+	const n = 16
+	ps := make([]Process, n)
+	for i := range ps {
+		ps[i] = &quietProc{id: proc.ID(i), payload: i}
+	}
+	e := MustNewEngine(ps, nil)
+	e.Run(3) // warm up the scratch buffers
+
+	avg := testing.AllocsPerRun(50, func() { e.Step() })
+	const ceiling = 4
+	if avg > ceiling {
+		t.Errorf("Engine.Step allocations: %.1f per round, ceiling %d", avg, ceiling)
+	}
+}

@@ -28,7 +28,6 @@ package skew
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"ftss/internal/failure"
 	"ftss/internal/proc"
@@ -190,15 +189,18 @@ func (e *Engine) Step() {
 		}
 	}
 
-	// Late messages scheduled by the previous round arrive now.
-	delivered := make(map[proc.ID][]round.Message, alive.Len())
-	for _, to := range alive.Sorted() {
-		delivered[to] = append(delivered[to], e.pending[to]...)
-	}
+	// On-time messages of this round, bucketed per receiver by iterating
+	// senders in increasing ID order — sorted by sender by construction.
+	// The late messages held in pending were bucketed the same way by the
+	// previous round, so delivery is a stable two-way merge (pending first
+	// on sender ties), not a sort.
+	pending := e.pending
 	e.pending = make(map[proc.ID][]round.Message)
-
-	for _, to := range alive.Sorted() {
-		for _, from := range alive.Sorted() {
+	delivered := make(map[proc.ID][]round.Message, alive.Len())
+	aliveIDs := alive.Sorted()
+	for _, to := range aliveIDs {
+		var fresh []round.Message
+		for _, from := range aliveIDs {
 			payload, ok := sent[from]
 			if !ok {
 				continue
@@ -217,10 +219,9 @@ func (e *Engine) Step() {
 					continue
 				}
 			}
-			delivered[to] = append(delivered[to], round.Message{From: from, Payload: payload})
+			fresh = append(fresh, round.Message{From: from, Payload: payload})
 		}
-		msgs := delivered[to]
-		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+		delivered[to] = mergeBySender(pending[to], fresh)
 	}
 
 	end := make(map[proc.ID]round.Snapshot, alive.Len())
@@ -247,6 +248,32 @@ func (e *Engine) Step() {
 		}
 	}
 	e.round++
+}
+
+// mergeBySender merges two message slices that are each already sorted by
+// sender into one sorted slice, late (pending) messages first on ties. It
+// replaces the sort.SliceStable pass the engine used to run per receiver.
+func mergeBySender(late, fresh []round.Message) []round.Message {
+	if len(late) == 0 {
+		return fresh
+	}
+	if len(fresh) == 0 {
+		return late
+	}
+	out := make([]round.Message, 0, len(late)+len(fresh))
+	i, j := 0, 0
+	for i < len(late) && j < len(fresh) {
+		if late[i].From <= fresh[j].From {
+			out = append(out, late[i])
+			i++
+		} else {
+			out = append(out, fresh[j])
+			j++
+		}
+	}
+	out = append(out, late[i:]...)
+	out = append(out, fresh[j:]...)
+	return out
 }
 
 // Run executes the next `rounds` rounds.

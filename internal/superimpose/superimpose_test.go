@@ -301,9 +301,9 @@ func TestSuspectFilteringProtectsDecision(t *testing.T) {
 	cs, ps := Procs(pi, 3, in)
 	// Corrupt p2: clock behind by one iteration, state claiming value -50.
 	cs[2].clock = 0
-	cs[2].state = &fullinfo.ConsensusState{Adopted: map[proc.ID]fullinfo.Adoption{
-		2: {Val: -50, Round: 0},
-	}}
+	stale := fullinfo.NewConsensusState(3)
+	stale.Adopted[2] = fullinfo.Adoption{Val: -50, Round: 0}
+	cs[2].state = stale
 	cs[0].clock, cs[1].clock = 2, 2
 
 	adv := failure.NewScripted(2) // designated faulty; no scripted drops needed
