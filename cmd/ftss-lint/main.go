@@ -1,0 +1,121 @@
+// Command ftss-lint statically enforces the repo's determinism and
+// protocol contracts (DESIGN.md §5, "Determinism lint"). It loads every
+// package named by go-style patterns, runs the internal/analysis suite —
+// nowallclock, seededrand, maporder, nogoroutine, clonealias, plus the
+// directive well-formedness check — and reports file:line diagnostics:
+//
+//	go run ./cmd/ftss-lint ./...
+//	go run ./cmd/ftss-lint -json ./... > ftss-lint.json
+//
+// Strictness is per package, driven by the //ftss:det header annotation;
+// //ftss:orderless and //ftss:pool are the reasoned escape hatches (see
+// internal/analysis). -json emits a machine-readable report with stable
+// ordering, mirroring cmd/benchbase's gate pattern: CI runs it as a
+// blocking step and uploads the report as an artifact.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ftss/internal/analysis"
+)
+
+// Report is the -json output: counts first, then the sorted
+// diagnostics.
+type Report struct {
+	Findings    int                   `json:"findings"`
+	Packages    int                   `json:"packages"`
+	DetPackages int                   `json:"det_packages"`
+	Analyzers   []string              `json:"analyzers"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+}
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftss-lint:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("ftss-lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report")
+	root := fs.String("root", ".", "module root `dir` (holds go.mod)")
+	if err := fs.Parse(args); err != nil {
+		return 2, nil // flag package already printed usage
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(*root)
+	if err != nil {
+		return 2, err
+	}
+	dirs, err := analysis.Expand(*root, patterns)
+	if err != nil {
+		return 2, err
+	}
+	var pkgs []*analysis.Package
+	det := 0
+	for _, d := range dirs {
+		p, err := loader.LoadDir(d)
+		if err != nil {
+			return 2, err
+		}
+		pkgs = append(pkgs, p)
+		if p.Det() {
+			det++
+		}
+	}
+
+	diags := analysis.Lint(pkgs)
+	var names []string
+	for _, a := range analysis.All() {
+		names = append(names, a.Name)
+	}
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		rep := Report{
+			Findings:    len(diags),
+			Packages:    len(pkgs),
+			DetPackages: det,
+			Analyzers:   names,
+			Diagnostics: diags,
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return 2, err
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+		}
+		if len(diags) == 0 {
+			fmt.Fprintf(w, "ftss-lint: clean — %d packages (%d deterministic), analyzers: %s\n",
+				len(pkgs), det, strings.Join(names, ", "))
+		} else {
+			fmt.Fprintf(w, "ftss-lint: %d finding(s) in %d packages\n", len(diags), len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

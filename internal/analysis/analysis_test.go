@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// One loader for the whole test binary: the source importer re-checks
+// stdlib packages from $GOROOT/src, which is worth caching across
+// fixture packages.
+var (
+	loaderOnce sync.Once
+	sharedL    *Loader
+	loaderErr  error
+)
+
+func loader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		sharedL, loaderErr = NewLoader(filepath.Join("..", ".."))
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return sharedL
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	p, err := loader(t).LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", name, err)
+	}
+	return p
+}
+
+// want comments mark the expected diagnostics inside fixture files:
+//
+//	expr // want "substring of the message"
+//	expr // want:-1 "diagnostic is on the line above"
+//
+// The optional :+N/:-N offset exists for diagnostics on directive
+// lines, where a trailing comment would parse as the directive reason.
+var wantRE = regexp.MustCompile(`want(?::([+-]\d+))?\s+"((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	file string
+	line int
+	text string
+}
+
+func fixtureWants(t *testing.T, p *Package) []want {
+	t.Helper()
+	var ws []want
+	for i, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					line := p.line(c.Pos())
+					if m[1] != "" {
+						var off int
+						fmt.Sscanf(m[1], "%d", &off)
+						line += off
+					}
+					ws = append(ws, want{
+						file: p.FileNames[i],
+						line: line,
+						text: strings.ReplaceAll(m[2], `\"`, `"`),
+					})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// TestFixtures runs the full analyzer suite over each fixture package
+// and matches the diagnostics against the want comments, both ways:
+// every want must be hit, every diagnostic must be wanted.
+func TestFixtures(t *testing.T) {
+	fixtures := []string{
+		"clean",
+		"clonealias",
+		"directive",
+		"globalrand",
+		"goroutine",
+		"maporder",
+		"nondet",
+		"wallclock",
+	}
+	for _, name := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			p := loadFixture(t, name)
+			diags := Lint([]*Package{p})
+			wants := fixtureWants(t, p)
+
+			matchedDiag := make([]bool, len(diags))
+			for _, w := range wants {
+				found := false
+				for i, d := range diags {
+					if d.File == w.file && d.Line == w.line && strings.Contains(d.Message, w.text) {
+						matchedDiag[i] = true
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("missing diagnostic: %s:%d wants %q", w.file, w.line, w.text)
+				}
+			}
+			for i, d := range diags {
+				if !matchedDiag[i] {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestFixtureDetFlags pins the annotation semantics: fixture packages
+// carrying a header ftss:det are det, nondet (no annotation) is not.
+func TestFixtureDetFlags(t *testing.T) {
+	if p := loadFixture(t, "clean"); !p.Det() {
+		t.Errorf("clean: Det() = false, want true (header //ftss:det)")
+	}
+	if p := loadFixture(t, "nondet"); p.Det() {
+		t.Errorf("nondet: Det() = true, want false (no annotation)")
+	}
+	// The misplaced det in the directive fixture must not flip the
+	// package to det-by-accident... but the header one already does;
+	// what matters is that header placement, not mere presence, is what
+	// indexDirectives keys on. goroutine/pool.go has a pool directive:
+	p := loadFixture(t, "goroutine")
+	if _, ok := p.PoolDirective("internal/analysis/testdata/src/goroutine/pool.go"); !ok {
+		t.Errorf("goroutine: pool.go ftss:pool directive not indexed")
+	}
+	if _, ok := p.PoolDirective("internal/analysis/testdata/src/goroutine/goroutine.go"); ok {
+		t.Errorf("goroutine: goroutine.go unexpectedly has a pool directive")
+	}
+}
+
+func TestParseDirectives(t *testing.T) {
+	src := `// Package doc.
+//
+//ftss:det state machines must replay identically
+package x
+
+func f(m map[int]int) {
+	//ftss:orderless keys feed a commutative sum
+	for range m {
+	}
+}
+
+//ftss:pool merge order is fixed by index
+
+// not a directive: //ftss:det quoted in prose is fine when indented
+var _ = 0
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := parseDirectives(fset, f, "x.go")
+	if len(ds) != 3 {
+		t.Fatalf("got %d directives %+v, want 3", len(ds), ds)
+	}
+	det, orderless, pool := ds[0], ds[1], ds[2]
+	if det.Kind != "det" || !det.header || det.Reason != "state machines must replay identically" {
+		t.Errorf("det directive = %+v", det)
+	}
+	if orderless.Kind != "orderless" || orderless.header || orderless.Reason != "keys feed a commutative sum" || orderless.Line != 7 {
+		t.Errorf("orderless directive = %+v", orderless)
+	}
+	if pool.Kind != "pool" || pool.Reason != "merge order is fixed by index" {
+		t.Errorf("pool directive = %+v", pool)
+	}
+}
+
+func TestSortDiagnostics(t *testing.T) {
+	ds := []Diagnostic{
+		{File: "b.go", Line: 1, Col: 1, Analyzer: "z"},
+		{File: "a.go", Line: 9, Col: 1, Analyzer: "z"},
+		{File: "a.go", Line: 2, Col: 7, Analyzer: "maporder"},
+		{File: "a.go", Line: 2, Col: 7, Analyzer: "clonealias"},
+		{File: "a.go", Line: 2, Col: 2, Analyzer: "z"},
+	}
+	SortDiagnostics(ds)
+	order := make([]string, len(ds))
+	for i, d := range ds {
+		order[i] = fmt.Sprintf("%s:%d:%d:%s", d.File, d.Line, d.Col, d.Analyzer)
+	}
+	wantOrder := []string{
+		"a.go:2:2:z",
+		"a.go:2:7:clonealias",
+		"a.go:2:7:maporder",
+		"a.go:9:1:z",
+		"b.go:1:1:z",
+	}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] {
+			t.Fatalf("order[%d] = %s, want %s (full: %v)", i, order[i], wantOrder[i], order)
+		}
+	}
+}
+
+// TestExpandSkipsTestdata pins that ./... never descends into testdata,
+// vendor, or hidden directories — the fixtures must not be linted as
+// part of the real tree.
+func TestExpandSkipsTestdata(t *testing.T) {
+	root := filepath.Join("..", "..")
+	dirs, err := Expand(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("Expand(./...) found no packages")
+	}
+	for _, d := range dirs {
+		if strings.Contains(filepath.ToSlash(d), "/testdata/") {
+			t.Errorf("Expand(./...) includes fixture dir %s", d)
+		}
+	}
+	// A non-recursive pattern resolves to exactly one directory.
+	one, err := Expand(root, []string{"internal/analysis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 {
+		t.Fatalf("Expand(internal/analysis) = %v, want one dir", one)
+	}
+	// A pattern with no Go files is an error, like the go tool.
+	if _, err := Expand(root, []string{"internal/nosuchpkg"}); err == nil {
+		t.Error("Expand(internal/nosuchpkg) succeeded, want error")
+	}
+}
+
+// TestRepoIsClean is the acceptance gate in miniature: the committed
+// tree must lint clean, so every determinism violation is either fixed
+// or carries an annotated escape hatch.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide type-check is slow; skipped in -short")
+	}
+	root := filepath.Join("..", "..")
+	dirs, err := Expand(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := loader(t)
+	var pkgs []*Package
+	det := 0
+	for _, d := range dirs {
+		p, err := l.LoadDir(d)
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", d, err)
+		}
+		if p.Det() {
+			det++
+		}
+		pkgs = append(pkgs, p)
+	}
+	if det < 10 {
+		t.Errorf("only %d det packages, want the core packages annotated (>= 10)", det)
+	}
+	for _, d := range Lint(pkgs) {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CloneAlias checks Clone and Step implementations in deterministic
+// packages for the aliasing bug class: returning or storing a
+// parameter's (or, for Clone, the receiver's) slice/map without
+// copying. The paper's compiler (Figure 2–3, Theorem 4) runs
+// full-information rounds in which state is handed from round to round
+// and process to process; a Clone that shares a backing array lets one
+// process's Step mutate another's history, which no seed sweep reliably
+// catches — exactly the bug the PR 2 dense-slice rewrite nearly
+// introduced.
+//
+// The analysis is a forward taint pass: receiver (Clone only) and
+// parameters are sources; locals assigned from a source-rooted chain —
+// including type assertions and range variables — become sources.
+// A violation is a source-rooted slice- or map-typed expression that is
+// returned (directly or inside a composite literal) or stored into a
+// structure. Calls break taint: append, copy, and clone helpers return
+// fresh values.
+var CloneAlias = &Analyzer{
+	Name: "clonealias",
+	Doc:  "flag Clone/Step implementations in ftss:det packages that return or store a parameter's slice/map without copying",
+	Run:  runCloneAlias,
+}
+
+func runCloneAlias(p *Package) []Diagnostic {
+	if !p.Det() {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || (fd.Name.Name != "Clone" && fd.Name.Name != "Step") {
+				continue
+			}
+			out = append(out, p.checkCloneAlias(fd)...)
+		}
+	}
+	return out
+}
+
+func (p *Package) checkCloneAlias(fd *ast.FuncDecl) []Diagnostic {
+	isClone := fd.Name.Name == "Clone"
+	tainted := map[types.Object]bool{}
+	names := map[types.Object]string{}
+
+	var recvObj types.Object
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recvObj = p.Info.Defs[fd.Recv.List[0].Names[0]]
+	}
+	// For Clone the receiver is the object being copied, so sharing its
+	// backing arrays is the bug. For Step, receiver-to-receiver stores
+	// are ordinary in-place mutation and stay legal; only the
+	// parameters (prior state, received messages) are sources.
+	if isClone && recvObj != nil {
+		tainted[recvObj] = true
+		names[recvObj] = "the receiver"
+	}
+	for _, fld := range fd.Type.Params.List {
+		for _, nm := range fld.Names {
+			if o := p.Info.Defs[nm]; o != nil {
+				tainted[o] = true
+				names[o] = fmt.Sprintf("parameter %s", nm.Name)
+			}
+		}
+	}
+
+	taintIdent := func(e ast.Expr, src types.Object) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if o := p.objOf(id); o != nil {
+				tainted[o] = true
+				if names[o] == "" {
+					names[o] = names[src]
+				}
+			}
+		}
+	}
+	rootOf := func(e ast.Expr) types.Object {
+		if root := rootIdent(e); root != nil {
+			if o := p.objOf(root); o != nil && tainted[o] {
+				return o
+			}
+		}
+		return nil
+	}
+
+	// Forward taint pass, in source order.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					if src := rootOf(s.Rhs[i]); src != nil {
+						taintIdent(s.Lhs[i], src)
+					}
+				}
+			} else if len(s.Rhs) == 1 {
+				if src := rootOf(s.Rhs[0]); src != nil {
+					for _, lh := range s.Lhs {
+						taintIdent(lh, src)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if src := rootOf(s.X); src != nil {
+				if s.Key != nil {
+					taintIdent(s.Key, src)
+				}
+				if s.Value != nil {
+					taintIdent(s.Value, src)
+				}
+			}
+		}
+		return true
+	})
+
+	var out []Diagnostic
+	// report walks an expression that is escaping (returned or stored),
+	// recursing through composite literals, and flags source-rooted
+	// slice/map parts.
+	var report func(e ast.Expr, verb string)
+	report = func(e ast.Expr, verb string) {
+		switch x := e.(type) {
+		case *ast.CompositeLit:
+			for _, elt := range x.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					report(kv.Value, verb)
+				} else {
+					report(elt, verb)
+				}
+			}
+			return
+		case *ast.ParenExpr:
+			report(x.X, verb)
+			return
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				report(x.X, verb)
+				return
+			}
+		}
+		src := rootOf(e)
+		if src == nil {
+			return
+		}
+		t := p.typeOf(e)
+		if t == nil {
+			return
+		}
+		var kind string
+		switch t.Underlying().(type) {
+		case *types.Slice:
+			kind = "slice"
+		case *types.Map:
+			kind = "map"
+		default:
+			return
+		}
+		out = append(out, p.diag("clonealias", e.Pos(), fmt.Sprintf(
+			"%s %s %s, which aliases %s's backing %s; deep-copy it — full-information state must be cloned, never aliased, or one process's Step mutates another's history",
+			fd.Name.Name, verb, types.ExprString(e), names[src], kind)))
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if id, ok := r.(*ast.Ident); ok && isClone && recvObj != nil && p.objOf(id) == recvObj {
+					out = append(out, p.diag("clonealias", r.Pos(),
+						"Clone returns its receiver unchanged; it must return an independent deep copy"))
+					continue
+				}
+				report(r, "returns")
+			}
+		case *ast.AssignStmt:
+			isStore := func(e ast.Expr) bool {
+				switch e.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					return true
+				}
+				return false
+			}
+			for i, rh := range s.Rhs {
+				stored := false
+				if len(s.Lhs) == len(s.Rhs) {
+					stored = isStore(s.Lhs[i])
+				} else {
+					for _, lh := range s.Lhs {
+						stored = stored || isStore(lh)
+					}
+				}
+				switch {
+				case stored:
+					// Storing into a structure that outlives the call.
+					report(rh, "stores")
+				case isCompositeValue(rh):
+					// Building a composite around a tainted slice/map
+					// is the same bug even when parked in a local
+					// first.
+					report(rh, "builds")
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isCompositeValue reports whether e is a composite literal, possibly
+// behind &.
+func isCompositeValue(e ast.Expr) bool {
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = u.X
+	}
+	_, ok := e.(*ast.CompositeLit)
+	return ok
+}

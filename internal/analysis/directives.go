@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Directive is one parsed ftss directive comment. Directives follow the
+// Go toolchain convention — "//" immediately followed by "ftss:kind",
+// no space — so gofmt keeps them intact and godoc hides them.
+type Directive struct {
+	// Kind is the word after "ftss:": det, orderless, or pool.
+	Kind string
+	// Reason is the free text after the kind. Mandatory for the escape
+	// hatches (orderless, pool).
+	Reason string
+	// File (root-relative) and Line locate the directive comment.
+	File string
+	Line int
+
+	// header marks a directive placed before the package clause —
+	// required for det, which annotates the whole package.
+	header bool
+}
+
+var directiveRE = regexp.MustCompile(`^//ftss:([a-z]+)(?:[ \t]+(.*))?$`)
+
+// parseDirectives extracts every ftss directive from one file's
+// comments.
+func parseDirectives(fset *token.FileSet, f *ast.File, relName string) []Directive {
+	var ds []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := directiveRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			ds = append(ds, Directive{
+				Kind:   m[1],
+				Reason: strings.TrimSpace(m[2]),
+				File:   relName,
+				Line:   fset.Position(c.Pos()).Line,
+				header: c.Pos() < f.Package,
+			})
+		}
+	}
+	return ds
+}
+
+// Directives validates that every ftss directive is well-formed: a
+// known kind, a reason on each escape hatch, orderless attached to a
+// range statement, det in the package header. It runs on every package,
+// det-annotated or not.
+var Directives = &Analyzer{
+	Name: "directive",
+	Doc:  "ftss: directive comments are well-formed and attached to what they govern",
+	Run:  runDirectives,
+}
+
+func runDirectives(p *Package) []Diagnostic {
+	// Range-statement lines per file, for the attachment check.
+	rangeLines := map[string]map[int]bool{}
+	for i, f := range p.Files {
+		lines := map[int]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				lines[p.line(rs.Pos())] = true
+			}
+			return true
+		})
+		rangeLines[p.FileNames[i]] = lines
+	}
+
+	var out []Diagnostic
+	report := func(d Directive, msg string) {
+		out = append(out, Diagnostic{
+			Analyzer: "directive", File: d.File, Line: d.Line, Col: 1, Message: msg,
+		})
+	}
+	for _, d := range p.Directives {
+		switch d.Kind {
+		case "det":
+			if !d.header {
+				report(d, "//ftss:det annotates the whole package and must sit in the file header, before the package clause")
+			}
+		case "orderless":
+			if d.Reason == "" {
+				report(d, "//ftss:orderless needs a reason: say why this map iteration order cannot reach any output")
+			}
+			if !rangeLines[d.File][d.Line] && !rangeLines[d.File][d.Line+1] {
+				report(d, "//ftss:orderless is not attached to a range statement (put it on the loop line or the line directly above)")
+			}
+		case "pool":
+			if d.Reason == "" {
+				report(d, "//ftss:pool needs a reason: say why this file's goroutine fan-out keeps results deterministic")
+			}
+		default:
+			report(d, fmt.Sprintf("unknown //ftss: directive %q (known: det, orderless, pool)", d.Kind))
+		}
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags map iteration in deterministic packages when the loop
+// body lets the randomized iteration order escape: appending to a slice
+// that outlives the loop, sending on a channel, writing output, or
+// mutating indexed state at an index other than the range key.
+//
+// Order-independent idioms pass without annotation:
+//
+//   - keyed writes (out[k] = v inside "for k, v := range m"): every
+//     iteration touches its own slot, so order cannot matter;
+//   - commutative folds (sum += v, max tracking, set union);
+//   - collect-then-sort (append the keys, sort.X/slices.X them in the
+//     same function before use).
+//
+// Anything else needs the keys sorted first, or a
+// //ftss:orderless <reason> directive on the loop.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map ranges in ftss:det packages whose body lets the randomized iteration order escape",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Package) []Diagnostic {
+	if !p.Det() {
+		return nil
+	}
+	var out []Diagnostic
+	for i, f := range p.Files {
+		fname := p.FileNames[i]
+		// Walk function by function so the collect-then-sort idiom can
+		// look for the sort call elsewhere in the same function.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !p.isMapType(rs.X) {
+					return true
+				}
+				if _, ok := p.OrderlessAt(fname, p.line(rs.Pos())); ok {
+					return true // annotated; the directive analyzer polices the reason
+				}
+				if trigger, ok := p.mapRangeTrigger(fd, rs); ok {
+					out = append(out, p.diag("maporder", rs.Pos(), fmt.Sprintf(
+						"range over map %s in a //ftss:det package %s; iteration order is randomized per run — sort the keys first, or annotate the loop //ftss:orderless <reason>",
+						types.ExprString(rs.X), trigger)))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isMapType reports whether the expression's static type is a map
+// (possibly behind a named type, like proc.Set).
+func (p *Package) isMapType(e ast.Expr) bool {
+	t := p.typeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// mapRangeTrigger scans a map-range body for the first order-escaping
+// operation, returning its description.
+func (p *Package) mapRangeTrigger(fd *ast.FuncDecl, rs *ast.RangeStmt) (string, bool) {
+	var keyObj types.Object
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyObj = p.objOf(id)
+	}
+	body := rs.Body
+	var trigger string
+	set := func(t string) {
+		if trigger == "" {
+			trigger = t
+		}
+	}
+	// indexedWrite flags stores m[i] = v unless i is the range key
+	// (each iteration then owns a distinct slot) or the container is
+	// local to the loop body.
+	indexedWrite := func(ix *ast.IndexExpr) {
+		if id, ok := ix.Index.(*ast.Ident); ok && keyObj != nil && p.objOf(id) == keyObj {
+			return
+		}
+		if root := rootIdent(ix.X); root != nil {
+			if obj := p.objOf(root); obj == nil || within(obj.Pos(), body) {
+				return
+			}
+		}
+		set("and the body writes indexed state at an index other than the range key")
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if trigger != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			set("and the body sends on a channel")
+		case *ast.IncDecStmt:
+			if ix, ok := s.X.(*ast.IndexExpr); ok {
+				indexedWrite(ix)
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 && len(s.Lhs) == 1 {
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok && p.isBuiltin(call.Fun, "append") {
+					p.checkAppend(fd, body, s.Lhs[0], set)
+				}
+			}
+			for _, lh := range s.Lhs {
+				if ix, ok := lh.(*ast.IndexExpr); ok {
+					indexedWrite(ix)
+				}
+			}
+		case *ast.CallExpr:
+			p.checkOutputCall(s, set)
+		}
+		return true
+	})
+	return trigger, trigger != ""
+}
+
+// checkAppend flags "dst = append(dst, ...)" when dst outlives the loop
+// and is never sorted in the enclosing function (the collect-then-sort
+// idiom is deterministic once sorted).
+func (p *Package) checkAppend(fd *ast.FuncDecl, body *ast.BlockStmt, lhs ast.Expr, set func(string)) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		obj := p.objOf(id)
+		if obj == nil || within(obj.Pos(), body) {
+			return
+		}
+		if p.sortedInFunc(fd, obj) {
+			return
+		}
+		set("and the body appends to a slice that outlives the loop without a subsequent sort")
+		return
+	}
+	// o.f = append(o.f, ...) — appending to reachable state.
+	if root := rootIdent(lhs); root != nil {
+		if obj := p.objOf(root); obj != nil && within(obj.Pos(), body) {
+			return
+		}
+	}
+	set("and the body appends to state that outlives the loop")
+}
+
+// sortedInFunc reports whether the function sorts the object through
+// package sort or slices — the second half of collect-then-sort.
+func (p *Package) sortedInFunc(fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (!p.selectsPackage(sel, "sort") && !p.selectsPackage(sel, "slices")) {
+			return true
+		}
+		if root := rootIdent(call.Args[0]); root != nil && p.objOf(root) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// printFuncs and writerMethods identify output sinks: anything written
+// per-iteration lands in iteration order.
+var printFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func (p *Package) checkOutputCall(call *ast.CallExpr, set func(string)) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if (p.selectsPackage(fun, "fmt") || p.selectsPackage(fun, "log")) && printFuncs[fun.Sel.Name] {
+			set("and the body writes output")
+		} else if writerMethods[fun.Sel.Name] {
+			set("and the body writes output")
+		}
+	case *ast.Ident:
+		if fun.Name == "print" || fun.Name == "println" {
+			if _, ok := p.objOf(fun).(*types.Builtin); ok {
+				set("and the body writes output")
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// NoWallClock forbids wall-clock reads and timer construction in
+// deterministic packages. Experiment output must be a pure function of
+// seeds (the PR 2 determinism contract); reading the clock — even for a
+// log line — makes two runs of the same seed diverge. Time-driven code
+// belongs in internal/sim/live, which is deliberately outside the
+// contract.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid time.Now/Since/Until/Sleep/After/Tick/AfterFunc/NewTimer/NewTicker in ftss:det packages",
+	Run:  runNoWallClock,
+}
+
+// bannedTimeFuncs are the package-level time functions that read or
+// schedule against the wall clock. Constructors from explicit instants
+// (time.Unix, time.Date) and pure arithmetic (Duration, Time methods)
+// stay legal.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runNoWallClock(p *Package) []Diagnostic {
+	if !p.Det() {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if p.selectsPackage(sel, "time") && bannedTimeFuncs[sel.Sel.Name] {
+				out = append(out, p.diag("nowallclock", sel.Pos(), fmt.Sprintf(
+					"time.%s reads the wall clock; a //ftss:det package must be a pure function of its inputs — take instants/durations as parameters, or move the code to internal/sim/live",
+					sel.Sel.Name)))
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand forbids the package-level math/rand functions in
+// deterministic packages: they draw from the process-global source, so
+// results depend on whatever else has consumed randomness — across
+// goroutines, across test order, across runs. Randomness must flow
+// through an injected *rand.Rand derived from the repetition seed
+// (rand.New(rand.NewSource(seed))), the pattern every experiment and
+// chaos plan already follows.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid global math/rand functions in ftss:det packages; randomness must come from an injected *rand.Rand",
+	Run:  runSeededRand,
+}
+
+// allowedRandFuncs construct seeded generators without touching the
+// global source (v1 and v2 spellings).
+var allowedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// randTypeNames lets the degraded mode (stdlib import unavailable, no
+// object info) still pass type references like rand.Rand.
+var randTypeNames = map[string]bool{
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+	"PCG": true, "ChaCha8": true,
+}
+
+func runSeededRand(p *Package) []Diagnostic {
+	if !p.Det() {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !p.selectsPackage(sel, "math/rand") && !p.selectsPackage(sel, "math/rand/v2") {
+				return true
+			}
+			name := sel.Sel.Name
+			if allowedRandFuncs[name] {
+				return true
+			}
+			switch p.objOf(sel.Sel).(type) {
+			case *types.Func:
+				// flagged below
+			case nil:
+				// Degraded stdlib import: no member info. Assume
+				// function unless it is a known type name.
+				if randTypeNames[name] {
+					return true
+				}
+			default:
+				return true // type or const reference, not a draw
+			}
+			out = append(out, p.diag("seededrand", sel.Pos(), fmt.Sprintf(
+				"math/rand.%s draws from the process-global source; in a //ftss:det package randomness must come from an injected *rand.Rand built as rand.New(rand.NewSource(seed)) so every run is a pure function of the repetition seed",
+				name)))
+			return true
+		})
+	}
+	return out
+}

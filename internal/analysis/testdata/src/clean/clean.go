@@ -1,0 +1,34 @@
+// Package clean is a lint fixture: a det package with nothing to
+// report — seeded randomness, sorted map iteration, deep copies.
+//
+//ftss:det fixture
+package clean
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Pick draws from an injected generator.
+func Pick(rng *rand.Rand, n int) int { return rng.Intn(n) }
+
+// Tally folds a map commutatively and renders it in key order.
+func Tally(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Grid is deep-copied row by row.
+type Grid struct{ Rows [][]int }
+
+func (g *Grid) Clone() *Grid {
+	c := &Grid{Rows: make([][]int, len(g.Rows))}
+	for i := range g.Rows {
+		c.Rows[i] = append([]int(nil), g.Rows[i]...)
+	}
+	return c
+}

@@ -1,0 +1,77 @@
+// Package clonealias is a lint fixture: Clone/Step implementations that
+// alias instead of copying, next to the deep-copy shapes that pass.
+//
+//ftss:det fixture
+package clonealias
+
+// State is cloned correctly: fresh backing arrays, keyed map copy.
+type State struct {
+	Data []int
+	Tags map[string]int
+}
+
+func (s *State) Clone() *State {
+	c := &State{Data: make([]int, len(s.Data)), Tags: make(map[string]int, len(s.Tags))}
+	copy(c.Data, s.Data)
+	for k, v := range s.Tags {
+		c.Tags[k] = v
+	}
+	return c
+}
+
+// Shallow shares both backing structures with its "copy".
+type Shallow struct {
+	Data []int
+	Tags map[string]int
+}
+
+func (s *Shallow) Clone() *Shallow {
+	return &Shallow{
+		Data: s.Data, // want "aliases the receiver's backing slice"
+		Tags: s.Tags, // want "aliases the receiver's backing map"
+	}
+}
+
+// Self does not even pretend to copy.
+type Self struct{ m map[int]int }
+
+func (s *Self) Clone() *Self {
+	return s // want "returns its receiver unchanged"
+}
+
+// Sink retains the caller's buffer.
+type Sink struct{ buf []byte }
+
+func (k *Sink) Step(in []byte) {
+	k.buf = in // want "aliases parameter in's backing slice"
+}
+
+// Echo returns a parameter slice as if it were fresh state.
+type Echo struct{}
+
+func (Echo) Step(in []int) []int {
+	return in // want "aliases parameter in's backing slice"
+}
+
+// Cast launders the alias through a type assertion and a local.
+type Cast struct{}
+
+func (Cast) Step(s any) []int {
+	v := s.([]int)
+	return v // want "aliases parameter s's backing slice"
+}
+
+// Parked builds the aliasing composite in a local before returning it.
+type Parked struct{ Data []int }
+
+func (p *Parked) Clone() *Parked {
+	c := &Parked{Data: p.Data} // want "aliases the receiver's backing slice"
+	return c
+}
+
+// Grow is legal: append against a nil base copies.
+type Grow struct{ Data []int }
+
+func (g *Grow) Clone() *Grow {
+	return &Grow{Data: append([]int(nil), g.Data...)}
+}

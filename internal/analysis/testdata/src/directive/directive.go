@@ -1,0 +1,34 @@
+// Package directive is a lint fixture for directive well-formedness:
+// unknown kinds, missing reasons, detached orderless, misplaced det.
+// The wants sit one line below each directive (want:-1) because a
+// comment on the directive line would parse as its reason.
+//
+//ftss:det fixture
+package directive
+
+func Unknown(m map[int]int) int {
+	total := 0
+	//ftss:frobnicate whatever
+	for _, v := range m { // want:-1 "unknown //ftss: directive"
+		total += v
+	}
+	return total
+}
+
+func Reasonless(m map[int]int) int {
+	total := 0
+	//ftss:orderless
+	for _, v := range m { // want:-1 "//ftss:orderless needs a reason"
+		total += v
+	}
+	return total
+}
+
+//ftss:orderless fixture: nothing below ranges over anything
+var _ = 0 // want:-1 "not attached to a range statement"
+
+//ftss:pool
+var _ = 1 // want:-1 "//ftss:pool needs a reason"
+
+//ftss:det misplaced
+var _ = 2 // want:-1 "must sit in the file header"

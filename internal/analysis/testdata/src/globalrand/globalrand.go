@@ -1,0 +1,22 @@
+// Package globalrand is a lint fixture: global math/rand draws in a det
+// package.
+//
+//ftss:det fixture
+package globalrand
+
+import "math/rand"
+
+func Bad(n int) int {
+	rand.Seed(1)                            // want "math/rand.Seed draws from the process-global source"
+	x := rand.Intn(n)                       // want "math/rand.Intn draws from the process-global source"
+	f := rand.Float64                       // want "math/rand.Float64 draws from the process-global source"
+	return x + int(rand.Int63()) + int(f()) // want "math/rand.Int63 draws from the process-global source"
+}
+
+// Good injects a seeded generator: every draw is a pure function of the
+// seed.
+func Good(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	var r *rand.Rand = rng // type references are fine
+	return r.Intn(n)
+}

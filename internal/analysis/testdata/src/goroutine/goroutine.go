@@ -1,0 +1,14 @@
+// Package goroutine is a lint fixture: go statements in a det package.
+//
+//ftss:det fixture
+package goroutine
+
+func Bad(f func()) {
+	go f() // want "go statement in a //ftss:det package"
+}
+
+func AlsoBad(done chan struct{}) {
+	go func() { // want "go statement in a //ftss:det package"
+		close(done)
+	}()
+}

@@ -1,0 +1,11 @@
+package goroutine
+
+//ftss:pool fixture: bounded fan-out whose results are merged in index order
+
+// PoolRun stands in for the sanctioned worker pool: the file-level
+// ftss:pool directive exempts this file from nogoroutine.
+func PoolRun(fns []func()) {
+	for _, f := range fns {
+		go f()
+	}
+}

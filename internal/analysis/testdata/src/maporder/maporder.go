@@ -1,0 +1,89 @@
+// Package maporder is a lint fixture: map iteration order escaping into
+// output in a det package, plus the idioms that legitimately pass.
+//
+//ftss:det fixture
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Keys leaks iteration order into the returned slice.
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want "appends to a slice that outlives the loop"
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// SortedKeys is the collect-then-sort idiom: deterministic once sorted.
+func SortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Render writes rows in iteration order.
+func Render(m map[string]int) {
+	for k, v := range m { // want "writes output"
+		fmt.Println(k, v)
+	}
+}
+
+// Index writes through a cursor that is not the range key.
+func Index(m map[int]int, out []int) {
+	i := 0
+	for _, v := range m { // want "writes indexed state at an index other than the range key"
+		out[i] = v
+		i++
+	}
+}
+
+// Send leaks order into a channel.
+func Send(m map[int]int, ch chan int) {
+	for _, v := range m { // want "sends on a channel"
+		ch <- v
+	}
+}
+
+// KeyedCopy writes each iteration to its own key: order-free.
+func KeyedCopy(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Fold is commutative: order-free.
+func Fold(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Scratch mutates state local to the loop body: order-free.
+func Scratch(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		tmp := make([]int, 1)
+		tmp[0] = v
+		total += tmp[0]
+	}
+	return total
+}
+
+// Annotated carries the reasoned escape hatch.
+func Annotated(m map[int]int, ch chan int) {
+	//ftss:orderless the consumer drains into a set; arrival order is immaterial
+	for _, v := range m {
+		ch <- v
+	}
+}

@@ -1,0 +1,17 @@
+// Package nondet is a lint fixture WITHOUT the det annotation: the
+// determinism analyzers must stay silent here even though every banned
+// construct appears. Only directive well-formedness applies.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Wall(done chan struct{}) int64 {
+	go func() { close(done) }()
+	for k := range map[int]int{1: 1} {
+		_ = k
+	}
+	return time.Now().UnixNano() + int64(rand.Intn(9))
+}

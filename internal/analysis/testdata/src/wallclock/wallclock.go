@@ -1,0 +1,27 @@
+// Package wallclock is a lint fixture: forbidden wall-clock reads in a
+// det package. Lines carry want-diagnostic comments consumed by the
+// fixture harness in analysis_test.go.
+//
+//ftss:det fixture
+package wallclock
+
+import (
+	"time"
+
+	tt "time"
+)
+
+const tick = 10 * time.Millisecond // durations are pure arithmetic: fine
+
+func Bad() time.Time {
+	time.Sleep(tick)                     // want "time.Sleep reads the wall clock"
+	if time.Since(time.Unix(0, 0)) > 0 { // want "time.Since reads the wall clock"
+		<-tt.After(tick) // want "time.After reads the wall clock"
+	}
+	t := time.NewTimer(tick) // want "time.NewTimer reads the wall clock"
+	t.Stop()
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// Good constructs instants from explicit inputs — no clock involved.
+func Good(sec int64) time.Time { return time.Unix(sec, 0) }

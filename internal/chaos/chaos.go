@@ -21,6 +21,8 @@
 // schedule do not; this is the strongest reproducibility a wall-clock
 // runtime can offer, and it is what makes a failing soak run re-runnable
 // from its logged seed.
+//
+//ftss:det fault plans must be re-runnable from their logged seed
 package chaos
 
 import (

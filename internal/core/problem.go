@@ -4,6 +4,8 @@
 // notions of solving a problem — ft-solves (Definition 2.1), ss-solves
 // (Definition 2.2), the rejected Tentative Definition 1, and ftss-solves
 // (Definition 2.4, piece-wise stability).
+//
+//ftss:det problem definitions are evaluated inside deterministic replays
 package core
 
 import (

@@ -39,6 +39,8 @@
 // correct processes hold equal decisions that never change again; on runs
 // whose initial state is uncorrupted the common value is some process's
 // input (validity).
+//
+//ftss:det consensus traces are diffed across repetitions
 package ctcons
 
 import (
@@ -489,6 +491,7 @@ func (p *Proc) String() string {
 
 func sortedIDs(m map[proc.ID]EstimateMsg) []proc.ID {
 	ids := make([]proc.ID, 0, len(m))
+	//ftss:orderless keys are insertion-sorted by the loop below before use
 	for id := range m {
 		ids = append(ids, id)
 	}

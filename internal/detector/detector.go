@@ -19,6 +19,8 @@
 // designated witness reliably suspects the crashed. The Figure 4 transform
 // (StrongCore) must and does work against any such oracle, from any
 // initial state (Theorem 5).
+//
+//ftss:det oracle outputs must be a function of the recorded history
 package detector
 
 import (

@@ -1,5 +1,7 @@
 package experiment
 
+//ftss:pool bounded repetition fan-out; results merge in index order, so output is identical to a sequential run
+
 import (
 	"runtime"
 	"sync"

@@ -4,6 +4,8 @@
 // experiment is deterministic given its Config and prints a table whose
 // shape — who stabilizes, within how many rounds, who fails and why — is
 // what the paper predicts. EXPERIMENTS.md records the outputs.
+//
+//ftss:det E1-E13 tables must be byte-identical across machines
 package experiment
 
 import (

@@ -26,6 +26,8 @@
 //
 //   - ReliableBroadcast: single-initiator wavefront relay; all correct
 //     processes deliver the initiator's value or all deliver nothing.
+//
+//ftss:det full-information state transitions must be replayable
 package fullinfo
 
 import (

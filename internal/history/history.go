@@ -12,6 +12,8 @@
 // grow and the faulty set only grows, the coterie is monotone
 // non-decreasing in t; a de-stabilizing event is precisely a round in
 // which a process enters the coterie.
+//
+//ftss:det causal analyses feed golden experiment output
 package history
 
 import (

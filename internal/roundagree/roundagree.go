@@ -14,6 +14,8 @@
 // hears. Theorem 2 shows this discipline is incompatible with
 // ftss-solvability, and the experiments demonstrate the two-scenario
 // argument with it.
+//
+//ftss:det Figure 1 runs are compared round-for-round across seeds
 package roundagree
 
 import (

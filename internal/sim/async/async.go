@@ -20,6 +20,8 @@
 //     process is delivered after a bounded random delay; messages to
 //     crashed processes vanish. Only crash process failures exist in this
 //     model (§3 considers Consensus under crash failures).
+//
+//ftss:det scheduler steps are a pure function of seed and inputs
 package async
 
 import (

@@ -19,6 +19,8 @@
 // Systemic failures are injected with Engine.Corrupt, which strikes process
 // state between rounds; the protocol code is never altered, matching the
 // paper's definition of a self-stabilization failure.
+//
+//ftss:det the synchronous engine must replay identically from a seed
 package round
 
 import (

@@ -23,6 +23,8 @@
 //     lag; the suspect rule accepts round tags from the whole window
 //     {c−1, c} and is evaluated per window rather than per engine round.
 //     Stabilization doubles along with the rounds.
+//
+//ftss:det window evaluation must be reproducible per seed
 package skew
 
 import (

@@ -21,6 +21,8 @@
 //   - At each iteration boundary (normalize(c_p) returning to 1) the
 //     protocol state is re-initialized from the per-iteration input source
 //     and the suspect set is cleared.
+//
+//ftss:det compiled protocols must stabilize identically across runs
 package superimpose
 
 import (
@@ -285,6 +287,7 @@ func (p *Proc) Corrupt(rng *rand.Rand) {
 
 func sortedKeys[V any](m map[proc.ID]V) []proc.ID {
 	ids := make([]proc.ID, 0, len(m))
+	//ftss:orderless keys are insertion-sorted by the loop below before use
 	for id := range m {
 		ids = append(ids, id)
 	}
