@@ -5,6 +5,7 @@
 package ftss
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -248,6 +249,146 @@ func BenchmarkCoterieMaintenance(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Step()
+	}
+}
+
+// benchCoterieMaintenance is BenchmarkCoterieMaintenance at width n: the
+// incremental influence/coterie update is the hot path the word-packed
+// set representation exists for, so it is measured at production widths
+// too (the n≥64 points are the PR's headline speedup).
+func benchCoterieMaintenance(b *testing.B, n int) {
+	faulty := proc.NewSet()
+	for i := 0; i < n/6; i++ {
+		faulty.Add(proc.ID(i))
+	}
+	adv := failure.NewRandom(failure.GeneralOmission, faulty, 0.4, 9, 0)
+	_, ps := roundagree.Procs(n)
+	h := history.New(n, adv.Faulty())
+	e := round.MustNewEngine(ps, adv)
+	e.Observe(h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkCoterieMaintenance64: the coterie hot path at n=64.
+func BenchmarkCoterieMaintenance64(b *testing.B) { benchCoterieMaintenance(b, 64) }
+
+// BenchmarkCoterieMaintenance256: the coterie hot path at n=256.
+func BenchmarkCoterieMaintenance256(b *testing.B) { benchCoterieMaintenance(b, 256) }
+
+// BenchmarkE14ScalePoint: one E14 pipeline point at production width
+// (n=64) — corrupted round agreement plus the compiled wavefront, both
+// through the Definition 2.4 checker.
+func BenchmarkE14ScalePoint(b *testing.B) {
+	const n = 64
+	pi := fullinfo.WavefrontConsensus{F: 3}
+	in := superimpose.SeededInputs(n*31+3, 1000)
+	sigma := superimpose.RepeatedConsensus{FinalRound: pi.FinalRound(), Inputs: in}
+	for i := 0; i < b.N; i++ {
+		faulty := proc.NewSet()
+		for j := 0; j < n/4; j++ {
+			faulty.Add(proc.ID((j*3 + i) % n))
+		}
+		adv := failure.NewRandom(failure.GeneralOmission, faulty, 0.35, int64(i), 12)
+		cs, ps := roundagree.Procs(n)
+		rng := rand.New(rand.NewSource(int64(i) * 97))
+		for _, c := range cs {
+			c.Corrupt(rng)
+		}
+		h := history.New(n, faulty)
+		e := round.MustNewEngine(ps, adv)
+		e.Observe(h)
+		e.Run(24)
+		if err := core.CheckFTSS(h, core.RoundAgreement{}, 1); err != nil {
+			b.Fatal(err)
+		}
+
+		wfFaulty := proc.NewSet(1, 4, 6)
+		wfAdv := failure.NewRandom(failure.GeneralOmission, wfFaulty, 0.3, int64(i), 6)
+		ws, wps := superimpose.Procs(pi, n, in)
+		wrng := rand.New(rand.NewSource(int64(i) * 13))
+		for _, c := range ws {
+			c.Corrupt(wrng)
+		}
+		wh := history.New(n, wfFaulty)
+		we := round.MustNewEngine(wps, wfAdv)
+		we.Observe(wh)
+		we.Run(12)
+		if err := core.CheckFTSS(wh, sigma, pi.FinalRound()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- proc.Set micro-benchmarks ---
+//
+// Written against the API surface shared with the pre-bitset map
+// representation (Add/AddAll/Intersect/Sorted), so the same code measures
+// both sides of the old-vs-new baseline comparison.
+
+// benchSetPair builds two overlapping sets of width n: every third and
+// every second ID respectively.
+func benchSetPair(n int) (proc.Set, proc.Set) {
+	x, y := proc.NewSet(), proc.NewSet()
+	for i := 0; i < n; i += 3 {
+		x.Add(proc.ID(i))
+	}
+	for i := 0; i < n; i += 2 {
+		y.Add(proc.ID(i))
+	}
+	return x, y
+}
+
+// BenchmarkSetUnion: steady-state in-place union (AddAll) at each width.
+func BenchmarkSetUnion(b *testing.B) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x, y := benchSetPair(n)
+			dst := x.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst.AddAll(y)
+			}
+		})
+	}
+}
+
+// BenchmarkSetIntersect: steady-state in-place intersection
+// (IntersectWith, the coterie-maintenance hot path) at each width.
+func BenchmarkSetIntersect(b *testing.B) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x, y := benchSetPair(n)
+			x.IntersectWith(y)
+			if x.Len() == 0 {
+				b.Fatal("empty intersection")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x.IntersectWith(y)
+			}
+		})
+	}
+}
+
+// BenchmarkSetIterate: ascending iteration (Sorted) at each width.
+func BenchmarkSetIterate(b *testing.B) {
+	for _, n := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := proc.Universe(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sum := proc.ID(0)
+				for _, id := range s.Sorted() {
+					sum += id
+				}
+				if sum != proc.ID(n*(n-1)/2) {
+					b.Fatal("bad sum")
+				}
+			}
+		})
 	}
 }
 

@@ -1,10 +1,10 @@
 // Command ftss-exp regenerates the paper-reproduction experiment tables
-// (E1–E8, one per figure/theorem of Gopal & Perry PODC '93). See
+// (E1–E14, one per figure/theorem of Gopal & Perry PODC '93). See
 // EXPERIMENTS.md for the recorded outputs and DESIGN.md for the index.
 //
 // Usage:
 //
-//	ftss-exp [-exp all|E1|…|E13] [-seed BASE] [-seeds N] [-rounds N] [-horizon MS] [-workers N] [-markdown]
+//	ftss-exp [-exp all|E1|…|E14] [-seed BASE] [-seeds N] [-rounds N] [-horizon MS] [-workers N] [-markdown]
 package main
 
 import (
@@ -25,7 +25,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ftss-exp", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, or one of E1..E13")
+	exp := fs.String("exp", "all", "experiment to run: all, or one of E1..E14")
 	seed := fs.Int64("seed", 0, "base seed; repetitions use seed+1..seed+seeds")
 	seeds := fs.Int("seeds", experiment.DefaultConfig().Seeds, "random repetitions per parameter point")
 	rounds := fs.Int("rounds", experiment.DefaultConfig().Rounds, "synchronous run length (rounds)")
@@ -54,6 +54,7 @@ func run(args []string) error {
 		"E11": experiment.E11StabilizationCost,
 		"E12": experiment.E12ParameterSweep,
 		"E13": experiment.E13RepeatedAsyncConsensus,
+		"E14": experiment.E14NScaling,
 	}
 
 	var tables []*experiment.Table
@@ -63,7 +64,7 @@ func run(args []string) error {
 	default:
 		r, ok := runners[which]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want all or E1..E13)", *exp)
+			return fmt.Errorf("unknown experiment %q (want all or E1..E14)", *exp)
 		}
 		tables = []*experiment.Table{r(cfg)}
 	}

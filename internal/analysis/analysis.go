@@ -4,7 +4,7 @@
 // every configuration — not just the seeds the dynamic tests happen to
 // sweep. One unseeded rand.Intn, one time.Now, or one unsorted map
 // iteration feeding a rendered table silently breaks reproducibility of
-// the E1–E13 experiment output; this package catches that class of bug
+// the E1–E14 experiment output; this package catches that class of bug
 // at analysis time.
 //
 // Strictness is per package. A package opts in by carrying a

@@ -268,6 +268,17 @@ func TestRepoIsClean(t *testing.T) {
 	if det < 10 {
 		t.Errorf("only %d det packages, want the core packages annotated (>= 10)", det)
 	}
+	// Since the bitset proc.Set made every process-set iteration
+	// ascending by construction, the committed tree carries no reasoned
+	// map-order exceptions: //ftss:pool (the worker-pool sanction) is the
+	// only escape hatch allowed to remain.
+	for _, p := range pkgs {
+		for _, d := range p.Directives {
+			if d.Kind == "orderless" {
+				t.Errorf("%s:%d: //ftss:orderless hatch in the committed tree; iterate a proc.Set (ordered by construction) or sort the keys instead", d.File, d.Line)
+			}
+		}
+	}
 	for _, d := range Lint(pkgs) {
 		t.Errorf("repo not lint-clean: %s", d)
 	}

@@ -121,7 +121,8 @@ type Links struct {
 	DropP, DupP, DelayP float64
 	// MaxExtraDelay bounds the delay fault (uniform in (0, MaxExtraDelay]).
 	MaxExtraDelay time.Duration
-	// From and To restrict the affected links; nil matches everything.
+	// From and To restrict the affected links; the zero Set matches
+	// everything.
 	From, To proc.Set
 }
 
@@ -132,10 +133,10 @@ func (l Links) Fate(elapsed time.Duration, seq uint64, from, to proc.ID) Verdict
 	if !l.Active(elapsed) {
 		return Deliver()
 	}
-	if l.From != nil && !l.From.Has(from) {
+	if !l.From.IsZero() && !l.From.Has(from) {
 		return Deliver()
 	}
-	if l.To != nil && !l.To.Has(to) {
+	if !l.To.IsZero() && !l.To.Has(to) {
 		return Deliver()
 	}
 	if coin(l.Seed, seq, from, to, 0xd10d) < l.DropP {

@@ -175,7 +175,7 @@ func TestFuncAdapter(t *testing.T) {
 		t.Errorf("Name = %q", f.Name())
 	}
 	h := runAgree(t, 2, nil, 4, nil)
-	if err := f.Check(h, 2, 3, nil); err != nil || !called {
+	if err := f.Check(h, 2, 3, proc.Set{}); err != nil || !called {
 		t.Errorf("Check err=%v called=%v", err, called)
 	}
 }

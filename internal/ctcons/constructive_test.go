@@ -91,7 +91,7 @@ func TestHeartbeatProcAccessors(t *testing.T) {
 	if _, _, ok := h.Decision(); ok {
 		t.Error("fresh stack decided")
 	}
-	if h.Suspects() == nil {
+	if h.Suspects().IsZero() {
 		t.Error("Suspects nil")
 	}
 }

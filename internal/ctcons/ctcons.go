@@ -307,14 +307,21 @@ func (p *Proc) OnTick(ctx async.Context) {
 // pickEstimate returns the buffered estimate with the largest timestamp
 // (ties broken by lowest sender ID, for determinism).
 func (p *Proc) pickEstimate(b *roundBuf) Value {
+	// Collecting the keys into a bitset is a commutative fold; iterating
+	// the bitset is ascending by construction, so the lowest sender wins
+	// timestamp ties without any sorting pass.
+	senders := proc.NewSetCap(p.n)
+	for q := range b.estimates {
+		senders.Add(q)
+	}
 	best := proc.None
 	var bestTS uint64
-	for _, q := range sortedIDs(b.estimates) {
+	senders.ForEach(func(q proc.ID) {
 		e := b.estimates[q]
 		if best == proc.None || e.TS > bestTS {
 			best, bestTS = q, e.TS
 		}
-	}
+	})
 	return b.estimates[best].Val
 }
 
@@ -487,18 +494,4 @@ func (p *Proc) Corrupt(rng *rand.Rand) {
 func (p *Proc) String() string {
 	return fmt.Sprintf("ct[%v r=%d est=%d ts=%d decided=%v]",
 		p.id, p.round, p.estimate, p.ts, p.decided)
-}
-
-func sortedIDs(m map[proc.ID]EstimateMsg) []proc.ID {
-	ids := make([]proc.ID, 0, len(m))
-	//ftss:orderless keys are insertion-sorted by the loop below before use
-	for id := range m {
-		ids = append(ids, id)
-	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-	return ids
 }

@@ -68,9 +68,10 @@ func VerifyStableAgreement(samples []DecisionSample, correct proc.Set) (StableOu
 		return StableOutcome{}, fmt.Errorf("no samples")
 	}
 	last := samples[len(samples)-1]
+	ids := correct.Sorted()
 	var common Value
 	first := true
-	for q := range correct {
+	for _, q := range ids {
 		if !last.Decided[q] {
 			return StableOutcome{}, fmt.Errorf("termination: %v undecided at the final sample", q)
 		}
@@ -87,7 +88,7 @@ func VerifyStableAgreement(samples []DecisionSample, correct proc.Set) (StableOu
 	for i := len(samples) - 1; i >= 0; i-- {
 		s := samples[i]
 		ok := true
-		for q := range correct {
+		for _, q := range ids {
 			if !s.Decided[q] || s.Value[q] != common || s.DecRound[q] != last.DecRound[q] {
 				ok = false
 				break

@@ -70,7 +70,7 @@ func TestSimulatedWeakAxioms(t *testing.T) {
 
 	// Post-accuracy: the anchor p0 is never suspected by correct queriers.
 	for tm := w.AccuracyAt; tm < w.AccuracyAt+50*ms; tm += ms {
-		for q := range correct {
+		for _, q := range correct.Sorted() {
 			if w.Detect(tm, q).Has(0) {
 				t.Fatalf("anchor suspected by %v at t=%d", q, tm)
 			}

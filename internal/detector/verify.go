@@ -91,13 +91,13 @@ func VerifyEventuallyStrong(samples []Sample, correct proc.Set,
 			if s.At < ct+graceAfterCrash {
 				continue // not yet required
 			}
-			for q := range correct {
+			correct.ForEach(func(q proc.ID) {
 				if !s.Suspects[q].Has(target) {
 					if s.At > lastSC {
 						lastSC = s.At
 					}
 				}
-			}
+			})
 		}
 	}
 	scFrom := async.Time(0)
@@ -116,11 +116,11 @@ func VerifyEventuallyStrong(samples []Sample, correct proc.Set,
 	for _, c := range correct.Sorted() {
 		var last async.Time = -1
 		for _, s := range samples {
-			for q := range correct {
+			correct.ForEach(func(q proc.ID) {
 				if s.Suspects[q].Has(c) && s.At > last {
 					last = s.At
 				}
-			}
+			})
 		}
 		if last >= end {
 			continue // suspected through the very end: not this one

@@ -287,3 +287,33 @@ func TestE13RepeatedAsyncConsensus(t *testing.T) {
 		}
 	}
 }
+
+// TestE14NScaling exercises the width sweep at test scale: both legs must
+// pass every seed at every n, and measured stabilization must stay within
+// the paper bounds (1 for round agreement, final_round = 4 for the
+// compiled wavefront) — the bounds are width-independent.
+func TestE14NScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=1024 sweep is slow; skipped in -short")
+	}
+	tb := E14NScaling(Config{Seeds: 1, Rounds: 16})
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		k, n := passCell(t, row[5])
+		if k != n {
+			t.Errorf("row %v: agree pass %d/%d", row, k, n)
+		}
+		if stab, _ := strconv.Atoi(row[6]); stab > 1 {
+			t.Errorf("row %v: agree stabilization %d exceeds 1", row, stab)
+		}
+		k, n = passCell(t, row[9])
+		if k != n {
+			t.Errorf("row %v: compiled pass %d/%d", row, k, n)
+		}
+		if stab, _ := strconv.Atoi(row[10]); stab > 4 {
+			t.Errorf("row %v: compiled stabilization %d exceeds final_round", row, stab)
+		}
+	}
+}

@@ -75,7 +75,7 @@ func TestWavefrontGeneralOmissionProperty(t *testing.T) {
 				}
 				rs := runOnce(t, pi, inputs, adv)
 				if err := VerifyConsensus(rs, inputs, correctOf(n, adv)); err != nil {
-					t.Fatalf("n=%d f=%d seed=%d: %v", n, len(faulty), seed, err)
+					t.Fatalf("n=%d f=%d seed=%d: %v", n, faulty.Len(), seed, err)
 				}
 			}
 		}

@@ -79,7 +79,7 @@ func TestInteractiveConsistencyProperty(t *testing.T) {
 						continue
 					}
 					vals, have := ic.Vector(r.State(), n)
-					for q := range correct {
+					for _, q := range correct.Sorted() {
 						if !have[q] || vals[q] != inputs[q] {
 							t.Fatalf("n=%d f=%d seed=%d: correct origin %v missing/wrong", n, f, seed, q)
 						}

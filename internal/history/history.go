@@ -31,8 +31,9 @@ type History struct {
 	designated proc.Set
 	rounds     []round.Observation
 
-	// influence[t][q] is Influence(t, q); index 0 is the empty prefix.
-	influence []map[proc.ID]proc.Set
+	// influence[t][q] is Influence(t, q), dense by process ID; index 0 is
+	// the empty prefix.
+	influence [][]proc.Set
 	// faulty[t] is F of the t-prefix (processes that have deviated by the
 	// end of round t).
 	faulty []proc.Set
@@ -46,17 +47,15 @@ type History struct {
 // New creates an empty history for a system of n processes with the given
 // designated faulty set (the paper's bound f; may be empty).
 func New(n int, designated proc.Set) *History {
-	if designated == nil {
-		designated = proc.NewSet()
-	}
-	inf0 := make(map[proc.ID]proc.Set, n)
+	inf0 := make([]proc.Set, n)
 	for i := 0; i < n; i++ {
-		inf0[proc.ID(i)] = proc.NewSet(proc.ID(i))
+		inf0[i] = proc.NewSetCap(n)
+		inf0[i].Add(proc.ID(i))
 	}
 	h := &History{
 		n:          n,
 		designated: designated.Clone(),
-		influence:  []map[proc.ID]proc.Set{inf0},
+		influence:  [][]proc.Set{inf0},
 		faulty:     []proc.Set{proc.NewSet()},
 	}
 	h.coterie = []proc.Set{h.computeCoterie(0)}
@@ -75,11 +74,13 @@ func (h *History) ObserveRound(o round.Observation) {
 	h.rounds = append(h.rounds, o)
 
 	prev := h.influence[t]
-	next := make(map[proc.ID]proc.Set, h.n)
-	for q, s := range prev {
-		next[q] = s // copied lazily below only if it grows
-	}
-	for q, msgs := range o.Delivered {
+	next := make([]proc.Set, h.n)
+	copy(next, prev) // entries are replaced below only if they grow
+	for q := 0; q < h.n; q++ {
+		msgs, ok := o.Delivered[proc.ID(q)]
+		if !ok {
+			continue
+		}
 		grown := prev[q]
 		copied := false
 		for _, m := range msgs {
@@ -91,9 +92,7 @@ func (h *History) ObserveRound(o round.Observation) {
 				grown = grown.Clone()
 				copied = true
 			}
-			for p := range src {
-				grown.Add(p)
-			}
+			grown.UnionWith(src)
 		}
 		next[q] = grown
 	}
@@ -114,11 +113,10 @@ func (h *History) computeCoterie(t int) proc.Set {
 	cot := proc.Universe(h.n)
 	f := h.faulty[t]
 	for i := 0; i < h.n; i++ {
-		q := proc.ID(i)
-		if f.Has(q) {
+		if f.Has(proc.ID(i)) {
 			continue
 		}
-		cot.IntersectWith(h.influence[t][q])
+		cot.IntersectWith(h.influence[t][i])
 	}
 	return cot
 }
@@ -155,12 +153,12 @@ func (h *History) CorrectUpTo(t int) proc.Set {
 
 // Influence returns the set of processes p with p →_H q in the t-prefix.
 func (h *History) Influence(t int, q proc.ID) proc.Set {
-	return h.influence[t][q].Clone()
+	return h.influence[t][int(q)].Clone()
 }
 
 // InfluenceView is Influence without the defensive copy; read-only.
 func (h *History) InfluenceView(t int, q proc.ID) proc.Set {
-	return h.influence[t][q]
+	return h.influence[t][int(q)]
 }
 
 // CoterieAt returns the coterie of the t-prefix (Definition 2.3). t may be

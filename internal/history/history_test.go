@@ -43,14 +43,14 @@ func runRecorded(t *testing.T, n int, adv failure.Adversary, rounds int) *Histor
 }
 
 func TestEmptyHistoryCoterie(t *testing.T) {
-	h := New(3, nil)
+	h := New(3, proc.Set{})
 	if h.Len() != 0 {
 		t.Fatalf("Len = %d", h.Len())
 	}
 	if h.CoterieAt(0).Len() != 0 {
 		t.Errorf("empty-prefix coterie of n=3 = %v, want empty", h.CoterieAt(0))
 	}
-	h1 := New(1, nil)
+	h1 := New(1, proc.Set{})
 	if !h1.CoterieAt(0).Equal(proc.NewSet(0)) {
 		t.Errorf("n=1 empty-prefix coterie = %v, want {p0}", h1.CoterieAt(0))
 	}
@@ -269,7 +269,7 @@ func TestRoundAccessor(t *testing.T) {
 }
 
 func TestObserveOutOfOrderPanics(t *testing.T) {
-	h := New(1, nil)
+	h := New(1, proc.Set{})
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic on out-of-order observation")

@@ -1,0 +1,275 @@
+package proc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// model is the reference implementation the bitset must agree with: the
+// map-backed set proc.Set used before the word-packed representation.
+type model map[ID]struct{}
+
+func (m model) add(id ID)    { m[id] = struct{}{} }
+func (m model) remove(id ID) { delete(m, id) }
+func (m model) clone() model {
+	c := make(model, len(m))
+	for id := range m {
+		c[id] = struct{}{}
+	}
+	return c
+}
+func (m model) sorted() []ID {
+	ids := make([]ID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// pair is one (bitset, model) instance kept in lockstep.
+type pair struct {
+	set Set
+	ref model
+}
+
+// check asserts full observable agreement: membership, Len, ascending
+// iteration (both Sorted and ForEach), and Min.
+func (p *pair) check(t *testing.T, maxID ID, step int) {
+	t.Helper()
+	if got, want := p.set.Len(), len(p.ref); got != want {
+		t.Fatalf("step %d: Len = %d, model has %d members", step, got, want)
+	}
+	for id := ID(-1); id <= maxID+1; id++ {
+		_, want := p.ref[id]
+		if got := p.set.Has(id); got != want {
+			t.Fatalf("step %d: Has(%v) = %v, model says %v", step, id, got, want)
+		}
+	}
+	want := p.ref.sorted()
+	got := p.set.Sorted()
+	if len(got) != len(want) {
+		t.Fatalf("step %d: Sorted() has %d members, model %d", step, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: Sorted()[%d] = %v, want %v (iteration must be ascending)", step, i, got[i], want[i])
+		}
+	}
+	i := 0
+	p.set.ForEach(func(id ID) {
+		if i >= len(want) || id != want[i] {
+			t.Fatalf("step %d: ForEach visit %d = %v, want %v", step, i, id, want[i])
+		}
+		i++
+	})
+	if i != len(want) {
+		t.Fatalf("step %d: ForEach visited %d members, want %d", step, i, len(want))
+	}
+	wantMin := None
+	if len(want) > 0 {
+		wantMin = want[0]
+	}
+	if got := p.set.Min(); got != wantMin {
+		t.Fatalf("step %d: Min = %v, want %v", step, got, wantMin)
+	}
+}
+
+// TestSetDifferentialAgainstMapModel drives the word-packed Set and the
+// reference map model through seeded random op sequences and demands
+// identical observable behavior after every step. IDs deliberately
+// straddle several 64-bit word boundaries, including the 0 and 63 edges.
+func TestSetDifferentialAgainstMapModel(t *testing.T) {
+	const (
+		seeds  = 20
+		steps  = 400
+		maxID  = ID(200) // > 3 words, not word-aligned
+		npairs = 3
+	)
+	for seed := int64(1); seed <= seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ps := make([]*pair, npairs)
+		for i := range ps {
+			ps[i] = &pair{set: NewSet(), ref: model{}}
+		}
+		for step := 0; step < steps; step++ {
+			p := ps[rng.Intn(npairs)]
+			q := ps[rng.Intn(npairs)]
+			id := ID(rng.Intn(int(maxID) + 1))
+			switch op := rng.Intn(12); op {
+			case 0, 1, 2: // weighted toward point mutations
+				p.set.Add(id)
+				p.ref.add(id)
+			case 3:
+				p.set.Remove(id)
+				p.ref.remove(id)
+			case 4: // Union (fresh result replaces p)
+				p.set = p.set.Union(q.set)
+				merged := p.ref.clone()
+				for m := range q.ref {
+					merged.add(m)
+				}
+				p.ref = merged
+			case 5: // UnionWith (in place)
+				p.set.UnionWith(q.set)
+				for m := range q.ref {
+					p.ref.add(m)
+				}
+			case 6: // Intersect (fresh result replaces p)
+				p.set = p.set.Intersect(q.set)
+				kept := model{}
+				for m := range p.ref {
+					if _, ok := q.ref[m]; ok {
+						kept.add(m)
+					}
+				}
+				p.ref = kept
+			case 7: // IntersectWith (in place)
+				p.set.IntersectWith(q.set)
+				for m := range p.ref {
+					if _, ok := q.ref[m]; !ok {
+						p.ref.remove(m)
+					}
+				}
+			case 8: // Minus / MinusWith
+				if rng.Intn(2) == 0 {
+					p.set = p.set.Minus(q.set)
+					kept := model{}
+					for m := range p.ref {
+						if _, ok := q.ref[m]; !ok {
+							kept.add(m)
+						}
+					}
+					p.ref = kept
+				} else {
+					p.set.MinusWith(q.set)
+					for m := range q.ref {
+						p.ref.remove(m)
+					}
+				}
+			case 9: // Clone must be independent of the original
+				c := p.set.Clone()
+				cref := p.ref.clone()
+				c.Add(id)
+				cref.add(id)
+				cp := &pair{set: c, ref: cref}
+				cp.check(t, maxID, step)
+				ps[rng.Intn(npairs)] = cp
+			case 10: // Fill / Clear
+				if rng.Intn(2) == 0 {
+					n := rng.Intn(int(maxID) + 1)
+					p.set.Fill(n)
+					p.ref = model{}
+					for i := 0; i < n; i++ {
+						p.ref.add(ID(i))
+					}
+				} else {
+					p.set.Clear()
+					p.ref = model{}
+				}
+			case 11: // cross-checks that need two sets
+				wantEq := len(p.ref) == len(q.ref)
+				if wantEq {
+					for m := range p.ref {
+						if _, ok := q.ref[m]; !ok {
+							wantEq = false
+							break
+						}
+					}
+				}
+				if got := p.set.Equal(q.set); got != wantEq {
+					t.Fatalf("seed %d step %d: Equal = %v, model says %v", seed, step, got, wantEq)
+				}
+				wantSub := true
+				for m := range p.ref {
+					if _, ok := q.ref[m]; !ok {
+						wantSub = false
+						break
+					}
+				}
+				if got := p.set.Subset(q.set); got != wantSub {
+					t.Fatalf("seed %d step %d: Subset = %v, model says %v", seed, step, got, wantSub)
+				}
+			}
+			p.check(t, maxID, step)
+		}
+	}
+}
+
+// TestSetWordBoundaryEdges pins the packing arithmetic at the exact word
+// edges, where shift bugs live.
+func TestSetWordBoundaryEdges(t *testing.T) {
+	for _, id := range []ID{0, 1, 62, 63, 64, 65, 127, 128, 191, 192, 1023, 1024} {
+		s := NewSet(id)
+		if s.Len() != 1 || !s.Has(id) {
+			t.Errorf("NewSet(%v): Len=%d Has=%v", id, s.Len(), s.Has(id))
+		}
+		if s.Has(id-1) || s.Has(id+1) {
+			t.Errorf("NewSet(%v) has a neighbor: %v", id, s)
+		}
+		if s.Min() != id {
+			t.Errorf("NewSet(%v).Min() = %v", id, s.Min())
+		}
+		s.Remove(id)
+		if s.Len() != 0 || s.Has(id) {
+			t.Errorf("Remove(%v) left %v", id, s)
+		}
+	}
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 1024} {
+		u := Universe(n)
+		if u.Len() != n {
+			t.Errorf("Universe(%d).Len() = %d", n, u.Len())
+		}
+		if u.Has(ID(n)) {
+			t.Errorf("Universe(%d) contains %d", n, n)
+		}
+		if n > 0 && !u.Has(ID(n-1)) {
+			t.Errorf("Universe(%d) misses %d", n, n-1)
+		}
+	}
+}
+
+// TestSetAliasing pins the reference semantics the map type had: copies
+// share storage, and growth through one copy is visible through another.
+func TestSetAliasing(t *testing.T) {
+	a := NewSet(1)
+	b := a     // alias, not a copy
+	b.Add(700) // forces internal growth well past a's original storage
+	if !a.Has(700) {
+		t.Error("growth through an alias is invisible to the original")
+	}
+	a.Remove(1)
+	if b.Has(1) {
+		t.Error("removal through the original is invisible to the alias")
+	}
+}
+
+// TestZeroSet pins the zero value's contract: empty, readable, and
+// mutator panics (a silent mutation could not be seen through aliases).
+func TestZeroSet(t *testing.T) {
+	var s Set
+	if !s.IsZero() || s.Len() != 0 || s.Has(0) || s.Min() != None {
+		t.Errorf("zero Set is not empty: %v", s)
+	}
+	if got := s.String(); got != "{}" {
+		t.Errorf("zero String() = %q", got)
+	}
+	if s.Subset(NewSet(1)) != true {
+		t.Error("zero Set must be a subset of everything")
+	}
+	if !s.Equal(NewSet()) {
+		t.Error("zero Set must Equal an initialized empty set")
+	}
+	c := s.Clone()
+	c.Add(3) // Clone of the zero Set is mutable
+	if c.Len() != 1 {
+		t.Error("Clone of zero Set is not mutable")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Add on the zero Set must panic")
+		}
+	}()
+	s.Add(0)
+}

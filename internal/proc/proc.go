@@ -5,11 +5,20 @@
 // small integers. Process identity is the only globally-known static
 // information; everything else (clocks, states, suspect sets) may be
 // corrupted by systemic failures.
+//
+// Set is a word-packed bitset over the dense ID space 0..n−1: one bit per
+// process, 64 processes per word. Every set operation (union,
+// intersection, difference, comparison) is O(n/64) word operations, and
+// iteration is naturally ascending — determinism is a property of the
+// representation, not of a per-call sort. A Set value is one pointer to
+// shared storage, so it behaves like the map it replaced: copies alias,
+// and in-place mutators (Add, UnionWith, IntersectWith, …) are visible
+// through every copy, including after internal growth.
 package proc
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 	"strings"
 )
 
@@ -28,47 +37,169 @@ func (id ID) String() string {
 	return fmt.Sprintf("p%d", int(id))
 }
 
-// Set is a set of process IDs.
-type Set map[ID]struct{}
+// setData is the shared storage behind a Set: the packed words plus a
+// maintained member count so Len is O(1).
+type setData struct {
+	words []uint64
+	count int
+}
+
+// Set is a set of process IDs, represented as a word-packed bitset.
+//
+// The zero Set is empty and read-only: Has/Len/iteration work, mutators
+// panic. Build mutable sets with NewSet, NewSetCap, or Universe. Like the
+// map type it replaced, Set has reference semantics: assignment and
+// parameter passing share storage rather than copying it — use Clone for
+// an independent copy.
+type Set struct {
+	d *setData
+}
+
+const (
+	wordShift = 6
+	wordMask  = 63
+)
+
+// wordsFor returns the number of words needed to hold IDs 0..n-1.
+func wordsFor(n int) int { return (n + wordMask) >> wordShift }
 
 // NewSet builds a set from the given IDs.
 func NewSet(ids ...ID) Set {
-	s := make(Set, len(ids))
+	s := Set{d: &setData{}}
 	for _, id := range ids {
-		s[id] = struct{}{}
+		s.Add(id)
 	}
 	return s
+}
+
+// NewSetCap builds an empty set with storage pre-sized for IDs 0..n-1,
+// so Adds within that range never reallocate.
+func NewSetCap(n int) Set {
+	return Set{d: &setData{words: make([]uint64, wordsFor(n))}}
 }
 
 // Universe returns the set {0, …, n−1}.
 func Universe(n int) Set {
-	s := make(Set, n)
-	for i := 0; i < n; i++ {
-		s[ID(i)] = struct{}{}
-	}
+	s := NewSetCap(n)
+	s.Fill(n)
 	return s
 }
 
-// Has reports whether id is in the set. A nil Set has no members.
-func (s Set) Has(id ID) bool {
-	_, ok := s[id]
-	return ok
+// mutable returns the storage, panicking on the zero Set: a mutation
+// there could not be seen through aliases, which would silently break the
+// reference semantics every consumer relies on.
+func (s Set) mutable() *setData {
+	if s.d == nil {
+		panic("proc: mutating the zero Set; build it with NewSet, NewSetCap, or Universe")
+	}
+	return s.d
 }
 
-// Add inserts id into the set. The set must be non-nil.
-func (s Set) Add(id ID) { s[id] = struct{}{} }
+// grow ensures the word slice covers word index wi.
+func (d *setData) grow(wi int) {
+	if wi < len(d.words) {
+		return
+	}
+	if wi < cap(d.words) {
+		d.words = d.words[:wi+1]
+		return
+	}
+	w := make([]uint64, wi+1)
+	copy(w, d.words)
+	d.words = w
+}
 
-// Remove deletes id from the set.
-func (s Set) Remove(id ID) { delete(s, id) }
+// IsZero reports whether s is the zero Set (no storage attached). It is
+// the analogue of a nil map: empty, and distinguishable from an
+// initialized-but-empty set for "unset means match everything" options.
+func (s Set) IsZero() bool { return s.d == nil }
+
+// Has reports whether id is in the set. The zero Set has no members.
+func (s Set) Has(id ID) bool {
+	if s.d == nil || id < 0 {
+		return false
+	}
+	wi := int(id) >> wordShift
+	return wi < len(s.d.words) && s.d.words[wi]&(1<<(uint(id)&wordMask)) != 0
+}
+
+// Add inserts id into the set. The set must have been built with a
+// constructor (the zero Set is read-only), and id must be non-negative.
+func (s Set) Add(id ID) {
+	d := s.mutable()
+	if id < 0 {
+		panic(fmt.Sprintf("proc: Add(%v): negative ID in Set", id))
+	}
+	wi := int(id) >> wordShift
+	d.grow(wi)
+	bit := uint64(1) << (uint(id) & wordMask)
+	if d.words[wi]&bit == 0 {
+		d.words[wi] |= bit
+		d.count++
+	}
+}
+
+// Remove deletes id from the set. Removing an absent member is a no-op.
+func (s Set) Remove(id ID) {
+	d := s.mutable()
+	if id < 0 {
+		return
+	}
+	wi := int(id) >> wordShift
+	if wi >= len(d.words) {
+		return
+	}
+	bit := uint64(1) << (uint(id) & wordMask)
+	if d.words[wi]&bit != 0 {
+		d.words[wi] &^= bit
+		d.count--
+	}
+}
 
 // Len returns the number of members.
-func (s Set) Len() int { return len(s) }
+func (s Set) Len() int {
+	if s.d == nil {
+		return 0
+	}
+	return s.d.count
+}
 
-// Clone returns an independent copy of the set.
+// Clear removes every member in place, keeping the storage.
+func (s Set) Clear() {
+	d := s.mutable()
+	for i := range d.words {
+		d.words[i] = 0
+	}
+	d.count = 0
+}
+
+// Fill sets s to exactly {0, …, n−1} in place, growing storage as needed.
+func (s Set) Fill(n int) {
+	d := s.mutable()
+	nw := wordsFor(n)
+	d.grow(nw - 1)
+	for i := 0; i < nw; i++ {
+		d.words[i] = ^uint64(0)
+	}
+	if r := uint(n) & wordMask; r != 0 && nw > 0 {
+		d.words[nw-1] = (1 << r) - 1
+	}
+	for i := nw; i < len(d.words); i++ {
+		d.words[i] = 0
+	}
+	d.count = n
+}
+
+// Clone returns an independent copy of the set. Cloning the zero Set
+// yields a mutable empty set.
 func (s Set) Clone() Set {
-	c := make(Set, len(s))
-	for id := range s {
-		c[id] = struct{}{}
+	if s.d == nil {
+		return NewSet()
+	}
+	c := Set{d: &setData{count: s.d.count}}
+	if len(s.d.words) > 0 {
+		c.d.words = make([]uint64, len(s.d.words))
+		copy(c.d.words, s.d.words)
 	}
 	return c
 }
@@ -76,59 +207,120 @@ func (s Set) Clone() Set {
 // Union returns a new set holding every member of s and t.
 func (s Set) Union(t Set) Set {
 	u := s.Clone()
-	for id := range t {
-		u[id] = struct{}{}
-	}
+	u.UnionWith(t)
 	return u
 }
 
-// AddAll inserts every member of t into s, in place. The set must be
-// non-nil. It is the allocation-free counterpart of Union for hot paths.
-func (s Set) AddAll(t Set) {
-	for id := range t {
-		s[id] = struct{}{}
+// UnionWith inserts every member of t into s, in place. It is the
+// allocation-free counterpart of Union for hot paths (it only allocates
+// if t has members beyond s's current storage).
+func (s Set) UnionWith(t Set) {
+	d := s.mutable()
+	if t.d == nil {
+		return
 	}
+	tw := t.d.words
+	if len(tw) > len(d.words) {
+		// Trailing words of t with no set bits don't force growth.
+		hi := len(tw)
+		for hi > len(d.words) && tw[hi-1] == 0 {
+			hi--
+		}
+		tw = tw[:hi]
+		d.grow(hi - 1)
+	}
+	count := 0
+	for i, w := range tw {
+		d.words[i] |= w
+		count += bits.OnesCount64(d.words[i])
+	}
+	for i := len(tw); i < len(d.words); i++ {
+		count += bits.OnesCount64(d.words[i])
+	}
+	d.count = count
 }
 
-// IntersectWith removes from s, in place, every member not in t. It is the
-// allocation-free counterpart of Intersect for hot paths.
+// AddAll inserts every member of t into s, in place. It is a synonym of
+// UnionWith, kept for the pre-bitset API.
+func (s Set) AddAll(t Set) { s.UnionWith(t) }
+
+// IntersectWith removes from s, in place, every member not in t. It is
+// the allocation-free counterpart of Intersect for hot paths.
 func (s Set) IntersectWith(t Set) {
-	for id := range s {
-		if !t.Has(id) {
-			delete(s, id)
-		}
+	d := s.mutable()
+	var tw []uint64
+	if t.d != nil {
+		tw = t.d.words
 	}
+	count := 0
+	for i := range d.words {
+		if i < len(tw) {
+			d.words[i] &= tw[i]
+		} else {
+			d.words[i] = 0
+		}
+		count += bits.OnesCount64(d.words[i])
+	}
+	d.count = count
 }
 
 // Intersect returns a new set holding the members common to s and t.
 func (s Set) Intersect(t Set) Set {
-	u := make(Set)
-	for id := range s {
-		if t.Has(id) {
-			u[id] = struct{}{}
-		}
-	}
+	u := s.Clone()
+	u.IntersectWith(t)
 	return u
+}
+
+// MinusWith removes every member of t from s, in place.
+func (s Set) MinusWith(t Set) {
+	d := s.mutable()
+	if t.d == nil {
+		return
+	}
+	tw := t.d.words
+	count := 0
+	for i := range d.words {
+		if i < len(tw) {
+			d.words[i] &^= tw[i]
+		}
+		count += bits.OnesCount64(d.words[i])
+	}
+	d.count = count
 }
 
 // Minus returns a new set holding members of s that are not in t.
 func (s Set) Minus(t Set) Set {
-	u := make(Set)
-	for id := range s {
-		if !t.Has(id) {
-			u[id] = struct{}{}
-		}
-	}
+	u := s.Clone()
+	u.MinusWith(t)
 	return u
+}
+
+// words returns the packed words, nil for the zero Set.
+func (s Set) words() []uint64 {
+	if s.d == nil {
+		return nil
+	}
+	return s.d.words
 }
 
 // Equal reports whether s and t have exactly the same members.
 func (s Set) Equal(t Set) bool {
-	if len(s) != len(t) {
+	if s.Len() != t.Len() {
 		return false
 	}
-	for id := range s {
-		if !t.Has(id) {
+	sw, tw := s.words(), t.words()
+	if len(sw) > len(tw) {
+		sw, tw = tw, sw
+	}
+	for i, w := range sw {
+		if w != tw[i] {
+			return false
+		}
+	}
+	// Equal counts and an equal prefix force the tail to be zero, but be
+	// robust rather than clever.
+	for _, w := range tw[len(sw):] {
+		if w != 0 {
 			return false
 		}
 	}
@@ -137,41 +329,68 @@ func (s Set) Equal(t Set) bool {
 
 // Subset reports whether every member of s is in t.
 func (s Set) Subset(t Set) bool {
-	for id := range s {
-		if !t.Has(id) {
+	sw, tw := s.words(), t.words()
+	for i, w := range sw {
+		if i < len(tw) {
+			if w&^tw[i] != 0 {
+				return false
+			}
+		} else if w != 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// Sorted returns the members in increasing order.
-func (s Set) Sorted() []ID {
-	ids := make([]ID, 0, len(s))
-	for id := range s {
-		ids = append(ids, id)
+// ForEach calls fn for every member in increasing order, without
+// allocating.
+func (s Set) ForEach(fn func(ID)) {
+	for wi, w := range s.words() {
+		base := wi << wordShift
+		for w != 0 {
+			fn(ID(base + bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// Sorted returns the members in increasing order. Iteration is already
+// ascending, so this is a single copy-out pass; prefer ForEach on hot
+// paths to avoid the allocation.
+func (s Set) Sorted() []ID {
+	ids := make([]ID, 0, s.Len())
+	for wi, w := range s.words() {
+		base := wi << wordShift
+		for w != 0 {
+			ids = append(ids, ID(base+bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
 	return ids
 }
 
-// String renders the set as "{p0, p2}" with members sorted.
+// String renders the set as "{p0, p2}" with members in increasing order.
 func (s Set) String() string {
-	ids := s.Sorted()
-	parts := make([]string, len(ids))
-	for i, id := range ids {
-		parts[i] = id.String()
-	}
-	return "{" + strings.Join(parts, ", ") + "}"
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(id ID) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(id.String())
+	})
+	b.WriteByte('}')
+	return b.String()
 }
 
 // Min returns the smallest member, or None if the set is empty.
 func (s Set) Min() ID {
-	min := None
-	for id := range s {
-		if min == None || id < min {
-			min = id
+	for wi, w := range s.words() {
+		if w != 0 {
+			return ID(wi<<wordShift + bits.TrailingZeros64(w))
 		}
 	}
-	return min
+	return None
 }

@@ -99,7 +99,9 @@ func TestStepAllocationCeiling(t *testing.T) {
 	e.Run(3) // warm up the scratch buffers
 
 	avg := testing.AllocsPerRun(50, func() { e.Step() })
-	const ceiling = 4
+	// One word-packed deviated set per round, plus headroom for the
+	// allocator's amortized noise.
+	const ceiling = 2
 	if avg > ceiling {
 		t.Errorf("Engine.Step allocations: %.1f per round, ceiling %d", avg, ceiling)
 	}

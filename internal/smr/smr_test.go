@@ -231,7 +231,7 @@ func TestAccessors(t *testing.T) {
 	if _, ok := r.Frontier(); ok {
 		t.Error("empty log has no frontier")
 	}
-	if r.Suspects() == nil {
+	if r.Suspects().IsZero() {
 		t.Error("Suspects nil")
 	}
 	if r.String() == "" {

@@ -191,32 +191,33 @@ func (p *Proc) EndRound(received []round.Message) {
 		state fullinfo.State
 		clock uint64
 	}
-	got := make(map[proc.ID]envelope, len(received))
+	got := make([]envelope, p.n)
+	present := proc.NewSetCap(p.n)
 	for _, m := range received {
 		if pl, ok := m.Payload.(Payload); ok {
 			got[m.From] = envelope{state: pl.State, clock: pl.Clock}
+			present.Add(m.From)
 		}
 	}
 
 	// S := suspects ∪ {q | no message from q tagged with c_p this round}.
 	s := p.suspects.Clone()
 	for q := proc.ID(0); int(q) < p.n; q++ {
-		env, ok := got[q]
-		if !ok || env.clock != p.clock {
+		if !present.Has(q) || got[q].clock != p.clock {
 			s.Add(q)
 		}
 	}
 
-	// M := states from unsuspected senders.
-	msgs := make([]fullinfo.StateMsg, 0, len(got))
-	for _, q := range sortedKeys(got) {
+	// M := states from unsuspected senders, in ascending sender order.
+	msgs := make([]fullinfo.StateMsg, 0, present.Len())
+	present.ForEach(func(q proc.ID) {
 		if s.Has(q) && !p.noFilter {
-			continue
+			return
 		}
 		if st := got[q].state; st != nil {
 			msgs = append(msgs, fullinfo.StateMsg{From: q, State: st})
 		}
-	}
+	})
 
 	// Run Π's round k and record the decision if the iteration completed.
 	k := Normalize(p.clock, finalRound)
@@ -230,11 +231,11 @@ func (p *Proc) EndRound(received []round.Message) {
 	// Round agreement: c_p := max(R) + 1 over ALL received round numbers,
 	// suspected or not (self-delivery keeps R non-empty).
 	max := p.clock
-	for _, env := range got {
-		if env.clock > max {
-			max = env.clock
+	present.ForEach(func(q proc.ID) {
+		if c := got[q].clock; c > max {
+			max = c
 		}
-	}
+	})
 	p.clock = max + 1
 
 	// New iteration: reset Π's state and the suspect set.
@@ -283,20 +284,6 @@ func (p *Proc) Corrupt(rng *rand.Rand) {
 	} else {
 		p.decided = nil
 	}
-}
-
-func sortedKeys[V any](m map[proc.ID]V) []proc.ID {
-	ids := make([]proc.ID, 0, len(m))
-	//ftss:orderless keys are insertion-sorted by the loop below before use
-	for id := range m {
-		ids = append(ids, id)
-	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-	return ids
 }
 
 // String aids debugging.
