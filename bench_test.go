@@ -17,6 +17,7 @@ import (
 	"ftss/internal/failure"
 	"ftss/internal/fullinfo"
 	"ftss/internal/history"
+	"ftss/internal/obs"
 	"ftss/internal/proc"
 	"ftss/internal/roundagree"
 	"ftss/internal/sim/async"
@@ -194,6 +195,40 @@ func BenchmarkSyncEngineRound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.Step()
 	}
+}
+
+// BenchmarkEngineStepInstrumented pins the telemetry layer's hot-path
+// cost on the same workload as BenchmarkSyncEngineRound. The disabled
+// sub-benchmark is the contract: its committed BENCH_PR4.json entry is
+// the pre-telemetry engine measurement, so the benchbase allocs/op gate
+// fails if attaching the nil-checked hooks ever costs the uninstrumented
+// path a single extra allocation. The enabled sub-benchmark documents
+// what full counter coverage costs when it is actually on.
+func BenchmarkEngineStepInstrumented(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		_, ps := roundagree.Procs(32)
+		e := round.MustNewEngine(ps, failure.None{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		_, ps := roundagree.Procs(32)
+		e := round.MustNewEngine(ps, failure.None{})
+		reg := obs.NewRegistry()
+		e.Instrument(&round.Instruments{
+			Rounds:   reg.Counter("engine.rounds"),
+			Messages: reg.Counter("engine.messages"),
+			Dropped:  reg.Counter("engine.dropped"),
+			Crashes:  reg.Counter("engine.crashes"),
+			Sink:     obs.Null{},
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	})
 }
 
 // BenchmarkSyncEngineRoundRecorded: the same with history recording and

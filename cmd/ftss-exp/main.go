@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	ftss-exp [-exp all|E1|…|E14] [-seed BASE] [-seeds N] [-rounds N] [-horizon MS] [-workers N] [-markdown]
+//	ftss-exp [-exp all|E1|…|E14] [-seed BASE] [-seeds N] [-rounds N] [-horizon MS]
+//	         [-workers N] [-markdown] [-metrics FILE] [-events FILE]
+//
+// -metrics and -events write the run's telemetry (instrument snapshot and
+// JSONL event stream). Both are byte-identical for any -workers value:
+// instruments record only after the worker pool merges repetition results
+// in seed order.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"strings"
 
 	"ftss/internal/experiment"
+	"ftss/internal/obs"
 )
 
 func main() {
@@ -34,11 +41,24 @@ func run(args []string) error {
 		"Tables are byte-identical for any value, so -workers 1 exactly "+
 		"reproduces the committed EXPERIMENTS.md tables")
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown instead of aligned text")
+	metricsFile := fs.String("metrics", "", "write the telemetry snapshot to this file (byte-identical for any -workers)")
+	eventsFile := fs.String("events", "", "write the structured JSONL event stream to this file (byte-identical for any -workers)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	cfg := experiment.Config{Seeds: *seeds, Rounds: *rounds, HorizonMS: *horizon, BaseSeed: *seed, Workers: *workers}
+	if *metricsFile != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if *eventsFile != "" {
+		ef, err := os.Create(*eventsFile)
+		if err != nil {
+			return err
+		}
+		defer ef.Close()
+		cfg.Events = obs.NewJSONL(ef)
+	}
 	fmt.Printf("ftss-exp: effective seeds %d..%d\n", cfg.BaseSeed+1, cfg.BaseSeed+int64(cfg.Seeds))
 	runners := map[string]func(experiment.Config) *experiment.Table{
 		"E1":  experiment.E1RoundAgreement,
@@ -74,6 +94,19 @@ func run(args []string) error {
 			fmt.Print(t.Markdown())
 		} else {
 			t.Render(os.Stdout)
+		}
+	}
+	if *metricsFile != "" {
+		mf, err := os.Create(*metricsFile)
+		if err != nil {
+			return err
+		}
+		if _, err := cfg.Metrics.WriteTo(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
 		}
 	}
 	return nil

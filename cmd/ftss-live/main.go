@@ -8,17 +8,27 @@
 // Usage:
 //
 //	ftss-live [-n 5] [-crashes 2] [-corrupt] [-deadline 5s] [-tick 300us] [-seed 1]
+//	          [-metrics FILE] [-events FILE] [-pprof ADDR]
+//
+// -metrics/-events capture the runtime's telemetry (traffic counters,
+// mailbox high-water, supervision events stamped with elapsed µs).
+// -pprof serves net/http/pprof on ADDR (e.g. localhost:6060) for the
+// duration of the run — the live runtime is wall-clock anyway, so the
+// profiler's observer effect costs nothing the model cares about.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"ftss/internal/ctcons"
 	"ftss/internal/detector"
+	"ftss/internal/obs"
 	"ftss/internal/proc"
 	"ftss/internal/sim/async"
 	"ftss/internal/sim/live"
@@ -39,8 +49,19 @@ func run(args []string) error {
 	deadline := fs.Duration("deadline", 5*time.Second, "wall-clock budget")
 	tick := fs.Duration("tick", 300*time.Microsecond, "tick interval per process")
 	seed := fs.Int64("seed", 1, "seed for inputs, corruption, and delays")
+	metricsFile := fs.String("metrics", "", "write the telemetry snapshot to this file")
+	eventsFile := fs.String("events", "", "write the structured JSONL event stream to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ftss-live: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof listening on %s\n", *pprofAddr)
 	}
 	if *crashes >= (*n+1)/2 {
 		return fmt.Errorf("need crashes < n/2, got n=%d crashes=%d", *n, *crashes)
@@ -75,17 +96,42 @@ func run(args []string) error {
 		}
 	}
 
+	reg := obs.NewRegistry()
+	var sink obs.Sink
+	if *eventsFile != "" {
+		ef, err := os.Create(*eventsFile)
+		if err != nil {
+			return err
+		}
+		defer ef.Close()
+		sink = obs.NewJSONL(ef)
+	}
 	rt := live.MustNew(aps, live.Config{
 		Seed:       *seed,
 		TickEvery:  *tick,
 		MinDelay:   100 * time.Microsecond,
 		MaxDelay:   500 * time.Microsecond,
 		CrashAfter: crashAfter,
+		Obs:        live.NewInstruments(reg, "live", sink),
 	})
 	fmt.Printf("live cluster: %d goroutines, inputs %v, crash schedule %v, corrupted=%v\n",
 		*n, inputs, crashAfter, *corrupt)
 	rt.Start()
 	defer rt.Stop()
+	writeMetrics := func() error {
+		if *metricsFile == "" {
+			return nil
+		}
+		mf, err := os.Create(*metricsFile)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.WriteTo(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		return mf.Close()
+	}
 
 	start := time.Now()
 	var stableSince time.Time
@@ -125,12 +171,16 @@ func run(args []string) error {
 				fmt.Printf("stable agreement on %d after %v of wall time\n",
 					vals[0], time.Since(start).Round(time.Millisecond))
 				fmt.Printf("crashed along the way: %v\n", rt.Crashed())
-				return nil
+				fmt.Println(rt.Health())
+				return writeMetrics()
 			}
 		} else {
 			stableSince = time.Time{}
 		}
 		lastVals = vals
+	}
+	if err := writeMetrics(); err != nil {
+		return err
 	}
 	return fmt.Errorf("no stable agreement within %v", *deadline)
 }

@@ -27,6 +27,15 @@
 //	ftss-soak [-seed 1] [-n 5] [-episodes 5] [-episode-len 150ms]
 //	          [-quiet-len 350ms] [-tick 300us] [-cap 1024]
 //	          [-runs 1] [-workers 0]
+//	          [-metrics FILE] [-events FILE] [-pprof ADDR]
+//
+// -metrics aggregates both clusters' instruments (cons.* and smr.*
+// prefixes) plus the recorder's soak.* counters across every run;
+// -events captures the structured JSONL stream — supervision and
+// nemesis events stamped with elapsed µs, recorder polls/marks stamped
+// with poll counts, and the final Definition 2.4 segment/verdict events.
+// With -runs R each run's events are buffered and concatenated in seed
+// order, matching the report. -pprof serves net/http/pprof on ADDR.
 package main
 
 import (
@@ -35,6 +44,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"sync"
@@ -44,6 +55,7 @@ import (
 	"ftss/internal/core"
 	"ftss/internal/ctcons"
 	"ftss/internal/detector"
+	"ftss/internal/obs"
 	"ftss/internal/proc"
 	"ftss/internal/sim/async"
 	"ftss/internal/sim/live"
@@ -67,7 +79,9 @@ func buildPlan(seed int64, n, episodes int, episodeLen, quietLen time.Duration) 
 	})
 }
 
-// soakParams is one soak run's full configuration.
+// soakParams is one soak run's full configuration. reg and sink are nil
+// when telemetry is off; with -runs, reg is shared (counters aggregate
+// across runs) while each run gets its own buffered sink.
 type soakParams struct {
 	seed       int64
 	n          int
@@ -76,6 +90,8 @@ type soakParams struct {
 	quietLen   time.Duration
 	tick       time.Duration
 	cap        int
+	reg        *obs.Registry
+	sink       obs.Sink
 }
 
 func run(args []string, w io.Writer) error {
@@ -90,8 +106,19 @@ func run(args []string, w io.Writer) error {
 	runs := fs.Int("runs", 1, "independent soak runs on seeds seed..seed+runs-1")
 	workers := fs.Int("workers", 0, "runs executed concurrently; 0 = GOMAXPROCS. "+
 		"Output is merged in seed order, byte-identical to a sequential run")
+	metricsFile := fs.String("metrics", "", "write the aggregated telemetry snapshot to this file")
+	eventsFile := fs.String("events", "", "write the structured JSONL event stream to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ftss-soak: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(w, "pprof listening on %s\n", *pprofAddr)
 	}
 	if *n < 3 {
 		return fmt.Errorf("need n ≥ 3 for a crash-tolerant majority, got %d", *n)
@@ -101,16 +128,53 @@ func run(args []string, w io.Writer) error {
 		episodeLen: *episodeLen, quietLen: *quietLen,
 		tick: *tick, cap: *cap,
 	}
-	if *runs <= 1 {
-		return soak(p, w)
+	if *metricsFile != "" || *eventsFile != "" {
+		p.reg = obs.NewRegistry()
 	}
-	return soakMany(p, *runs, *workers, w)
+	var eventsW io.Writer
+	if *eventsFile != "" {
+		ef, err := os.Create(*eventsFile)
+		if err != nil {
+			return err
+		}
+		defer ef.Close()
+		eventsW = ef
+	}
+
+	var runErr error
+	if *runs <= 1 {
+		if p.reg != nil {
+			p.sink = obs.Sink(obs.Null{})
+			if eventsW != nil {
+				p.sink = obs.NewJSONL(eventsW)
+			}
+		}
+		runErr = soak(p, w)
+	} else {
+		runErr = soakMany(p, *runs, *workers, w, eventsW)
+	}
+
+	// The snapshot is written even when checks failed: a failing soak's
+	// telemetry is exactly what CI wants to keep.
+	if *metricsFile != "" {
+		mf, err := os.Create(*metricsFile)
+		if err == nil {
+			_, err = p.reg.WriteTo(mf)
+			if cerr := mf.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	return runErr
 }
 
 // soakMany stages `runs` independent soaks on consecutive seeds across a
-// bounded worker pool, buffering each run's report and emitting them in
-// seed order.
-func soakMany(p soakParams, runs, workers int, w io.Writer) error {
+// bounded worker pool, buffering each run's report — and, when telemetry
+// is on, its event stream — and emitting both in seed order.
+func soakMany(p soakParams, runs, workers int, w io.Writer, eventsW io.Writer) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -118,6 +182,7 @@ func soakMany(p soakParams, runs, workers int, w io.Writer) error {
 		workers = runs
 	}
 	outs := make([]bytes.Buffer, runs)
+	evs := make([]bytes.Buffer, runs)
 	errs := make([]error, runs)
 	var next int
 	var mu sync.Mutex
@@ -136,6 +201,12 @@ func soakMany(p soakParams, runs, workers int, w io.Writer) error {
 				}
 				pi := p
 				pi.seed = p.seed + int64(i)
+				if pi.reg != nil {
+					pi.sink = obs.Sink(obs.Null{})
+					if eventsW != nil {
+						pi.sink = obs.NewJSONL(&evs[i])
+					}
+				}
 				errs[i] = soak(pi, &outs[i])
 			}
 		}()
@@ -148,6 +219,9 @@ func soakMany(p soakParams, runs, workers int, w io.Writer) error {
 			fmt.Fprintln(w)
 		}
 		w.Write(outs[i].Bytes())
+		if eventsW != nil {
+			eventsW.Write(evs[i].Bytes())
+		}
 		if errs[i] != nil {
 			failed++
 			fmt.Fprintf(w, "run %d (seed %d): %v\n", i, p.seed+int64(i), errs[i])
@@ -175,12 +249,18 @@ func soak(p soakParams, w io.Writer) error {
 
 	// Cluster 1: oracle-free consensus — heartbeats, adaptive timeouts,
 	// Figure 4, §3 — the stack that must live off real traffic.
+	var consObs, smrObs *live.Instruments
+	if p.reg != nil {
+		consObs = live.NewInstruments(p.reg, "cons", p.sink)
+		smrObs = live.NewInstruments(p.reg, "smr", p.sink)
+	}
 	_, consProcs := ctcons.NewConstructiveProcs(n, inputs, ctcons.Stabilizing(),
 		5*async.Millisecond, async.Millisecond)
 	consRT := live.MustNew(consProcs, live.Config{
 		Seed: seed, TickEvery: p.tick,
 		MinDelay: 50 * time.Microsecond, MaxDelay: 200 * time.Microsecond,
 		Nemesis: plan, MailboxCap: p.cap, Overflow: live.DropOldest,
+		Obs: consObs,
 	})
 
 	// Cluster 2: the replicated log, with a quiet (never-suspecting,
@@ -195,6 +275,7 @@ func soak(p soakParams, w io.Writer) error {
 		Seed: seed + 1, TickEvery: p.tick,
 		MinDelay: 50 * time.Microsecond, MaxDelay: 200 * time.Microsecond,
 		Nemesis: plan, MailboxCap: p.cap, Overflow: live.DropOldest,
+		Obs: smrObs,
 	})
 
 	consRT.Start()
@@ -208,9 +289,19 @@ func soak(p soakParams, w io.Writer) error {
 	fail := func(format string, a ...any) {
 		failures = append(failures, fmt.Sprintf(format, a...))
 		fmt.Fprintf(w, "FAIL: %s\n", failures[len(failures)-1])
+		if p.reg != nil {
+			p.reg.Counter("soak.failures").Inc()
+		}
 	}
 
 	rec := chaos.NewRecorder(n)
+	if p.reg != nil {
+		rec.Instrument(&chaos.RecorderInstruments{
+			Polls: p.reg.Counter("soak.polls"),
+			Marks: p.reg.Counter("soak.marks"),
+			Sink:  p.sink,
+		})
+	}
 	start := time.Now()
 	horizon := plan.Horizon()
 	const pollEvery = 10 * time.Millisecond
@@ -229,6 +320,14 @@ func soak(p soakParams, w io.Writer) error {
 		if msg := smrConflicts(smrRT, n); msg != "" {
 			fail("window %d: replicated log: %s", windowIdx, msg)
 		}
+		if p.sink != nil {
+			stable := int64(1)
+			if !windowStable {
+				stable = 0
+			}
+			p.sink.Emit(obs.Event{Kind: "quiet_window", T: uint64(time.Since(start) / time.Microsecond), P: -1,
+				Fields: []obs.KV{{K: "index", V: int64(windowIdx)}, {K: "stable", V: stable}}})
+		}
 		windowIdx++
 		windowStable = false
 	}
@@ -243,6 +342,11 @@ func soak(p soakParams, w io.Writer) error {
 			closeWindow()
 			fmt.Fprintf(w, "t=%v episode %d (%s): %s\n",
 				elapsed.Round(time.Millisecond), ep.Index, ep.Class, ep.Desc)
+			if p.sink != nil {
+				p.sink.Emit(obs.Event{Kind: "episode", T: uint64(elapsed / time.Microsecond), P: -1,
+					Detail: ep.Class.String(),
+					Fields: []obs.KV{{K: "index", V: int64(ep.Index)}}})
+			}
 			rec.Mark()
 			inEpisodeUntil = ep.End
 			nextEp++
@@ -282,6 +386,11 @@ func soak(p soakParams, w io.Writer) error {
 	}
 	if err := trace.Verdict(w, h, chaos.StableAgreement, budget); err != nil {
 		fail("Definition 2.4: %v", err)
+	}
+	if p.sink != nil {
+		// Mirror the verdict onto the event stream; trace.Verdict above
+		// already folded any violation into the failure list.
+		_ = trace.Events(p.sink, h, chaos.StableAgreement, budget)
 	}
 
 	if f, ok := minFrontier(smrRT, n); !ok || f == 0 {

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	ftss-sync [-n 5] [-f 2] [-rounds 40] [-corrupt 1,20] [-kind general-omission]
-//	          [-p 0.3] [-seed 1] [-naive] [-v]
+//	          [-p 0.3] [-seed 1] [-naive] [-v] [-trace] [-trace-from R] [-trace-to R]
+//	          [-metrics FILE] [-events FILE]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"ftss/internal/failure"
 	"ftss/internal/fullinfo"
 	"ftss/internal/history"
+	"ftss/internal/obs"
 	"ftss/internal/proc"
 	"ftss/internal/sim/round"
 	"ftss/internal/superimpose"
@@ -46,6 +48,10 @@ func run(args []string) error {
 	naive := fs.Bool("naive", false, "run the naive (uncompiled) repetition instead of Π⁺")
 	verbose := fs.Bool("v", false, "print per-round clocks and decisions")
 	showTrace := fs.Bool("trace", false, "print the full timeline, segment structure and verdict report")
+	traceFrom := fs.Int("trace-from", 0, "first round the -trace timeline renders (0 = start)")
+	traceTo := fs.Int("trace-to", 0, "last round the -trace timeline renders (0 = end)")
+	metricsFile := fs.String("metrics", "", "write the telemetry snapshot (counters/histograms) to this file")
+	eventsFile := fs.String("events", "", "write the structured JSONL event stream to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +99,17 @@ func run(args []string) error {
 	in := superimpose.SeededInputs(*seed, 1000)
 	sigma := superimpose.RepeatedConsensus{FinalRound: pi.FinalRound(), Inputs: in}
 
+	reg := obs.NewRegistry()
+	var sink obs.Sink
+	if *eventsFile != "" {
+		ef, err := os.Create(*eventsFile)
+		if err != nil {
+			return err
+		}
+		defer ef.Close()
+		sink = obs.NewJSONL(ef)
+	}
+
 	h := history.New(*n, adv.Faulty())
 	var e *round.Engine
 	var clocks func() []string
@@ -104,7 +121,20 @@ func run(args []string) error {
 		cs, ps := superimpose.Procs(pi, *n, in)
 		e = round.MustNewEngine(ps, adv)
 		clocks = func() []string { return describeCompiled(cs) }
+		superimpose.InstrumentAll(cs, &superimpose.Instruments{
+			SuspectAdds: reg.Counter("pi.suspect_adds"),
+			Resets:      reg.Counter("pi.resets"),
+			Decisions:   reg.Counter("pi.decisions"),
+			Sink:        sink,
+		})
 	}
+	e.Instrument(&round.Instruments{
+		Rounds:   reg.Counter("engine.rounds"),
+		Messages: reg.Counter("engine.messages"),
+		Dropped:  reg.Counter("engine.dropped"),
+		Crashes:  reg.Counter("engine.crashes"),
+		Sink:     sink,
+	})
 	e.Observe(h)
 
 	rng := rand.New(rand.NewSource(*seed * 101))
@@ -117,6 +147,10 @@ func run(args []string) error {
 				h.MarkSystemicFailure()
 			}
 			fmt.Printf("round %2d: SYSTEMIC FAILURE strikes %d processes\n", r, struck)
+			if sink != nil {
+				sink.Emit(obs.Event{Kind: "systemic", T: uint64(r), P: -1, Detail: "corrupt-everything",
+					Fields: []obs.KV{{K: "struck", V: int64(struck)}}})
+			}
 		}
 		e.Step()
 		if *verbose {
@@ -126,13 +160,31 @@ func run(args []string) error {
 
 	fmt.Println()
 	if *showTrace {
+		opt := trace.Full()
+		opt.From, opt.To = *traceFrom, *traceTo
 		fmt.Println("--- timeline ---")
-		trace.Timeline(os.Stdout, h, trace.Full())
+		trace.Timeline(os.Stdout, h, opt)
 		fmt.Println("--- segments ---")
 		trace.Segments(os.Stdout, h)
 		fmt.Println("--- summary ---")
 		trace.Summary(os.Stdout, h)
 		fmt.Println()
+	}
+	if sink != nil {
+		trace.Events(sink, h, sigma, pi.FinalRound())
+	}
+	if *metricsFile != "" {
+		mf, err := os.Create(*metricsFile)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.WriteTo(mf); err != nil {
+			mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
 	}
 	err := core.CheckFTSS(h, sigma, pi.FinalRound())
 	if err == nil {

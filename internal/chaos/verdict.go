@@ -5,6 +5,7 @@ import (
 
 	"ftss/internal/core"
 	"ftss/internal/history"
+	"ftss/internal/obs"
 	"ftss/internal/proc"
 	"ftss/internal/sim/round"
 )
@@ -43,7 +44,25 @@ type Recorder struct {
 	n     int
 	polls uint64
 	h     *history.History
+	ins   *RecorderInstruments
 }
+
+// RecorderInstruments holds the verdict recorder's telemetry hooks. Nil
+// counters and a nil Sink are no-ops. Events are stamped with the poll
+// count — the recorder's logical clock — never wall time, so a seeded
+// soak replays to an identical event stream.
+type RecorderInstruments struct {
+	// Polls counts recorded observations.
+	Polls *obs.Counter
+	// Marks counts systemic-failure marks (chaos episodes, corrupted
+	// restarts) — each opens a new Definition 2.4 segment.
+	Marks *obs.Counter
+	// Sink receives poll (with the up-process count) and systemic events.
+	Sink obs.Sink
+}
+
+// Instrument attaches telemetry hooks; nil detaches.
+func (r *Recorder) Instrument(ins *RecorderInstruments) { r.ins = ins }
 
 // NewRecorder builds a recorder for an n-process live run. No process is
 // designated faulty: under crash-restart every process eventually
@@ -84,11 +103,28 @@ func (r *Recorder) Observe(up proc.Set, cells map[proc.ID]DecisionCell) {
 		o.Delivered[proc.ID(q)] = msgs
 	}
 	r.h.ObserveRound(o)
+	if r.ins != nil {
+		r.ins.Polls.Inc()
+		if r.ins.Sink != nil {
+			r.ins.Sink.Emit(obs.Event{
+				Kind: "poll", T: r.polls, P: -1,
+				Fields: []obs.KV{{K: "up", V: int64(up.Len())}},
+			})
+		}
+	}
 }
 
 // Mark records a de-stabilizing systemic event (a chaos episode starting,
 // a restart from corrupted state) between the previous poll and the next.
-func (r *Recorder) Mark() { r.h.MarkSystemicFailure() }
+func (r *Recorder) Mark() {
+	r.h.MarkSystemicFailure()
+	if r.ins != nil {
+		r.ins.Marks.Inc()
+		if r.ins.Sink != nil {
+			r.ins.Sink.Emit(obs.Event{Kind: "systemic", T: r.polls, P: -1})
+		}
+	}
+}
 
 // History returns the accumulated history for core/trace checking.
 func (r *Recorder) History() *history.History { return r.h }

@@ -1,0 +1,40 @@
+package experiment
+
+import "ftss/internal/obs"
+
+// Telemetry integration. Instrumented experiments record aggregate
+// instruments and per-point events only AFTER the worker pool has merged
+// repetition results in index order (on the calling goroutine), so the
+// -metrics/-events output is byte-identical for any Workers value — the
+// same argument that makes the rendered tables schedule-independent.
+// Counter adds and histogram observations are commutative besides, so
+// even order-free recording could not diverge; the post-merge rule keeps
+// event ordering deterministic too.
+
+// stabBounds buckets measured stabilization times in rounds. The paper's
+// bounds live at the very bottom (1 for Figure 1, final_round for Π⁺);
+// the upper buckets exist to catch regressions that blow the bound.
+var stabBounds = []uint64{1, 2, 4, 8, 16, 32, 64}
+
+// countRepetitions records merged repetition work into the run-level
+// counter. Called on the caller's goroutine after every pool merge.
+func (c Config) countRepetitions(n int) {
+	if c.Metrics != nil {
+		c.Metrics.Counter("experiment.repetitions").Add(uint64(n))
+	}
+}
+
+// observeStab records one measured stabilization time (in rounds).
+func (c Config) observeStab(name string, rounds int) {
+	if c.Metrics != nil && rounds >= 0 {
+		c.Metrics.Histogram(name, stabBounds).Observe(uint64(rounds))
+	}
+}
+
+// emitPoint emits one per-parameter-point event, T-stamped with the
+// point's primary parameter value.
+func (c Config) emitPoint(kind string, t uint64, fields ...obs.KV) {
+	if c.Events != nil {
+		c.Events.Emit(obs.Event{Kind: kind, T: t, P: -1, Fields: fields})
+	}
+}

@@ -58,18 +58,22 @@ func runIndexed[T any](workers, n int, fn func(i int) T) []T {
 // results in seed order. fn must derive all randomness from its seed
 // argument and must not share mutable state across calls.
 func runSeeds[T any](cfg Config, fn func(seed int64) T) []T {
-	return runIndexed(cfg.workers(), cfg.Seeds, func(i int) T {
+	out := runIndexed(cfg.workers(), cfg.Seeds, func(i int) T {
 		return fn(cfg.BaseSeed + 1 + int64(i))
 	})
+	cfg.countRepetitions(len(out))
+	return out
 }
 
 // runPoints evaluates fn once per parameter point across cfg.workers()
 // goroutines and returns the results in point order. Used by experiments
 // whose repetition axis is a scenario list rather than a seed range.
 func runPoints[P, T any](cfg Config, points []P, fn func(p P) T) []T {
-	return runIndexed(cfg.workers(), len(points), func(i int) T {
+	out := runIndexed(cfg.workers(), len(points), func(i int) T {
 		return fn(points[i])
 	})
+	cfg.countRepetitions(len(out))
+	return out
 }
 
 // workers resolves the configured worker count: Workers if positive, else

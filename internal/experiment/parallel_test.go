@@ -1,8 +1,11 @@
 package experiment
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
+
+	"ftss/internal/obs"
 )
 
 // TestAllDeterministicAcrossWorkers is the parallel runner's contract: every
@@ -28,6 +31,50 @@ func TestAllDeterministicAcrossWorkers(t *testing.T) {
 				a[i].ID, ma, mb)
 		}
 	}
+}
+
+// TestMetricsDeterministicAcrossWorkers extends the contract to the
+// telemetry layer: the -metrics snapshot and the -events stream produced
+// by an instrumented run must be byte-identical for Workers=1 and
+// Workers=8. Instruments record post-merge on the caller's goroutine, so
+// the worker count must be unobservable here too.
+func TestMetricsDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) (metrics, events []byte) {
+		cfg := tiny()
+		cfg.Workers = workers
+		cfg.Metrics = obs.NewRegistry()
+		var buf bytes.Buffer
+		cfg.Events = obs.NewJSONL(&buf)
+		E12ParameterSweep(cfg)
+		E14NScaling(cfg)
+		return cfg.Metrics.Snapshot(), buf.Bytes()
+	}
+	m1, e1 := run(1)
+	m8, e8 := run(8)
+	if !bytes.Equal(m1, m8) {
+		t.Errorf("metrics differ across workers:\n--- Workers=1 ---\n%s\n--- Workers=8 ---\n%s", m1, m8)
+	}
+	if !bytes.Equal(e1, e8) {
+		t.Errorf("events differ across workers:\n--- Workers=1 ---\n%s\n--- Workers=8 ---\n%s", e1, e8)
+	}
+	if len(m1) == 0 || len(e1) == 0 {
+		t.Fatal("instrumented run recorded nothing; determinism check vacuous")
+	}
+	if got := cfgRepetitions(m1); got == 0 {
+		t.Fatal("experiment.repetitions missing from snapshot")
+	}
+}
+
+// cfgRepetitions extracts the experiment.repetitions value from a
+// snapshot, 0 if absent.
+func cfgRepetitions(snapshot []byte) int {
+	var v int
+	for _, line := range bytes.Split(snapshot, []byte("\n")) {
+		if n, _ := fmt.Sscanf(string(line), "counter experiment.repetitions %d", &v); n == 1 {
+			return v
+		}
+	}
+	return 0
 }
 
 // TestRunIndexedOrderAndCoverage pins the pool mechanics: every index is

@@ -8,6 +8,7 @@ import (
 	"ftss/internal/failure"
 	"ftss/internal/fullinfo"
 	"ftss/internal/history"
+	"ftss/internal/obs"
 	"ftss/internal/proc"
 	"ftss/internal/roundagree"
 	"ftss/internal/sim/round"
@@ -121,7 +122,17 @@ func E14NScaling(cfg Config) *Table {
 			if r.wfStab > wfMax {
 				wfMax = r.wfStab
 			}
+			cfg.observeStab("e14.agree_stab_rounds", r.agreeStab)
+			cfg.observeStab("e14.wf_stab_rounds", r.wfStab)
 		}
+		cfg.emitPoint("e14_point", uint64(n),
+			obs.KV{K: "seeds", V: int64(cfgRow.Seeds)},
+			obs.KV{K: "ra_rounds", V: int64(raRounds)},
+			obs.KV{K: "wf_rounds", V: int64(wfRounds)},
+			obs.KV{K: "agree_pass", V: int64(agreePass)},
+			obs.KV{K: "agree_max_stab", V: int64(agreeMax)},
+			obs.KV{K: "wf_pass", V: int64(wfPass)},
+			obs.KV{K: "wf_max_stab", V: int64(wfMax)})
 		t.AddRow(n, (n+63)/64, cfgRow.Seeds, fAgree, raRounds,
 			fmt.Sprintf("%d/%d", agreePass, cfgRow.Seeds), agreeMax,
 			fWF, wfRounds,

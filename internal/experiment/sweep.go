@@ -8,6 +8,7 @@ import (
 	"ftss/internal/failure"
 	"ftss/internal/fullinfo"
 	"ftss/internal/history"
+	"ftss/internal/obs"
 	"ftss/internal/proc"
 	"ftss/internal/sim/round"
 	"ftss/internal/superimpose"
@@ -69,17 +70,28 @@ func E12ParameterSweep(cfg Config) *Table {
 			if r.stab > maxStab {
 				maxStab = r.stab
 			}
+			cfg.observeStab("e12.stab_rounds", r.stab)
 		}
 		return pass, maxStab
 	}
 
 	for _, p := range []float64{0.0, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9} {
 		pass, maxStab := runPoint(2, p)
+		cfg.emitPoint("e12_point", uint64(p*100),
+			obs.KV{K: "faulty", V: 2},
+			obs.KV{K: "omission_pct", V: int64(p * 100)},
+			obs.KV{K: "pass", V: int64(pass)},
+			obs.KV{K: "max_stab", V: int64(maxStab)})
 		t.AddRow("omission probability", fmt.Sprintf("%.2f", p), cfg.Seeds,
 			fmt.Sprintf("%d/%d", pass, cfg.Seeds), maxStab)
 	}
 	for _, fc := range []int{0, 1, 2} {
 		pass, maxStab := runPoint(fc, 0.35)
+		cfg.emitPoint("e12_point", uint64(fc),
+			obs.KV{K: "faulty", V: int64(fc)},
+			obs.KV{K: "omission_pct", V: 35},
+			obs.KV{K: "pass", V: int64(pass)},
+			obs.KV{K: "max_stab", V: int64(maxStab)})
 		t.AddRow("faulty processes (of f=2 designed)", fmt.Sprint(fc), cfg.Seeds,
 			fmt.Sprintf("%d/%d", pass, cfg.Seeds), maxStab)
 	}

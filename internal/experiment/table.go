@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"ftss/internal/obs"
 )
 
 // Table is one experiment's rendered result.
@@ -119,6 +121,14 @@ type Config struct {
 	// merged in seed order, so every table is byte-identical for any
 	// Workers value.
 	Workers int
+	// Metrics, when non-nil, accumulates run-level instruments
+	// (repetition counts, stabilization histograms). Recording happens
+	// after the worker-pool merge, so snapshots are byte-identical for
+	// any Workers value.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives per-parameter-point events, emitted
+	// post-merge in point order (same determinism guarantee).
+	Events obs.Sink
 }
 
 // DefaultConfig returns the EXPERIMENTS.md-scale configuration.

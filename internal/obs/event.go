@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+)
+
+// KV is one integer-valued event field. Events carry only integers and
+// short strings so encoding never routes through reflection.
+type KV struct {
+	K string
+	V int64
+}
+
+// Event is one structured record on the stream. T is a logical stamp —
+// a round or poll count in deterministic packages, elapsed microseconds
+// in the live runtime — never a wall-clock reading in det code. P is the
+// process the event concerns, or -1 when it is system-wide.
+type Event struct {
+	// Kind names the event (round_start, msg_drop, segment_close, ...).
+	Kind string
+	// T is the logical timestamp (round, poll, or live elapsed µs).
+	T uint64
+	// P is the subject process ID, -1 for system-wide events.
+	P int
+	// Detail is an optional short free-form annotation.
+	Detail string
+	// Fields holds additional integer attributes in emission order.
+	Fields []KV
+}
+
+// Sink consumes events. Implementations must be safe for concurrent
+// Emit calls: deterministic packages emit from one goroutine, but the
+// live runtime emits from many.
+type Sink interface {
+	Emit(Event)
+}
+
+// Null discards every event. It exists so callers can hold a non-nil
+// Sink unconditionally when only metrics are wanted.
+type Null struct{}
+
+// Emit discards e.
+func (Null) Emit(Event) {}
+
+// JSONL encodes each event as one JSON object per line. Encoding is
+// hand-rolled append-based (no reflection, no encoding/json) and reuses
+// one buffer under the mutex, so a long run allocates only when an event
+// outgrows every previous one.
+type JSONL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONL wraps w in a JSONL sink.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w}
+}
+
+// Emit writes e as one line. Write errors are sticky: after the first
+// failure further events are dropped, and Err reports the cause.
+func (s *JSONL) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	b := s.buf[:0]
+	b = append(b, `{"ev":`...)
+	b = appendJSONString(b, e.Kind)
+	b = append(b, `,"t":`...)
+	b = strconv.AppendUint(b, e.T, 10)
+	if e.P >= 0 {
+		b = append(b, `,"p":`...)
+		b = strconv.AppendInt(b, int64(e.P), 10)
+	}
+	if e.Detail != "" {
+		b = append(b, `,"detail":`...)
+		b = appendJSONString(b, e.Detail)
+	}
+	for _, f := range e.Fields {
+		b = append(b, ',')
+		b = appendJSONString(b, f.K)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, f.V, 10)
+	}
+	b = append(b, '}', '\n')
+	s.buf = b
+	_, s.err = s.w.Write(b)
+}
+
+// Err returns the first write error, if any.
+func (s *JSONL) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// appendJSONString appends v as a JSON string. Quote, backslash, and
+// control characters are escaped; everything else — including multi-byte
+// UTF-8 — passes through raw, which is valid JSON.
+func appendJSONString(b []byte, v string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c >= 0x20 && c != 0x7f:
+			b = append(b, c)
+		case c == '\n':
+			b = append(b, '\\', 'n')
+		case c == '\t':
+			b = append(b, '\\', 't')
+		default:
+			const hex = "0123456789abcdef"
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		}
+	}
+	return append(b, '"')
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter Value = %d", c.Value())
+	}
+	var g *Gauge
+	g.Set(5)
+	g.SetMax(9)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge Value = %d", g.Value())
+	}
+	var h *Histogram
+	h.Observe(3)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil histogram Count=%d Sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	g := &Gauge{}
+	g.SetMax(4)
+	g.SetMax(2)
+	g.SetMax(9)
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax fold = %d, want 9", got)
+	}
+}
+
+func TestHistogramViaRegistry(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("stab_rounds", []uint64{1, 4, 16})
+	for _, v := range []uint64{0, 1, 2, 4, 5, 16, 17, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 0+1+2+4+5+16+17+100 {
+		t.Fatalf("Sum = %d", h.Sum())
+	}
+	got := string(r.Snapshot())
+	want := "histogram stab_rounds count=8 sum=145 le_1=2 le_4=4 le_16=6 le_inf=8\n"
+	if got != want {
+		t.Fatalf("snapshot:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestRegistrySnapshotSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta").Add(3)
+	r.Gauge("alpha").Set(-2)
+	r.Histogram("mid", []uint64{10}).Observe(4)
+	r.Counter("zeta").Inc()
+	want := strings.Join([]string{
+		"gauge alpha -2",
+		"histogram mid count=1 sum=4 le_10=1 le_inf=1",
+		"counter zeta 4",
+	}, "\n") + "\n"
+	for i := 0; i < 3; i++ {
+		if got := string(r.Snapshot()); got != want {
+			t.Fatalf("snapshot %d:\n got %q\nwant %q", i, got, want)
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x")
+	b := r.Counter("x")
+	if a != b {
+		t.Fatal("Counter(x) returned distinct instruments")
+	}
+	h1 := r.Histogram("h", []uint64{1, 2})
+	h2 := r.Histogram("h", []uint64{1, 2})
+	if h1 != h2 {
+		t.Fatal("Histogram(h) returned distinct instruments")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	mustPanic(t, "kind mismatch", func() { r.Gauge("x") })
+	r.Histogram("h", []uint64{1, 2})
+	mustPanic(t, "bounds mismatch", func() { r.Histogram("h", []uint64{1, 3}) })
+	mustPanic(t, "unsorted bounds", func() { r.Histogram("bad", []uint64{5, 5}) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestRegistryConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").SetMax(int64(i))
+				r.Histogram("h", []uint64{100, 500}).Observe(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 999 {
+		t.Fatalf("gauge = %d, want 999", got)
+	}
+	if got := r.Histogram("h", []uint64{100, 500}).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestJSONLEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	s.Emit(Event{Kind: "round_start", T: 7, P: 2})
+	s.Emit(Event{Kind: "msg_drop", T: 7, P: -1, Detail: "link", Fields: []KV{{"from", 1}, {"to", 3}}})
+	s.Emit(Event{Kind: "odd \"kind\"\n", T: 0, P: 0, Detail: string([]byte{0x01})})
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"ev":"round_start","t":7,"p":2}
+{"ev":"msg_drop","t":7,"detail":"link","from":1,"to":3}
+{"ev":"odd \"kind\"\n","t":0,"p":0,"detail":"\u0001"}
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("jsonl:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestJSONLStickyError(t *testing.T) {
+	s := NewJSONL(failWriter{})
+	s.Emit(Event{Kind: "a"})
+	if s.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+	s.Emit(Event{Kind: "b"}) // must not panic or clear the error
+	if s.Err() == nil {
+		t.Fatal("error cleared by later Emit")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errShort }
+
+var errShort = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "synthetic write failure" }
+
+func TestNullSink(t *testing.T) {
+	var s Sink = Null{}
+	s.Emit(Event{Kind: "ignored"})
+}

@@ -89,6 +89,8 @@ type Config struct {
 	MailboxCap int
 	// Overflow selects the full-mailbox policy when MailboxCap > 0.
 	Overflow OverflowPolicy
+	// Obs holds optional telemetry hooks (nil = none); see Instruments.
+	Obs *Instruments
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +126,9 @@ type mailbox struct {
 
 	highWater int
 	dropped   uint64
+
+	rt    *Runtime // telemetry access; nil in direct unit tests
+	owner proc.ID
 }
 
 func newMailbox(cap int, policy OverflowPolicy) *mailbox {
@@ -134,6 +139,12 @@ func newMailbox(cap int, policy OverflowPolicy) *mailbox {
 		cap:    cap,
 		policy: policy,
 	}
+}
+
+func (rt *Runtime) newMailboxFor(id proc.ID) *mailbox {
+	m := newMailbox(rt.cfg.MailboxCap, rt.cfg.Overflow)
+	m.rt, m.owner = rt, id
+	return m
 }
 
 func signal(ch chan struct{}) {
@@ -167,6 +178,10 @@ func (m *mailbox) put(it item, cancel <-chan struct{}) bool {
 					m.items = m.items[:len(m.items)-1]
 					m.msgs--
 					m.dropped++
+					if m.rt != nil && m.rt.cfg.Obs != nil {
+						m.rt.cfg.Obs.OverflowDropped.Inc()
+						m.rt.emit("overflow_drop", m.owner, "")
+					}
 					break
 				}
 			}
@@ -193,6 +208,9 @@ func (m *mailbox) enqueueLocked(it item) {
 		m.msgs++
 		if m.msgs > m.highWater {
 			m.highWater = m.msgs
+			if m.rt != nil && m.rt.cfg.Obs != nil {
+				m.rt.cfg.Obs.MailboxHighWater.SetMax(int64(m.msgs))
+			}
 		}
 	}
 }
@@ -332,7 +350,7 @@ func New(procs []async.Proc, cfg Config) (*Runtime, error) {
 			rt:  rt,
 			id:  id,
 			p:   p,
-			box: newMailbox(cfg.MailboxCap, cfg.Overflow),
+			box: rt.newMailboxFor(id),
 			rng: rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
 		}
 	}
@@ -380,7 +398,7 @@ func (w *worker) launch() {
 	}
 	w.mu.Lock()
 	if w.box == nil {
-		w.box = newMailbox(w.rt.cfg.MailboxCap, w.rt.cfg.Overflow)
+		w.box = w.rt.newMailboxFor(w.id)
 	}
 	w.stop = make(chan struct{})
 	w.exited = make(chan struct{})
@@ -456,6 +474,10 @@ func (rt *Runtime) Kill(id proc.ID) bool {
 	}
 	rt.retiredDrop[id] += dropped
 	rt.mu.Unlock()
+	if rt.cfg.Obs != nil {
+		rt.cfg.Obs.Kills.Inc()
+		rt.emit("kill", id, "")
+	}
 
 	<-exited
 	return true
@@ -511,6 +533,14 @@ func (rt *Runtime) restart(id proc.ID, corrupt *rand.Rand) bool {
 	rt.crashed.Remove(id)
 	rt.restarts[id]++
 	rt.mu.Unlock()
+	if rt.cfg.Obs != nil {
+		rt.cfg.Obs.Restarts.Inc()
+		detail := ""
+		if corrupt != nil {
+			detail = "corrupt"
+		}
+		rt.emit("restart", id, detail)
+	}
 
 	w.launch()
 	return true
@@ -728,6 +758,9 @@ func (w *worker) run(box *mailbox, stop, exited chan struct{}) {
 					continue
 				}
 				w.rt.delivered.Add(1)
+				if ins := w.rt.cfg.Obs; ins != nil {
+					ins.Delivered.Inc()
+				}
 				w.supervised(func() { w.p.OnMessage(ctx, it.from, it.payload) })
 			}
 		case <-timer.C:
@@ -744,6 +777,10 @@ func (w *worker) supervised(f func()) {
 			w.rt.mu.Lock()
 			w.rt.panics[w.id]++
 			w.rt.mu.Unlock()
+			if w.rt.cfg.Obs != nil {
+				w.rt.cfg.Obs.Panics.Inc()
+				w.rt.emit("panic", w.id, "")
+			}
 		}
 	}()
 	f()
@@ -788,6 +825,9 @@ func (c *liveCtx) Send(to proc.ID, payload any) {
 		return
 	}
 	rt.sent.Add(1)
+	if ins := rt.cfg.Obs; ins != nil {
+		ins.Sent.Inc()
+	}
 	it := item{from: c.w.p.ID(), payload: payload}
 	verdict := chaos.Deliver()
 	if rt.cfg.Nemesis != nil {
@@ -796,6 +836,10 @@ func (c *liveCtx) Send(to proc.ID, payload any) {
 	}
 	if verdict.Drop {
 		rt.chaosDropped.Add(1)
+		if ins := rt.cfg.Obs; ins != nil {
+			ins.ChaosDropped.Inc()
+			rt.emit("nemesis_drop", to, "")
+		}
 		return
 	}
 	copies := verdict.Copies
@@ -804,6 +848,10 @@ func (c *liveCtx) Send(to proc.ID, payload any) {
 	}
 	if copies > 1 {
 		rt.chaosDuplicated.Add(uint64(copies - 1))
+		if ins := rt.cfg.Obs; ins != nil {
+			ins.ChaosDuplicated.Add(uint64(copies - 1))
+			rt.emit("nemesis_dup", to, "")
+		}
 	}
 	for i := 0; i < copies; i++ {
 		delay := rt.cfg.MinDelay + verdict.ExtraDelay

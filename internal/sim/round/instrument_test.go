@@ -1,0 +1,113 @@
+package round
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ftss/internal/failure"
+	"ftss/internal/obs"
+	"ftss/internal/proc"
+)
+
+// TestInstrumentedDisabledAllocationCeiling: an engine whose Instruments
+// pointer is nil must keep the same steady-state allocation budget as an
+// uninstrumented engine — the disabled path is one branch, zero allocs.
+func TestInstrumentedDisabledAllocationCeiling(t *testing.T) {
+	const n = 16
+	ps := make([]Process, n)
+	for i := range ps {
+		ps[i] = &quietProc{id: proc.ID(i), payload: i}
+	}
+	e := MustNewEngine(ps, nil)
+	e.Instrument(nil) // explicit no-op attach
+	e.Run(3)
+
+	avg := testing.AllocsPerRun(50, func() { e.Step() })
+	const ceiling = 2 // same budget TestStepAllocationCeiling pins
+	if avg > ceiling {
+		t.Errorf("disabled-instrumentation Step: %.1f allocs per round, ceiling %d", avg, ceiling)
+	}
+}
+
+// TestInstrumentedCountersOnlyAllocationCeiling: counters without a Sink
+// are atomic adds — they must not raise the per-round budget either.
+func TestInstrumentedCountersOnlyAllocationCeiling(t *testing.T) {
+	const n = 16
+	ps := make([]Process, n)
+	for i := range ps {
+		ps[i] = &quietProc{id: proc.ID(i), payload: i}
+	}
+	e := MustNewEngine(ps, nil)
+	reg := obs.NewRegistry()
+	e.Instrument(&Instruments{
+		Rounds:   reg.Counter("rounds"),
+		Messages: reg.Counter("messages"),
+		Dropped:  reg.Counter("dropped"),
+		Crashes:  reg.Counter("crashes"),
+	})
+	e.Run(3)
+
+	avg := testing.AllocsPerRun(50, func() { e.Step() })
+	const ceiling = 2
+	if avg > ceiling {
+		t.Errorf("counters-only Step: %.1f allocs per round, ceiling %d", avg, ceiling)
+	}
+}
+
+// TestInstrumentCounts checks the tallies against a schedule computed by
+// hand: n=4, one crash at round 3, send-omission from process 0 in
+// rounds 1–2.
+func TestInstrumentCounts(t *testing.T) {
+	const n = 4
+	adv := failure.NewScripted(0, 1).CrashAt(1, 3)
+	// Process 0 drops its sends to everyone in rounds 1 and 2.
+	for r := uint64(1); r <= 2; r++ {
+		for to := 1; to < n; to++ {
+			adv.DropSendAt(r, 0, proc.ID(to))
+		}
+	}
+
+	ps := make([]Process, n)
+	for i := range ps {
+		ps[i] = &quietProc{id: proc.ID(i), payload: i}
+	}
+	e := MustNewEngine(ps, adv)
+	reg := obs.NewRegistry()
+	var events bytes.Buffer
+	e.Instrument(&Instruments{
+		Rounds:   reg.Counter("rounds"),
+		Messages: reg.Counter("messages"),
+		Dropped:  reg.Counter("dropped"),
+		Crashes:  reg.Counter("crashes"),
+		Sink:     obs.NewJSONL(&events),
+	})
+	e.Run(4)
+
+	if got := reg.Counter("rounds").Value(); got != 4 {
+		t.Errorf("rounds = %d, want 4", got)
+	}
+	// Rounds 1–2: 4 alive, 16 pairs, 3 dropped each → 13 delivered each.
+	// Round 3: process 1 crashes, 3 alive → 9 delivered. Round 4: 9.
+	if got := reg.Counter("messages").Value(); got != 13+13+9+9 {
+		t.Errorf("messages = %d, want 44", got)
+	}
+	if got := reg.Counter("dropped").Value(); got != 6 {
+		t.Errorf("dropped = %d, want 6", got)
+	}
+	if got := reg.Counter("crashes").Value(); got != 1 {
+		t.Errorf("crashes = %d, want 1", got)
+	}
+
+	out := events.String()
+	for _, want := range []string{
+		`{"ev":"round_start","t":1,"alive":4}`,
+		`{"ev":"msg_drop","t":1,"p":1,"detail":"send","from":0,"to":1}`,
+		`{"ev":"crash","t":3,"p":1}`,
+		`{"ev":"round_end","t":4,"alive":3,"delivered":9,"dropped":0}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("event stream missing %s\nstream:\n%s", want, out)
+		}
+	}
+}

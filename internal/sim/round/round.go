@@ -28,6 +28,7 @@ import (
 	"math/rand"
 
 	"ftss/internal/failure"
+	"ftss/internal/obs"
 	"ftss/internal/proc"
 )
 
@@ -126,6 +127,9 @@ type Engine struct {
 	aliveIDs []proc.ID
 	sent     []any
 	inbox    [][]Message
+
+	// ins holds optional telemetry hooks; nil disables all telemetry.
+	ins *Instruments
 }
 
 // NewEngine builds an engine over the given processes and adversary.
@@ -233,6 +237,12 @@ func (e *Engine) Step() {
 		if cr := e.adv.CrashRound(id); cr != 0 && r >= cr && e.designed.Has(id) {
 			e.crashed.Add(id)
 			deviated.Add(id)
+			if e.ins != nil {
+				e.ins.Crashes.Inc()
+				if e.ins.Sink != nil {
+					e.ins.Sink.Emit(obs.Event{Kind: "crash", T: r, P: int(id)})
+				}
+			}
 		}
 	}
 
@@ -251,6 +261,13 @@ func (e *Engine) Step() {
 	}
 	e.aliveIDs = aliveIDs
 
+	if e.ins != nil && e.ins.Sink != nil {
+		e.ins.Sink.Emit(obs.Event{
+			Kind: "round_start", T: r, P: -1,
+			Fields: []obs.KV{{K: "alive", V: int64(len(aliveIDs))}},
+		})
+	}
+
 	var start map[proc.ID]Snapshot
 	if observed {
 		start = make(map[proc.ID]Snapshot, len(aliveIDs))
@@ -263,6 +280,7 @@ func (e *Engine) Step() {
 		e.sent[id] = p.StartRound()
 	}
 
+	nDelivered, nDropped := 0, 0
 	for _, to := range aliveIDs {
 		var msgs []Message
 		if observed {
@@ -279,14 +297,19 @@ func (e *Engine) Step() {
 			if from != to { // self-delivery is unconditional (footnote 1)
 				if e.designed.Has(from) && e.adv.DropSend(r, from, to) {
 					deviated.Add(from)
+					nDropped++
+					e.dropEvent(r, "send", from, to)
 					continue
 				}
 				if e.designed.Has(to) && e.adv.DropRecv(r, from, to) {
 					deviated.Add(to)
+					nDropped++
+					e.dropEvent(r, "recv", from, to)
 					continue
 				}
 			}
 			msgs = append(msgs, Message{From: from, Payload: payload})
+			nDelivered++
 		}
 		e.inbox[to] = msgs
 	}
@@ -331,8 +354,23 @@ func (e *Engine) Step() {
 	for i := range e.sent {
 		e.sent[i] = nil
 	}
+	if e.ins != nil {
+		e.stepTelemetry(r, len(aliveIDs), nDelivered, nDropped)
+	}
 
 	e.round++
+}
+
+// dropEvent emits a msg_drop event for an adversary-suppressed message.
+// Kept out of line so the common deliver path stays branch-light.
+func (e *Engine) dropEvent(r uint64, how string, from, to proc.ID) {
+	if e.ins == nil || e.ins.Sink == nil {
+		return
+	}
+	e.ins.Sink.Emit(obs.Event{
+		Kind: "msg_drop", T: r, P: int(to), Detail: how,
+		Fields: []obs.KV{{K: "from", V: int64(from)}, {K: "to", V: int64(to)}},
+	})
 }
 
 // Run executes the next `rounds` rounds.

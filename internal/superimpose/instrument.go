@@ -1,0 +1,57 @@
+package superimpose
+
+import "ftss/internal/obs"
+
+// Instruments holds the compiled-protocol telemetry hooks, shared by all
+// processes of one run. Nil counters and a nil Sink are no-ops, and a
+// process with no Instruments attached pays one nil check per EndRound.
+type Instruments struct {
+	// SuspectAdds counts processes newly added to suspect sets (churn:
+	// the per-round growth of S across all processes).
+	SuspectAdds *obs.Counter
+	// Resets counts iteration boundaries: Π re-initialized and the
+	// suspect set cleared.
+	Resets *obs.Counter
+	// Decisions counts completed iterations producing an output.
+	Decisions *obs.Counter
+	// Sink receives suspects (per-process suspect-set delta, T = the
+	// process's round variable) and iter_reset events.
+	Sink obs.Sink
+}
+
+// Instrument attaches telemetry hooks to one process; nil detaches.
+func (p *Proc) Instrument(ins *Instruments) { p.ins = ins }
+
+// InstrumentAll attaches the same hooks to every process in cs.
+func InstrumentAll(cs []*Proc, ins *Instruments) {
+	for _, p := range cs {
+		p.Instrument(ins)
+	}
+}
+
+// suspectTelemetry reports the round's suspect-set growth: added is the
+// number of senders newly suspected this round (S only grows between
+// iteration boundaries, so the delta of Len is exact).
+func (p *Proc) suspectTelemetry(added int) {
+	if added == 0 {
+		return
+	}
+	p.ins.SuspectAdds.Add(uint64(added))
+	if p.ins.Sink != nil {
+		p.ins.Sink.Emit(obs.Event{
+			Kind: "suspects", T: p.clock, P: int(p.id),
+			Fields: []obs.KV{{K: "added", V: int64(added)}, {K: "total", V: int64(p.suspects.Len())}},
+		})
+	}
+}
+
+// resetTelemetry reports an iteration boundary.
+func (p *Proc) resetTelemetry(iter uint64) {
+	p.ins.Resets.Inc()
+	if p.ins.Sink != nil {
+		p.ins.Sink.Emit(obs.Event{
+			Kind: "iter_reset", T: p.clock, P: int(p.id),
+			Fields: []obs.KV{{K: "iter", V: int64(iter)}},
+		})
+	}
+}

@@ -113,6 +113,9 @@ type Proc struct {
 	// noFilter disables the suspect-set message filter (ablation
 	// experiment E7); the suspect set is still maintained.
 	noFilter bool
+
+	// ins holds optional telemetry hooks; nil disables all telemetry.
+	ins *Instruments
 }
 
 var _ round.Process = (*Proc)(nil)
@@ -201,6 +204,7 @@ func (p *Proc) EndRound(received []round.Message) {
 	}
 
 	// S := suspects ∪ {q | no message from q tagged with c_p this round}.
+	oldSuspects := p.suspects.Len()
 	s := p.suspects.Clone()
 	for q := proc.ID(0); int(q) < p.n; q++ {
 		if !present.Has(q) || got[q].clock != p.clock {
@@ -225,8 +229,14 @@ func (p *Proc) EndRound(received []round.Message) {
 	if k == finalRound {
 		v, ok := p.pi.Output(p.state)
 		p.decided = &Decision{Iteration: Iteration(p.clock, finalRound), Value: v, OK: ok}
+		if p.ins != nil && ok {
+			p.ins.Decisions.Inc()
+		}
 	}
 	p.suspects = s
+	if p.ins != nil {
+		p.suspectTelemetry(s.Len() - oldSuspects)
+	}
 
 	// Round agreement: c_p := max(R) + 1 over ALL received round numbers,
 	// suspected or not (self-delivery keeps R non-empty).
@@ -243,6 +253,9 @@ func (p *Proc) EndRound(received []round.Message) {
 		iter := Iteration(p.clock, finalRound)
 		p.state = p.pi.Init(p.id, p.n, p.input(p.id, iter))
 		p.suspects = proc.NewSet()
+		if p.ins != nil {
+			p.resetTelemetry(iter)
+		}
 	}
 }
 

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"ftss/internal/core"
+	"ftss/internal/history"
+	"ftss/internal/obs"
+)
+
+// Events emits the Definition 2.4 structure of a recorded history onto
+// an event stream: one coterie_change per de-stabilizing round, one
+// systemic per recorded mark, a segment_open/segment_close pair per
+// maximal stable segment (the close carries that segment's verdict under
+// Σ with the given stabilization budget), and a final verdict event with
+// the measured stabilization. Events are stamped with prefix lengths /
+// round numbers — the deterministic clocks of the history — so a seeded
+// run replays to an identical stream.
+//
+// The returned error is the first per-segment violation, mirroring
+// core.CheckFTSS (which evaluates the identical windows).
+func Events(sink obs.Sink, h *history.History, sigma core.Problem, stab int) error {
+	for _, r := range h.DestabilizingRounds() {
+		sink.Emit(obs.Event{Kind: "coterie_change", T: uint64(r), P: -1,
+			Fields: []obs.KV{{K: "coterie", V: int64(h.CoterieAtView(r).Len())}}})
+	}
+	for _, m := range h.SystemicFailureMarks() {
+		sink.Emit(obs.Event{Kind: "systemic", T: uint64(m), P: -1})
+	}
+
+	var firstErr error
+	for _, seg := range h.StableSegments() {
+		sink.Emit(obs.Event{Kind: "segment_open", T: uint64(seg.Start), P: -1,
+			Fields: []obs.KV{
+				{K: "end", V: int64(seg.End)},
+				{K: "coterie", V: int64(seg.Coterie.Len())},
+			}})
+		// The same windows CheckFTSS enforces, restricted to this segment.
+		segErr := func() error {
+			lo := seg.Start + stab
+			if lo < 1 {
+				lo = 1
+			}
+			for b := lo; b <= seg.End; b++ {
+				if err := sigma.Check(h, lo, b, h.FaultyUpToView(b)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		ok := int64(1)
+		detail := ""
+		if segErr != nil {
+			ok = 0
+			detail = segErr.Error()
+			if firstErr == nil {
+				firstErr = segErr
+			}
+		}
+		sink.Emit(obs.Event{Kind: "segment_close", T: uint64(seg.End), P: -1, Detail: detail,
+			Fields: []obs.KV{
+				{K: "start", V: int64(seg.Start)},
+				{K: "ok", V: ok},
+			}})
+	}
+
+	m := core.MeasureStabilization(h, sigma)
+	verdict := int64(1)
+	if firstErr != nil {
+		verdict = 0
+	}
+	sink.Emit(obs.Event{Kind: "verdict", T: uint64(h.Len()), P: -1, Detail: sigma.Name(),
+		Fields: []obs.KV{
+			{K: "ok", V: verdict},
+			{K: "stab_budget", V: int64(stab)},
+			{K: "event_round", V: int64(m.EventRound)},
+			{K: "satisfied_from", V: int64(m.SatisfiedFrom)},
+			{K: "measured_stab", V: int64(m.Rounds)},
+		}})
+	return firstErr
+}

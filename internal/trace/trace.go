@@ -37,7 +37,9 @@ func Full() Options {
 	return Options{Clocks: true, Decisions: true, Suspects: true, Coterie: true}
 }
 
-// Timeline writes one line per round.
+// Timeline writes one line per round. A window that is empty after
+// resolving the zero-value defaults — From past the end of the history,
+// or an inverted explicit range (From > To) — renders nothing.
 func Timeline(w io.Writer, h *history.History, opt Options) {
 	from, to := opt.From, opt.To
 	if from < 1 {
@@ -45,6 +47,9 @@ func Timeline(w io.Writer, h *history.History, opt Options) {
 	}
 	if to < 1 || to > h.Len() {
 		to = h.Len()
+	}
+	if from > h.Len() || from > to {
+		return
 	}
 	for r := from; r <= to; r++ {
 		var parts []string

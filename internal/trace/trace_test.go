@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"math/rand"
 	"strings"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"ftss/internal/failure"
 	"ftss/internal/fullinfo"
 	"ftss/internal/history"
+	"ftss/internal/obs"
 	"ftss/internal/proc"
 	"ftss/internal/sim/round"
 	"ftss/internal/superimpose"
@@ -135,5 +137,70 @@ func TestSummary(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("summary missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestTimelineEmptyWindows is the regression pin for the bounds fix:
+// From past the end of the history or an inverted explicit range must
+// render nothing at all — not a partial or garbled range.
+func TestTimelineEmptyWindows(t *testing.T) {
+	h, _, _ := compiledHistory(t)
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"from-past-end", Options{From: h.Len() + 1, Clocks: true}},
+		{"from-past-end-explicit-to", Options{From: h.Len() + 1, To: h.Len() + 5, Clocks: true}},
+		{"inverted-range", Options{From: 5, To: 3, Clocks: true}},
+		{"inverted-at-start", Options{From: 2, To: 1, Clocks: true}},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		Timeline(&sb, h, tc.opt)
+		if sb.Len() != 0 {
+			t.Errorf("%s: rendered %d bytes, want nothing:\n%s", tc.name, sb.Len(), sb.String())
+		}
+	}
+	// Sanity: the degenerate single-round window still renders.
+	var sb strings.Builder
+	Timeline(&sb, h, Options{From: 4, To: 4, Clocks: true})
+	if lines := strings.Count(sb.String(), "\n"); lines != 1 {
+		t.Errorf("single-round window rendered %d lines, want 1", lines)
+	}
+}
+
+// TestEvents checks the Def-2.4 event stream: segment_open/segment_close
+// pairs per stable segment, a systemic event per mark, and a final
+// verdict event agreeing with core.CheckFTSS.
+func TestEvents(t *testing.T) {
+	h, sigma, fr := compiledHistory(t)
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	if err := Events(sink, h, sigma, fr); err != nil {
+		t.Fatalf("Events verdict disagreed with CheckFTSS: %v", err)
+	}
+	out := buf.String()
+	segs := h.StableSegments()
+	if got := strings.Count(out, `"ev":"segment_open"`); got != len(segs) {
+		t.Errorf("segment_open count = %d, want %d", got, len(segs))
+	}
+	if got := strings.Count(out, `"ev":"segment_close"`); got != len(segs) {
+		t.Errorf("segment_close count = %d, want %d", got, len(segs))
+	}
+	if !strings.Contains(out, `"ev":"verdict"`) || !strings.Contains(out, `"ok":1`) {
+		t.Errorf("missing passing verdict event:\n%s", out)
+	}
+
+	// A violated Σ must close at least one segment with ok:0 and return
+	// the violation.
+	buf.Reset()
+	never := core.Func{ProblemName: "never", CheckFunc: func(*history.History, int, int, proc.Set) error {
+		return &core.Violation{Problem: "never", Round: 1, Detail: "by construction"}
+	}}
+	if err := Events(sink, h, never, 1); err == nil {
+		t.Fatal("expected a violation")
+	}
+	if out := buf.String(); !strings.Contains(out, `"ok":0`) {
+		t.Errorf("violated run missing ok:0 close:\n%s", out)
 	}
 }
