@@ -23,6 +23,7 @@ import (
 	"ftss/internal/sim/async"
 	"ftss/internal/sim/round"
 	"ftss/internal/superimpose"
+	"ftss/internal/wire"
 )
 
 const ms = async.Millisecond
@@ -539,6 +540,49 @@ func BenchmarkDijkstraStabilization(b *testing.B) {
 		}
 		if dijkstra.Privileged(vals, 9).Len() != 1 {
 			b.Fatal("ring did not stabilize")
+		}
+	}
+}
+
+// BenchmarkWireEncode: frame one representative Figure 4 SyncMsg (n=8) —
+// the dominant message on the networked runtime's wire — into a reused
+// buffer. The steady-state path must not allocate.
+func BenchmarkWireEncode(b *testing.B) {
+	msg := detector.SyncMsg{Records: make([]detector.Status, 8)}
+	for i := range msg.Records {
+		msg.Records[i] = detector.Status{Num: uint64(i) * 977, Dead: i%3 == 0}
+	}
+	var payload any = msg // box once: the transport passes `any` too
+	buf := make([]byte, 0, 256)
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = wire.AppendFrame(buf[:0], 3, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(buf) == 0 {
+		b.Fatal("empty frame")
+	}
+}
+
+// BenchmarkWireDecode: parse the same frame back, strict mode.
+func BenchmarkWireDecode(b *testing.B) {
+	msg := detector.SyncMsg{Records: make([]detector.Status, 8)}
+	for i := range msg.Records {
+		msg.Records[i] = detector.Status{Num: uint64(i) * 977, Dead: i%3 == 0}
+	}
+	frame, err := wire.AppendFrame(nil, 3, msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		from, payload, err := wire.DecodeFrame(frame)
+		if err != nil || from != 3 {
+			b.Fatalf("from=%v err=%v", from, err)
+		}
+		if len(payload.(detector.SyncMsg).Records) != 8 {
+			b.Fatal("short decode")
 		}
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"ftss/internal/cli"
 	"ftss/internal/ctcons"
 	"ftss/internal/detector"
 	"ftss/internal/obs"
@@ -133,11 +134,22 @@ func run(args []string) error {
 		return mf.Close()
 	}
 
+	stop := cli.Shutdown("ftss-live")
 	start := time.Now()
 	var stableSince time.Time
 	var lastVals []ctcons.Value
 	for time.Since(start) < *deadline {
-		time.Sleep(5 * time.Millisecond)
+		select {
+		case <-stop:
+			// Graceful: the snapshot and event stream still land on disk.
+			fmt.Printf("interrupted after %v\n", time.Since(start).Round(time.Millisecond))
+			fmt.Println(rt.Health())
+			if err := writeMetrics(); err != nil {
+				return err
+			}
+			return fmt.Errorf("interrupted before stable agreement")
+		case <-time.After(5 * time.Millisecond):
+		}
 		vals := make([]ctcons.Value, 0, *n)
 		all := true
 		for _, c := range cs {

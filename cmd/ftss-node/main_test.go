@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParsePeers(t *testing.T) {
+	m, err := parsePeers("1=127.0.0.1:7001, 2=127.0.0.1:7002,3=h:1", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || m[1] != "127.0.0.1:7001" || m[3] != "h:1" {
+		t.Fatalf("parsed %v", m)
+	}
+	for _, bad := range []string{
+		"",                // missing everyone
+		"1=a,2=b",         // one peer short
+		"0=a,2=b,3=c",     // lists self
+		"1=a,1=b,2=c",     // duplicate
+		"1=a,2=b,9=c",     // out of range
+		"1=a,2=b,x=c",     // not a number
+		"1=a,2=b,3",       // no '='
+		"1=a,2=b,3=c,4=d", // too many for n=4
+	} {
+		if _, err := parsePeers(bad, 0, 4); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-id", "0", "-n", "4", "-peers", "1=a"}); err == nil {
+		t.Error("short peer list accepted")
+	}
+}

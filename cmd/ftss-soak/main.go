@@ -40,6 +40,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -52,6 +53,7 @@ import (
 	"time"
 
 	"ftss/internal/chaos"
+	"ftss/internal/cli"
 	"ftss/internal/core"
 	"ftss/internal/ctcons"
 	"ftss/internal/detector"
@@ -82,6 +84,11 @@ func buildPlan(seed int64, n, episodes int, episodeLen, quietLen time.Duration) 
 // soakParams is one soak run's full configuration. reg and sink are nil
 // when telemetry is off; with -runs, reg is shared (counters aggregate
 // across runs) while each run gets its own buffered sink.
+// errInterrupted marks a run cut short by SIGINT/SIGTERM: its partial
+// trace was still judged and its telemetry still flushed, but the run is
+// not a pass.
+var errInterrupted = errors.New("interrupted")
+
 type soakParams struct {
 	seed       int64
 	n          int
@@ -92,6 +99,7 @@ type soakParams struct {
 	cap        int
 	reg        *obs.Registry
 	sink       obs.Sink
+	stop       <-chan struct{}
 }
 
 func run(args []string, w io.Writer) error {
@@ -127,6 +135,7 @@ func run(args []string, w io.Writer) error {
 		seed: *seed, n: *n, episodes: *episodes,
 		episodeLen: *episodeLen, quietLen: *quietLen,
 		tick: *tick, cap: *cap,
+		stop: cli.Shutdown("ftss-soak"),
 	}
 	if *metricsFile != "" || *eventsFile != "" {
 		p.reg = obs.NewRegistry()
@@ -199,6 +208,13 @@ func soakMany(p soakParams, runs, workers int, w io.Writer, eventsW io.Writer) e
 				if i >= runs {
 					return
 				}
+				if p.stop != nil {
+					select {
+					case <-p.stop:
+						return // leave the claimed run unstarted
+					default:
+					}
+				}
 				pi := p
 				pi.seed = p.seed + int64(i)
 				if pi.reg != nil {
@@ -213,22 +229,34 @@ func soakMany(p soakParams, runs, workers int, w io.Writer, eventsW io.Writer) e
 	}
 	wg.Wait()
 
-	failed := 0
+	failed, stopped, printed := 0, 0, 0
 	for i := 0; i < runs; i++ {
-		if i > 0 {
+		if outs[i].Len() == 0 {
+			stopped++ // interrupted before this run began
+			continue
+		}
+		if printed > 0 {
 			fmt.Fprintln(w)
 		}
+		printed++
 		w.Write(outs[i].Bytes())
 		if eventsW != nil {
 			eventsW.Write(evs[i].Bytes())
 		}
-		if errs[i] != nil {
+		switch {
+		case errors.Is(errs[i], errInterrupted):
+			stopped++
+		case errs[i] != nil:
 			failed++
 			fmt.Fprintf(w, "run %d (seed %d): %v\n", i, p.seed+int64(i), errs[i])
 		}
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d soak run(s) failed", failed, runs)
+	}
+	if stopped > 0 {
+		fmt.Fprintf(w, "\ninterrupted: %d of %d run(s) completed cleanly\n", runs-stopped, runs)
+		return errInterrupted
 	}
 	fmt.Fprintf(w, "\nall %d soak runs passed (seeds %d..%d)\n", runs, p.seed, p.seed+int64(runs)-1)
 	return nil
@@ -332,9 +360,20 @@ func soak(p soakParams, w io.Writer) error {
 		windowStable = false
 	}
 
+	interrupted := false
 	for {
 		elapsed := time.Since(start)
 		if elapsed >= horizon {
+			break
+		}
+		if p.stop != nil {
+			select {
+			case <-p.stop:
+				interrupted = true
+			default:
+			}
+		}
+		if interrupted {
 			break
 		}
 		if nextEp < len(plan.Episodes) && elapsed >= plan.Episodes[nextEp].Start {
@@ -364,9 +403,23 @@ func soak(p soakParams, w io.Writer) error {
 		}
 		time.Sleep(pollEvery)
 	}
-	closeWindow() // the final quiet window
+	if interrupted {
+		// Graceful stop: the in-flight window is incomplete, so it is not
+		// judged; the partial trace still gets its Definition 2.4 verdict
+		// and the telemetry snapshot still lands on disk.
+		fmt.Fprintf(w, "interrupted at t=%v; evaluating the partial trace\n",
+			time.Since(start).Round(time.Millisecond))
+		consRT.Stop()
+		smrRT.Stop()
+	} else {
+		closeWindow() // the final quiet window
+	}
 	<-consDone
 	<-smrDone
+	if interrupted && rec.Polls() == 0 {
+		fmt.Fprintln(w, "no polls recorded before the interrupt")
+		return errInterrupted
+	}
 
 	// Definition 2.4 verdict over the whole recorded run: find the
 	// smallest stabilization budget (in polls) that ftss-solves stable
@@ -404,6 +457,10 @@ func soak(p soakParams, w io.Writer) error {
 
 	if len(failures) > 0 {
 		return fmt.Errorf("%d check(s) failed; reproduce with -seed %d", len(failures), seed)
+	}
+	if interrupted {
+		fmt.Fprintf(w, "partial soak clean over %d polls, but interrupted before the horizon\n", rec.Polls())
+		return errInterrupted
 	}
 	fmt.Fprintf(w, "soak passed: %d episodes (%v), every quiet window re-stabilized\n",
 		len(plan.Episodes), classList(plan))

@@ -1,0 +1,32 @@
+// Package cli holds the shared plumbing of the ftss command-line tools.
+// It is wall-clock, OS-signal territory and deliberately outside the
+// determinism contract — nothing under internal/sim or internal/core may
+// import it.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Shutdown installs a SIGINT/SIGTERM handler and returns a channel that
+// closes on the first signal. Tools select on it at their natural
+// checkpoints (poll boundaries, between runs) and then flush sinks and
+// write their final snapshot — a graceful stop, not an abort. A second
+// signal exits immediately for the case where graceful is stuck.
+func Shutdown(name string) <-chan struct{} {
+	done := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(os.Stderr, "%s: %v: shutting down (signal again to force)\n", name, s)
+		close(done)
+		s = <-sigs
+		fmt.Fprintf(os.Stderr, "%s: %v: forced exit\n", name, s)
+		os.Exit(1)
+	}()
+	return done
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ftss/internal/chaos"
+	"ftss/internal/obs"
+	"ftss/internal/proc"
+)
+
+// emitPoll writes one node_poll line the way a node does.
+func emitPoll(sink obs.Sink, node proc.ID, k uint64, cell chaos.DecisionCell) {
+	okv := int64(0)
+	if cell.OK {
+		okv = 1
+	}
+	sink.Emit(obs.Event{Kind: "node_poll", T: k, P: int(node),
+		Fields: []obs.KV{{K: "ok", V: okv}, {K: "round", V: int64(cell.Round)}, {K: "val", V: cell.Val}}})
+}
+
+func TestParsePollsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	// Interleave poll records with the other kinds a real stream holds.
+	sink.Emit(obs.Event{Kind: "chaos_plan", T: 0, P: 1, Fields: []obs.KV{{K: "seed", V: 9}}})
+	emitPoll(sink, 1, 0, chaos.DecisionCell{})
+	sink.Emit(obs.Event{Kind: "overflow_drop", T: 123, P: 1})
+	emitPoll(sink, 1, 1, chaos.DecisionCell{OK: true, Round: 3, Val: -7})
+	sink.Emit(obs.Event{Kind: "node_done", T: 2, P: 1, Fields: []obs.KV{{K: "stopped", V: 0}}})
+
+	recs, err := ParsePolls(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("parsed %d records, want 2: %+v", len(recs), recs)
+	}
+	if recs[0] != (PollRecord{Node: 1, Index: 0}) {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	want := PollRecord{Node: 1, Index: 1, Cell: chaos.DecisionCell{OK: true, Round: 3, Val: -7}}
+	if recs[1] != want {
+		t.Errorf("record 1 = %+v, want %+v", recs[1], want)
+	}
+}
+
+func TestParsePollsTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	emitPoll(sink, 0, 0, chaos.DecisionCell{OK: true, Round: 1, Val: 5})
+	whole := buf.String()
+	// A SIGKILL mid-write leaves a torn final line: tolerated.
+	torn := whole + `{"ev":"node_poll","t":1,"p":0,"ok"`
+	recs, err := ParsePolls(strings.NewReader(torn))
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("torn tail: recs=%d err=%v, want 1 record and no error", len(recs), err)
+	}
+	// The same garbage mid-stream is an error: the trace is unreliable.
+	bad := torn + "\n" + whole
+	if _, err := ParsePolls(strings.NewReader(bad)); err == nil {
+		t.Fatal("mid-stream garbage parsed without error")
+	}
+}
+
+// synthesize builds per-node streams for a 4-node run over the plan:
+// every node undecided until decideAt, then all agree; node `down` emits
+// nothing in [downFrom, downTo).
+func synthesize(t *testing.T, plan *chaos.Plan, pollEvery time.Duration,
+	decideAt, downFrom, downTo uint64, down proc.ID) []PollRecord {
+	t.Helper()
+	polls := uint64(plan.Horizon() / pollEvery)
+	var all []PollRecord
+	for node := proc.ID(0); node < 4; node++ {
+		for k := uint64(0); k < polls; k++ {
+			if node == down && k >= downFrom && k < downTo {
+				continue
+			}
+			cell := chaos.DecisionCell{}
+			if k >= decideAt {
+				cell = chaos.DecisionCell{OK: true, Round: 7, Val: 42}
+			}
+			all = append(all, PollRecord{Node: node, Index: k, Cell: cell})
+		}
+	}
+	return all
+}
+
+func TestReassembleAcceptsStabilizingRun(t *testing.T) {
+	plan := planWith(t, 5, 2)
+	const pollEvery = 10 * time.Millisecond
+	// Decide by poll 2 and hold steady through both episodes; one node is
+	// dark for a stretch (killed / partitioned off the grid) — down nodes
+	// are simply absent from those polls, not violations.
+	recs := synthesize(t, plan, pollEvery, 2, 10, 14, 2)
+
+	rec := Reassemble(plan, pollEvery, recs)
+	if rec.Polls() == 0 {
+		t.Fatal("no polls recorded")
+	}
+	budget := MeasuredStabilization(rec)
+	if budget < 0 {
+		t.Fatal("no stabilization budget accepted a converging run")
+	}
+	// The only unstable stretch is the two undecided polls at the very
+	// start; after every mark the register is already stable, so the
+	// measured budget must reflect the prefix, not the whole run.
+	if budget > 4 {
+		t.Errorf("measured stabilization %d polls, want ≤ 4", budget)
+	}
+}
+
+func TestReassembleDisagreementInflatesBudget(t *testing.T) {
+	plan := planWith(t, 6, 1)
+	const pollEvery = 10 * time.Millisecond
+	clean := synthesize(t, plan, pollEvery, 2, 0, 0, -1)
+	budgetClean := MeasuredStabilization(Reassemble(plan, pollEvery, clean))
+	if budgetClean < 0 || budgetClean > 4 {
+		t.Fatalf("clean run measured %d polls, want small and accepted", budgetClean)
+	}
+
+	// Poison the tail: node 3 flips to a conflicting register at the last
+	// poll. Definition 2.4 can only excuse that by treating everything
+	// since the last mark as still-stabilizing, so the measured budget
+	// must blow up to the distance from the last mark to the end.
+	poisoned := append([]PollRecord(nil), clean...)
+	last := poisoned[len(poisoned)-1]
+	for i := range poisoned {
+		if poisoned[i].Node == 3 && poisoned[i].Index == last.Index {
+			poisoned[i].Cell = chaos.DecisionCell{OK: true, Round: 9, Val: 1000}
+		}
+	}
+	rec := Reassemble(plan, pollEvery, poisoned)
+	budgetBad := MeasuredStabilization(rec)
+	markIdx := uint64((plan.Episodes[0].Start + pollEvery - 1) / pollEvery)
+	if floor := int(rec.Polls() - markIdx); budgetBad < floor {
+		t.Errorf("poisoned run measured %d polls, want ≥ %d (whole final segment)", budgetBad, floor)
+	}
+	if budgetBad <= budgetClean {
+		t.Errorf("disagreement did not inflate the budget: clean=%d poisoned=%d", budgetClean, budgetBad)
+	}
+}
+
+func TestReassembleCountsMarks(t *testing.T) {
+	plan := planWith(t, 7, 3)
+	const pollEvery = 10 * time.Millisecond
+	recs := synthesize(t, plan, pollEvery, 0, 0, 0, -1)
+	rec := Reassemble(plan, pollEvery, recs)
+	if marks := rec.History().SystemicFailureMarks(); len(marks) != 3 {
+		t.Fatalf("reassembled history has %d systemic marks, want 3 (one per episode)", len(marks))
+	}
+}

@@ -1,0 +1,150 @@
+// Package cluster is the networked Π⁺ node runtime: it glues one
+// compiled constructive consensus process (ctcons.NewConstructiveProc)
+// to the framed TCP transport (wire/transport), reuses the live
+// supervisor for bounded mailboxes and corruption strikes, derives the
+// identical chaos schedule every peer derives from the shared seed, and
+// reassembles the per-node event streams back into the paper's
+// Definition 2.4 machinery.
+//
+// Like sim/live, this package is wall-clock territory and deliberately
+// outside the determinism contract. What stays deterministic — and is
+// pinned by tests — is everything derived from the seed: the chaos plan,
+// each node's rendered chaos-event stream, the dial backoff schedule,
+// and the input vector. Same seed, same adversary, on every node,
+// without any coordination message ever crossing the network.
+package cluster
+
+import (
+	"time"
+
+	"ftss/internal/chaos"
+	"ftss/internal/obs"
+	"ftss/internal/proc"
+)
+
+// PlanFaults adapts a chaos.Plan to the transport's LinkFaults, from the
+// point of view of one node. Every node derives the same plan from the
+// shared seed, so the cluster enacts one coherent adversary with no
+// coordinator:
+//
+//   - Symmetric partitions sever the connection outright (both sides
+//     close and refuse to redial until the window passes).
+//   - Asymmetric (one-way) partitions surface as FrameFate drops on the
+//     side whose outbound crosses the cut, while the reverse direction
+//     flows — the half-open failure real networks produce.
+//   - Link chaos becomes per-frame drops and delayed writes.
+//
+// Elapsed time is measured from Epoch, not from the transport's own
+// start, so a node restarted mid-run (with -since) rejoins the same
+// schedule its peers are already executing.
+type PlanFaults struct {
+	Plan  *chaos.Plan
+	Self  proc.ID
+	Epoch time.Time
+}
+
+// Severed implements transport.LinkFaults: true only for symmetric cuts,
+// where both directions of the self↔peer link drop.
+func (f *PlanFaults) Severed(_ time.Duration, peer proc.ID) bool {
+	elapsed := time.Since(f.Epoch)
+	for _, ep := range f.Plan.Episodes {
+		if ep.Class != chaos.ClassPartition || ep.Net == nil {
+			continue
+		}
+		out := ep.Net.Fate(elapsed, 0, f.Self, peer).Drop
+		in := ep.Net.Fate(elapsed, 0, peer, f.Self).Drop
+		if out && in {
+			return true
+		}
+	}
+	return false
+}
+
+// FrameFate implements transport.LinkFaults: the plan's per-message
+// verdict for self→to, with extra delay realized as a delayed write.
+func (f *PlanFaults) FrameFate(_ time.Duration, seq uint64, to proc.ID) (bool, time.Duration) {
+	v := f.Plan.Fate(time.Since(f.Epoch), seq, f.Self, to)
+	return v.Drop, v.ExtraDelay
+}
+
+// TickFaults exposes only the plan's clock-skew dimension to the local
+// live runtime. Message fates always deliver: for a networked node,
+// link-level chaos belongs to the transport (self-sends never cross the
+// network, so they are exempt — loopback links do not lose frames), but
+// tick skew is a property of the process clock and must apply locally.
+// Since shifts elapsed time so a restarted node's skew windows line up
+// with its peers'.
+type TickFaults struct {
+	Plan  *chaos.Plan
+	Since time.Duration
+}
+
+var _ chaos.Nemesis = (*TickFaults)(nil)
+
+// Fate implements chaos.Nemesis: always deliver.
+func (t *TickFaults) Fate(time.Duration, uint64, proc.ID, proc.ID) chaos.Verdict {
+	return chaos.Deliver()
+}
+
+// TickScale implements chaos.Nemesis with the epoch shift applied.
+func (t *TickFaults) TickScale(elapsed time.Duration, p proc.ID) float64 {
+	return t.Plan.TickScale(elapsed+t.Since, p)
+}
+
+// LocalActions filters the plan down to the actions one node executes
+// itself: in-place corruption strikes against its own process. Kills and
+// restarts are whole-OS-process events and belong to the launcher. The
+// offsets are re-based by since so a restarted node schedules only what
+// is still ahead of it.
+func LocalActions(plan *chaos.Plan, self proc.ID, since time.Duration) []chaos.Action {
+	var out []chaos.Action
+	for _, act := range plan.Actions() {
+		if act.Kind != chaos.ActCorrupt || act.P != self || act.At < since {
+			continue
+		}
+		act.At -= since
+		out = append(out, act)
+	}
+	return out
+}
+
+// WriteChaosSchedule renders the node's view of the chaos schedule as a
+// JSONL event stream with logical timestamps (plan offsets in µs). The
+// output is a pure function of (plan, self): two same-seed runs produce
+// byte-identical streams, which is the reproducibility artifact the
+// acceptance tests compare. A restarted node appends the identical block
+// again — and because the restart schedule itself is seed-derived, the
+// whole file stays byte-stable across runs.
+func WriteChaosSchedule(sink obs.Sink, plan *chaos.Plan, self proc.ID) {
+	sink.Emit(obs.Event{
+		Kind: "chaos_plan", T: 0, P: int(self),
+		Fields: []obs.KV{
+			{K: "seed", V: plan.Seed},
+			{K: "n", V: int64(plan.Config.N)},
+			{K: "episodes", V: int64(len(plan.Episodes))},
+			{K: "horizon_us", V: int64(plan.Horizon() / time.Microsecond)},
+		},
+	})
+	for _, ep := range plan.Episodes {
+		sink.Emit(obs.Event{
+			Kind: "chaos_episode", T: uint64(ep.Start / time.Microsecond), P: int(self),
+			Detail: ep.Class.String() + ": " + ep.Desc,
+			Fields: []obs.KV{
+				{K: "index", V: int64(ep.Index)},
+				{K: "end_us", V: int64(ep.End / time.Microsecond)},
+				{K: "victims", V: int64(ep.Victims.Len())},
+			},
+		})
+		for _, act := range ep.Actions {
+			corrupt := int64(0)
+			if act.CorruptState {
+				corrupt = 1
+			}
+			sink.Emit(obs.Event{
+				Kind: "chaos_action", T: uint64(act.At / time.Microsecond), P: int(act.P),
+				Detail: act.Kind.String(),
+				Fields: []obs.KV{{K: "corrupt", V: corrupt}},
+			})
+		}
+	}
+}

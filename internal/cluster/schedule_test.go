@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ftss/internal/chaos"
+	"ftss/internal/obs"
+	"ftss/internal/proc"
+)
+
+func planWith(t *testing.T, seed int64, episodes int) *chaos.Plan {
+	t.Helper()
+	return chaos.NewPlan(seed, chaos.PlanConfig{
+		N: 4, Episodes: episodes,
+		EpisodeLen: 100 * time.Millisecond, QuietLen: 200 * time.Millisecond,
+	})
+}
+
+// firstPartition returns the plan's first partition episode.
+func firstPartition(t *testing.T, plan *chaos.Plan) chaos.Episode {
+	t.Helper()
+	for _, ep := range plan.Episodes {
+		if ep.Class == chaos.ClassPartition {
+			return ep
+		}
+	}
+	t.Fatal("plan stages no partition")
+	return chaos.Episode{}
+}
+
+// TestPlanFaultsPartitionSemantics: symmetric partitions sever the
+// cross-cut links in both directions; one-way partitions drop only the
+// crossing-out direction, via FrameFate, with Severed false.
+func TestPlanFaultsPartitionSemantics(t *testing.T) {
+	symmetric, oneWay := 0, 0
+	for seed := int64(1); seed <= 40 && (symmetric == 0 || oneWay == 0); seed++ {
+		plan := planWith(t, seed, 1)
+		ep := firstPartition(t, plan)
+		part := ep.Net.(chaos.Partition)
+		mid := ep.Start + (ep.End-ep.Start)/2
+		epoch := time.Now().Add(-mid) // evaluate mid-episode
+
+		var inside, outside proc.ID = -1, -1
+		for p := proc.ID(0); p < 4; p++ {
+			if part.Side.Has(p) {
+				inside = p
+			} else {
+				outside = p
+			}
+		}
+		if inside < 0 || outside < 0 {
+			t.Fatalf("seed %d: degenerate side %v", seed, part.Side)
+		}
+
+		fIn := &PlanFaults{Plan: plan, Self: inside, Epoch: epoch}
+		fOut := &PlanFaults{Plan: plan, Self: outside, Epoch: epoch}
+		if part.OneWay {
+			oneWay++
+			if fIn.Severed(0, outside) || fOut.Severed(0, inside) {
+				t.Errorf("seed %d: one-way partition reported as severed", seed)
+			}
+			if drop, _ := fIn.FrameFate(0, 1, outside); !drop {
+				t.Errorf("seed %d: crossing-out frame survived a one-way partition", seed)
+			}
+			if drop, _ := fOut.FrameFate(0, 1, inside); drop {
+				t.Errorf("seed %d: reverse frame dropped across a one-way partition", seed)
+			}
+		} else {
+			symmetric++
+			if !fIn.Severed(0, outside) || !fOut.Severed(0, inside) {
+				t.Errorf("seed %d: symmetric partition not severed both ways", seed)
+			}
+		}
+		// Links within the same side never sever.
+		for p := proc.ID(0); p < 4; p++ {
+			for q := proc.ID(0); q < 4; q++ {
+				if p == q || part.Side.Has(p) != part.Side.Has(q) {
+					continue
+				}
+				if (&PlanFaults{Plan: plan, Self: p, Epoch: epoch}).Severed(0, q) {
+					t.Errorf("seed %d: same-side link %v→%v severed", seed, p, q)
+				}
+			}
+		}
+		// Outside the window nothing is severed or dropped.
+		after := &PlanFaults{Plan: plan, Self: inside, Epoch: time.Now().Add(-plan.Horizon())}
+		if after.Severed(0, outside) {
+			t.Errorf("seed %d: link severed after the episode healed", seed)
+		}
+	}
+	if symmetric == 0 || oneWay == 0 {
+		t.Fatalf("40 seeds produced symmetric=%d one-way=%d partitions; want both", symmetric, oneWay)
+	}
+}
+
+// TestTickFaultsShift: a restarted node's skew windows line up with the
+// epoch, not its own start.
+func TestTickFaultsShift(t *testing.T) {
+	var plan *chaos.Plan
+	var skewEp chaos.Episode
+	found := false
+	for seed := int64(1); seed <= 40 && !found; seed++ {
+		plan = planWith(t, seed, 5) // 5 episodes cycle through all classes
+		for _, ep := range plan.Episodes {
+			if ep.Class == chaos.ClassSkew {
+				skewEp, found = ep, true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no skew episode in 40 seeds of 5-episode plans")
+	}
+	victim := skewEp.Victims.Sorted()[0]
+	mid := skewEp.Start + (skewEp.End-skewEp.Start)/2
+
+	// A fresh node (Since 0) sees the skew at elapsed=mid.
+	fresh := &TickFaults{Plan: plan, Since: 0}
+	if s := fresh.TickScale(mid, victim); s <= 1 {
+		t.Errorf("fresh node mid-skew scale = %v, want > 1", s)
+	}
+	// A node restarted at mid sees it immediately (elapsed 0 + shift).
+	restarted := &TickFaults{Plan: plan, Since: mid}
+	if s := restarted.TickScale(0, victim); s <= 1 {
+		t.Errorf("restarted node scale at local 0 = %v, want > 1", s)
+	}
+	// And Fate always delivers: message chaos belongs to the transport.
+	if v := fresh.Fate(mid, 1, 0, 1); v.Drop || v.ExtraDelay != 0 {
+		t.Errorf("TickFaults.Fate = %+v, want plain delivery", v)
+	}
+}
+
+func TestLocalActionsFilterAndRebase(t *testing.T) {
+	var plan *chaos.Plan
+	var corruptEp chaos.Episode
+	found := false
+	for seed := int64(1); seed <= 60 && !found; seed++ {
+		plan = planWith(t, seed, 5)
+		for _, ep := range plan.Episodes {
+			if ep.Class == chaos.ClassCorrupt && len(ep.Actions) > 0 {
+				corruptEp, found = ep, true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no corrupt episode found")
+	}
+	victim := corruptEp.Actions[0].P
+	at := corruptEp.Actions[0].At
+
+	acts := LocalActions(plan, victim, 0)
+	if len(acts) == 0 {
+		t.Fatalf("victim %v has no local actions", victim)
+	}
+	for _, a := range acts {
+		if a.Kind != chaos.ActCorrupt || a.P != victim {
+			t.Errorf("local action %+v: want only self-corruption", a)
+		}
+	}
+	// Rebase: restarting after the strike drops it; before keeps it shifted.
+	if after := LocalActions(plan, victim, at+time.Millisecond); len(after) >= len(acts) {
+		t.Errorf("restart after the strike still schedules %d actions (was %d)", len(after), len(acts))
+	}
+	shifted := LocalActions(plan, victim, at-time.Millisecond)
+	if len(shifted) == 0 || shifted[0].At != time.Millisecond {
+		t.Errorf("rebased action = %+v, want At=1ms", shifted)
+	}
+	// Every node's local list names only itself.
+	for p := proc.ID(0); p < 4; p++ {
+		for _, a := range LocalActions(plan, p, 0) {
+			if a.P != p {
+				t.Errorf("node %v got foreign action %+v", p, a)
+			}
+		}
+	}
+}
+
+// TestWriteChaosScheduleDeterministic: the rendered schedule stream is a
+// byte-identical pure function of (seed, self) — the acceptance
+// criterion's reproducibility artifact.
+func TestWriteChaosScheduleDeterministic(t *testing.T) {
+	render := func(seed int64, self proc.ID) []byte {
+		var buf bytes.Buffer
+		WriteChaosSchedule(obs.NewJSONL(&buf), planWith(t, seed, 5), self)
+		return buf.Bytes()
+	}
+	a, b := render(42, 2), render(42, 2)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed rendered different schedule streams")
+	}
+	if bytes.Equal(render(42, 2), render(43, 2)) {
+		t.Error("different seeds rendered identical schedule streams")
+	}
+	if len(a) == 0 {
+		t.Fatal("schedule stream empty")
+	}
+}

@@ -46,6 +46,24 @@ func NewConstructiveProcs(n int, inputs []Value, cfg Config,
 	return hs, aps
 }
 
+// NewConstructiveProc builds one networked member of an n-process
+// constructive stack: the same composition as NewConstructiveProcs, but
+// hosting only process id (the other n-1 live in other OS processes,
+// reached over a transport). The ◊W registry holds just the local core —
+// the Figure 4 transform only ever consults the local detector
+// (weak.Detect(now, self)), so a single-entry registry behaves
+// identically to a shared one.
+func NewConstructiveProc(id proc.ID, n int, input Value, cfg Config,
+	baseTimeout, increment async.Time) *HeartbeatProc {
+	weak := detector.NewTimeoutWeak()
+	core := detector.NewTimeoutCore(id, n, baseTimeout, increment)
+	weak.Register(id, core)
+	return &HeartbeatProc{
+		core: core,
+		cons: New(id, n, input, cfg, weak),
+	}
+}
+
 // ID implements async.Proc.
 func (h *HeartbeatProc) ID() proc.ID { return h.cons.ID() }
 

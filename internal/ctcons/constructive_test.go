@@ -78,6 +78,36 @@ func TestConstructiveConsensusTwoCrashes(t *testing.T) {
 	verifyConstructive(t, hs, e, 2000*ms, "two crashes")
 }
 
+// TestConstructiveSingleProcEquivalence: n stacks built independently
+// with NewConstructiveProc — each with its own single-entry ◊W registry,
+// as networked nodes build them — reach stable agreement exactly like
+// the shared-registry composition. This pins the claim that the Figure 4
+// transform only ever consults the local detector.
+func TestConstructiveSingleProcEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		inputs := inputsFor(5, seed)
+		hs := make([]*HeartbeatProc, 5)
+		aps := make([]async.Proc, 5)
+		for i := range hs {
+			hs[i] = NewConstructiveProc(proc.ID(i), 5, inputs[i], Stabilizing(), 10*ms, 5*ms)
+			aps[i] = hs[i]
+		}
+		e := async.MustNewEngine(aps, async.Config{
+			Seed:           seed,
+			TickEvery:      ms,
+			MinDelay:       ms,
+			MaxDelay:       3 * ms,
+			GST:            60 * ms,
+			PreGSTMaxDelay: 25 * ms,
+			CrashAt:        map[proc.ID]async.Time{4: 40 * ms},
+		})
+		v := verifyConstructive(t, hs, e, 1500*ms, "single-proc")
+		if err := VerifyValidity(StableOutcome{Value: v}, inputs); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}
+
 // TestHeartbeatProcAccessors covers the wrapper surface.
 func TestHeartbeatProcAccessors(t *testing.T) {
 	hs, _ := NewConstructiveProcs(3, []Value{1, 2, 3}, Stabilizing(), 10*ms, 5*ms)

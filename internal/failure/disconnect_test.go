@@ -1,0 +1,152 @@
+package failure_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ftss/internal/failure"
+	"ftss/internal/proc"
+	"ftss/internal/sim/round"
+)
+
+// gossip is a deterministic full-information process: every round it
+// broadcasts (id, local round, digest) and folds everything it hears into
+// the digest. Any difference in delivery pattern — one message more, one
+// less, different content — cascades into every later digest, so equal
+// final transcripts mean equal executions.
+type gossip struct {
+	id proc.ID
+	r  uint64
+	h  uint64
+}
+
+func (g *gossip) ID() proc.ID { return g.id }
+
+func (g *gossip) StartRound() any {
+	g.r++
+	return [3]uint64{uint64(g.id), g.r, g.h}
+}
+
+func (g *gossip) EndRound(msgs []round.Message) {
+	for _, m := range msgs {
+		v := m.Payload.([3]uint64)
+		for _, x := range []uint64{uint64(m.From), v[0], v[1], v[2]} {
+			g.h = (g.h ^ x) * 1099511628211 // FNV-1a fold
+		}
+	}
+}
+
+func (g *gossip) Snapshot() round.Snapshot {
+	return round.Snapshot{Clock: g.r, State: g.h}
+}
+
+// transcriptRows flattens a run into comparable rows: per round and alive
+// process, its end-of-round digest and whether it deviated.
+type transcriptRows struct {
+	rows []string
+}
+
+func (c *transcriptRows) ObserveRound(o round.Observation) {
+	for _, p := range o.Alive.Sorted() {
+		c.rows = append(c.rows, fmt.Sprintf("r%d p%v state=%v deviated=%v",
+			o.Round, p, o.End[p].State, o.Deviated.Has(p)))
+	}
+}
+
+func runGossip(n, rounds int, adv failure.Adversary) []string {
+	ps := make([]round.Process, n)
+	for i := range ps {
+		ps[i] = &gossip{id: proc.ID(i)}
+	}
+	e := round.MustNewEngine(ps, adv)
+	c := &transcriptRows{}
+	e.Observe(c)
+	e.Run(rounds)
+	return c.rows
+}
+
+// omissionBurst scripts the general-omission equivalent of a
+// disconnection: during the window, p's sends to everyone drop and
+// everyone's sends to p drop on receive.
+func omissionBurst(p proc.ID, n int, from, until uint64) *failure.Scripted {
+	s := failure.NewScripted(p)
+	for r := from; r <= until; r++ {
+		for q := proc.ID(0); int(q) < n; q++ {
+			if q == p {
+				continue
+			}
+			s.DropSendAt(r, p, q)
+			s.DropRecvAt(r, q, p)
+		}
+	}
+	return s
+}
+
+// TestDisconnectEqualsOmissionBurst is the reconnect-equivalence
+// property: a peer that vanishes and returns (the networked runtime's
+// severed-then-redialed connection) is indistinguishable, at the protocol
+// layer, from a long general-omission burst. For random windows —
+// including empty and past-the-horizon ones — the full execution
+// transcript under Disconnect matches the scripted burst row for row.
+func TestDisconnectEqualsOmissionBurst(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	const rounds = 24
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(4)
+		p := proc.ID(rng.Intn(n))
+		from := uint64(1 + rng.Intn(rounds))
+		until := from + uint64(rng.Intn(rounds)) // may straddle the horizon
+		if trial%7 == 0 {
+			until = from - 1 // degenerate window: never fires
+		}
+		d := failure.Disconnect{P: p, From: from, Until: until}
+		got := runGossip(n, rounds, d)
+		want := runGossip(n, rounds, omissionBurst(p, n, from, until))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d p=%v window=[%d,%d]): disconnect and omission burst diverge",
+				trial, n, p, from, until)
+		}
+		// A degenerate window is a clean run: nothing ever drops.
+		if until < from {
+			clean := runGossip(n, rounds, failure.None{})
+			for i, row := range clean {
+				// Only the deviation flag may differ (Disconnect designates
+				// p faulty, None designates nobody) — states must match.
+				if got[i][:len(row)-len("deviated=false")] != row[:len(row)-len("deviated=false")] {
+					t.Fatalf("trial %d: empty window perturbed the run: %q vs %q", trial, got[i], row)
+				}
+			}
+		}
+	}
+}
+
+// TestDisconnectShape pins the adversary's static contract: only P is
+// designated faulty, P never crashes, and drops happen exactly inside the
+// inclusive window.
+func TestDisconnectShape(t *testing.T) {
+	d := failure.Disconnect{P: 2, From: 5, Until: 9}
+	if f := d.Faulty(); f.Len() != 1 || !f.Has(2) {
+		t.Errorf("Faulty() = %v, want {2}", f)
+	}
+	for p := proc.ID(0); p < 4; p++ {
+		if d.CrashRound(p) != 0 {
+			t.Errorf("CrashRound(%v) != 0", p)
+		}
+	}
+	for _, tc := range []struct {
+		r        uint64
+		sendDrop bool
+	}{{4, false}, {5, true}, {9, true}, {10, false}} {
+		if got := d.DropSend(tc.r, 2, 0); got != tc.sendDrop {
+			t.Errorf("DropSend(r=%d, 2→0) = %v", tc.r, got)
+		}
+		if got := d.DropRecv(tc.r, 0, 2); got != tc.sendDrop {
+			t.Errorf("DropRecv(r=%d, 0→2) = %v", tc.r, got)
+		}
+	}
+	if d.DropSend(6, 0, 1) || d.DropRecv(6, 1, 0) {
+		t.Error("bystander link dropped")
+	}
+}

@@ -99,3 +99,43 @@ func (c *Combined) DropRecv(r uint64, from, to proc.ID) bool {
 	}
 	return false
 }
+
+// Disconnect models a vanish-and-return peer: during rounds From..Until
+// (inclusive) process P's link to the world is down — every message it
+// sends and every message addressed to it is lost — and afterwards it
+// simply resumes, state intact. This is the synchronous shadow of a
+// networked node whose connections all sever and later redial
+// (wire/transport degrades a dead link to omission, never to blocking):
+// at the protocol layer a disconnection is exactly a general-omission
+// burst, which TestDisconnectEqualsOmissionBurst pins by comparing full
+// runs against the equivalent Scripted adversary. P never deviates by
+// choice and never crashes; it is faulty only in the designated sense,
+// because the adversary loses its messages.
+type Disconnect struct {
+	// P is the disconnected process.
+	P proc.ID
+	// From and Until bound the outage window, in actual round numbers
+	// (both inclusive). A window with Until < From never fires.
+	From, Until uint64
+}
+
+var _ Adversary = Disconnect{}
+
+// Faulty implements Adversary.
+func (d Disconnect) Faulty() proc.Set { return proc.NewSet(d.P) }
+
+// CrashRound implements Adversary: a disconnected process never halts —
+// from its own point of view nothing happened at all.
+func (d Disconnect) CrashRound(proc.ID) uint64 { return 0 }
+
+func (d Disconnect) down(r uint64) bool { return d.From <= r && r <= d.Until }
+
+// DropSend implements Adversary: nothing P sends leaves the void.
+func (d Disconnect) DropSend(r uint64, from, to proc.ID) bool {
+	return from == d.P && d.down(r)
+}
+
+// DropRecv implements Adversary: nothing addressed to P arrives.
+func (d Disconnect) DropRecv(r uint64, from, to proc.ID) bool {
+	return to == d.P && d.down(r)
+}

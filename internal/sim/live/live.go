@@ -91,6 +91,14 @@ type Config struct {
 	Overflow OverflowPolicy
 	// Obs holds optional telemetry hooks (nil = none); see Instruments.
 	Obs *Instruments
+	// N is the broadcast universe 0..N-1 for runtimes that host only a
+	// subset of it (a networked node hosts one process of an n-process
+	// protocol). Zero means broadcasts reach hosted processes only.
+	N int
+	// Router receives sends addressed to processes this runtime does not
+	// host. The Nemesis is not consulted for routed sends: for external
+	// destinations, network faults belong to the transport carrying them.
+	Router func(from, to proc.ID, payload any)
 }
 
 func (c Config) withDefaults() Config {
@@ -723,6 +731,26 @@ func (rt *Runtime) Inspect(id proc.ID, fn func(p async.Proc)) bool {
 	}
 }
 
+// Inject delivers a message that arrived from outside the runtime (a
+// socket transport, a bridged simulator) to the hosted process to. It
+// takes the exact same path as an in-process Send — worker.deliver into
+// the bounded mailbox, so the overflow policy and its accounting are
+// identical whether a message crossed a channel or a socket. The Nemesis
+// is not consulted: for external arrivals, network faults belong to the
+// transport that carried them. It reports whether the message was
+// enqueued (false if the destination is unhosted or down).
+func (rt *Runtime) Inject(from, to proc.ID, payload any) bool {
+	w, ok := rt.procs[to]
+	if !ok {
+		return false
+	}
+	rt.sent.Add(1)
+	if ins := rt.cfg.Obs; ins != nil {
+		ins.Sent.Inc()
+	}
+	return w.deliver(item{from: from, payload: payload}, nil)
+}
+
 // deliver routes it into the worker's current mailbox (which may have
 // been replaced by a restart since the message was sent). cancel bounds a
 // Backpressure wait.
@@ -822,6 +850,13 @@ func (c *liveCtx) Send(to proc.ID, payload any) {
 	rt := c.w.rt
 	target, ok := rt.procs[to]
 	if !ok {
+		if rt.cfg.Router != nil {
+			rt.sent.Add(1)
+			if ins := rt.cfg.Obs; ins != nil {
+				ins.Sent.Inc()
+			}
+			rt.cfg.Router(c.w.p.ID(), to, payload)
+		}
 		return
 	}
 	rt.sent.Add(1)
@@ -866,8 +901,16 @@ func (c *liveCtx) Send(to proc.ID, payload any) {
 	}
 }
 
-// Broadcast implements async.Context.
+// Broadcast implements async.Context. With Config.N set the universe is
+// 0..N-1 (unhosted destinations go through the Router); otherwise it is
+// the hosted processes.
 func (c *liveCtx) Broadcast(payload any) {
+	if n := c.w.rt.cfg.N; n > 0 {
+		for id := proc.ID(0); id < proc.ID(n); id++ {
+			c.Send(id, payload)
+		}
+		return
+	}
 	for id := range c.w.rt.procs {
 		c.Send(id, payload)
 	}

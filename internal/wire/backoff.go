@@ -1,0 +1,48 @@
+package wire
+
+import (
+	"time"
+
+	"ftss/internal/proc"
+)
+
+// Backoff computes the delay before dial attempt `attempt` (0-based) to
+// peer, as the transport's reconnect schedule: exponential growth
+// base·2^attempt capped at max, with deterministic jitter drawn from
+// (seed, peer, attempt) so that n nodes rebooting together do not
+// thundering-herd each other's listeners, yet the whole schedule is a
+// pure function of the seed — the same seed redials at the same offsets.
+//
+// The returned delay is uniform (over the jitter coin) in
+// [cap/2, cap], where cap = min(base·2^attempt, max): half the window is
+// guaranteed spacing, half is jitter, AWS-style "equal jitter".
+func Backoff(seed int64, peer proc.ID, attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	cap := max
+	if attempt < 62 {
+		if c := base << uint(attempt); c < max && c > 0 {
+			cap = c
+		}
+	}
+	half := cap / 2
+	jitter := time.Duration(splitmix(uint64(seed), uint64(int64(peer)+1), uint64(attempt)) % uint64(half+1))
+	return half + jitter
+}
+
+// splitmix is the repo's standard splitmix64 coin, keyed for backoff.
+func splitmix(seed, peer, attempt uint64) uint64 {
+	x := seed ^ 0xb0ff5e7
+	x ^= peer * 0x9e3779b97f4a7c15
+	x ^= attempt * 0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ftss/internal/ctcons"
+	"ftss/internal/detector"
+	"ftss/internal/proc"
+)
+
+// collector is an OnMessage sink.
+type collector struct {
+	mu   sync.Mutex
+	got  []any
+	from []proc.ID
+}
+
+func (c *collector) OnMessage(from proc.ID, payload any) {
+	c.mu.Lock()
+	c.got = append(c.got, payload)
+	c.from = append(c.from, from)
+	c.mu.Unlock()
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func pair(t *testing.T, a, b *Config) (*Transport, *Transport) {
+	t.Helper()
+	ta, err := New(*a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Peers = map[proc.ID]string{a.Self: ta.Addr()}
+	tb, err := New(*b)
+	if err != nil {
+		ta.Close()
+		t.Fatal(err)
+	}
+	ta.cfg.Peers[b.Self] = tb.Addr()
+	if p, ok := ta.peers[b.Self]; ok {
+		p.mu.Lock()
+		p.addr = tb.Addr()
+		p.mu.Unlock()
+	}
+	t.Cleanup(func() { ta.Close(); tb.Close() })
+	return ta, tb
+}
+
+func TestDeliveryBothWays(t *testing.T) {
+	ca := &collector{}
+	cb := &collector{}
+	cfgA := Config{Self: 0, Listen: "127.0.0.1:0", Seed: 1, OnMessage: ca.OnMessage,
+		Peers: map[proc.ID]string{1: "127.0.0.1:1"}} // placeholder, patched by pair
+	cfgB := Config{Self: 1, Listen: "127.0.0.1:0", Seed: 1, OnMessage: cb.OnMessage}
+	ta, tb := pair(t, &cfgA, &cfgB)
+
+	msgs := []any{
+		detector.Heartbeat{},
+		detector.SyncMsg{Records: []detector.Status{{Num: 3, Dead: true}}},
+		ctcons.EstimateMsg{Round: 1, Val: -9, TS: 2},
+		ctcons.DecideMsg{Round: 2, Val: 7},
+	}
+	for _, m := range msgs {
+		if !ta.Send(1, m) {
+			t.Fatalf("A.Send(%T) refused", m)
+		}
+		if !tb.Send(0, m) {
+			t.Fatalf("B.Send(%T) refused", m)
+		}
+	}
+	waitFor(t, "B to receive 4 frames", func() bool { return cb.count() >= len(msgs) })
+	waitFor(t, "A to receive 4 frames", func() bool { return ca.count() >= len(msgs) })
+
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	for i, from := range cb.from {
+		if from != 0 {
+			t.Errorf("B frame %d from %v, want 0", i, from)
+		}
+	}
+	if hb, ok := cb.got[0].(detector.Heartbeat); !ok {
+		t.Errorf("B frame 0 = %#v, want Heartbeat", cb.got[0])
+	} else {
+		_ = hb
+	}
+	if ta.Stats().FramesSent < uint64(len(msgs)) {
+		t.Errorf("A stats: %v", ta.Stats())
+	}
+}
+
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	cb := &collector{}
+	cfgA := Config{Self: 0, Listen: "127.0.0.1:0", Seed: 2,
+		DialBase: 5 * time.Millisecond, DialMax: 50 * time.Millisecond,
+		Peers: map[proc.ID]string{1: "127.0.0.1:1"}}
+	cfgB := Config{Self: 1, Listen: "127.0.0.1:0", Seed: 2, OnMessage: cb.OnMessage}
+	ta, tb := pair(t, &cfgA, &cfgB)
+
+	ta.Send(1, ctcons.AckMsg{Round: 1})
+	waitFor(t, "first delivery", func() bool { return cb.count() >= 1 })
+
+	// Peer process dies: its listener and connections vanish.
+	addr := tb.Addr()
+	if err := tb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sends during the outage degrade to omission, never block.
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		ta.Send(1, ctcons.AckMsg{Round: uint64(i)})
+		time.Sleep(time.Millisecond)
+	}
+	if blockTime := time.Since(start); blockTime > 2*time.Second {
+		t.Fatalf("sends during outage took %v; Send must not block on a dead peer", blockTime)
+	}
+
+	// Peer comes back on the same address; A must redial and resume.
+	cb2 := &collector{}
+	tb2, err := New(Config{Self: 1, Listen: addr, Seed: 2, OnMessage: cb2.OnMessage})
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { tb2.Close() })
+
+	waitFor(t, "delivery after reconnect", func() bool {
+		ta.Send(1, ctcons.NackMsg{Round: 99})
+		return cb2.count() >= 1
+	})
+	if ta.Stats().Dials < 2 {
+		t.Errorf("expected redials, stats: %v", ta.Stats())
+	}
+}
+
+func TestUnreachablePeerDegradesToOmission(t *testing.T) {
+	// A port with no listener: grab one and close it.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := probe.Addr().String()
+	probe.Close()
+
+	ta, err := New(Config{Self: 0, Listen: "127.0.0.1:0", Seed: 3,
+		DialTimeout: 20 * time.Millisecond,
+		DialBase:    5 * time.Millisecond, DialMax: 20 * time.Millisecond,
+		QueueCap: 4, Peers: map[proc.ID]string{1: dead}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ta.Close() })
+
+	start := time.Now()
+	const sends = 50
+	for i := 0; i < sends; i++ {
+		ta.Send(1, ctcons.RoundMsg{Round: uint64(i)})
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("%d sends to an unreachable peer took %v; must not block", sends, d)
+	}
+	waitFor(t, "queue-full drops", func() bool {
+		s := ta.Stats()
+		return s.DropsQueueFull >= sends-4-1 && s.DialFailures >= 1
+	})
+	if s := ta.Stats(); s.FramesSent != 0 {
+		t.Errorf("frames claimed sent to an unreachable peer: %v", s)
+	}
+}
+
+// alwaysSevered cuts every link permanently.
+type alwaysSevered struct{}
+
+func (alwaysSevered) Severed(time.Duration, proc.ID) bool { return true }
+func (alwaysSevered) FrameFate(time.Duration, uint64, proc.ID) (bool, time.Duration) {
+	return false, 0
+}
+
+func TestSeveredLinkDropsBothDirections(t *testing.T) {
+	cb := &collector{}
+	ca := &collector{}
+	// Only A is partitioned; B sends normally, but A refuses inbound
+	// frames from a severed link too.
+	cfgA := Config{Self: 0, Listen: "127.0.0.1:0", Seed: 4, Faults: alwaysSevered{},
+		OnMessage: ca.OnMessage, Peers: map[proc.ID]string{1: "127.0.0.1:1"}}
+	cfgB := Config{Self: 1, Listen: "127.0.0.1:0", Seed: 4, OnMessage: cb.OnMessage}
+	ta, tb := pair(t, &cfgA, &cfgB)
+
+	for i := 0; i < 10; i++ {
+		ta.Send(1, ctcons.AckMsg{Round: uint64(i)})
+		tb.Send(0, ctcons.AckMsg{Round: uint64(i)})
+	}
+	waitFor(t, "severed outbound drops on A", func() bool {
+		return ta.Stats().DropsSevered >= 10
+	})
+	waitFor(t, "severed inbound drops on A", func() bool {
+		return ta.Stats().DropsSevered >= 20
+	})
+	if got := ca.count(); got != 0 {
+		t.Errorf("A delivered %d frames across a severed link", got)
+	}
+	if got := cb.count(); got != 0 {
+		t.Errorf("B delivered %d frames across a severed link", got)
+	}
+	if ta.Stats().FramesSent != 0 {
+		t.Errorf("A wrote frames across a severed link: %v", ta.Stats())
+	}
+}
+
+// dropAll loses every frame at the fate stage, links intact.
+type dropAll struct{}
+
+func (dropAll) Severed(time.Duration, proc.ID) bool { return false }
+func (dropAll) FrameFate(time.Duration, uint64, proc.ID) (bool, time.Duration) {
+	return true, 0
+}
+
+func TestFrameFateDrop(t *testing.T) {
+	cb := &collector{}
+	cfgA := Config{Self: 0, Listen: "127.0.0.1:0", Seed: 5, Faults: dropAll{},
+		Peers: map[proc.ID]string{1: "127.0.0.1:1"}}
+	cfgB := Config{Self: 1, Listen: "127.0.0.1:0", Seed: 5, OnMessage: cb.OnMessage}
+	ta, _ := pair(t, &cfgA, &cfgB)
+
+	for i := 0; i < 8; i++ {
+		ta.Send(1, ctcons.AckMsg{Round: uint64(i)})
+	}
+	waitFor(t, "fate drops", func() bool { return ta.Stats().DropsFrameFate >= 8 })
+	if got := cb.count(); got != 0 {
+		t.Errorf("B received %d frames past a drop-all fate", got)
+	}
+}
+
+func TestGarbageInboundCountsDecodeError(t *testing.T) {
+	cb := &collector{}
+	tb, err := New(Config{Self: 1, Listen: "127.0.0.1:0", Seed: 6, OnMessage: cb.OnMessage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tb.Close() })
+
+	conn, err := net.Dial("tcp", tb.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A plausible header with a garbage body: decodes must fail and the
+	// connection must be dropped, not interpreted.
+	conn.Write([]byte{0, 0, 0, 3, 0, 0, 0, 0, 0xde, 0xad, 0xbe})
+	waitFor(t, "decode error", func() bool { return tb.Stats().DecodeErrors >= 1 })
+	if cb.count() != 0 {
+		t.Errorf("garbage produced %d deliveries", cb.count())
+	}
+}

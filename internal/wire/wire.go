@@ -1,0 +1,290 @@
+// Package wire is the deterministic wire format of the networked Π⁺
+// runtime: a hand-rolled, byte-stable codec for every message the
+// constructive consensus stack (detector heartbeats, Figure 4 SyncMsg
+// records, §3 consensus traffic) puts on a real link, plus the framing
+// that carries them over a stream transport.
+//
+// The codec is deliberately not gob/encoding-based: gob interleaves
+// type-descriptor state into the stream (the same value encodes to
+// different bytes depending on what was sent before), and reflection-led
+// encoders walk struct fields in ways that are stable only by
+// convention. Here every message kind has an explicit tag and an
+// explicit field layout in big-endian fixed-width integers, so encoding
+// is a pure function of the value: same message, same bytes, on every
+// machine and in every position of the stream. That is what lets a
+// recorded frame log be compared byte-for-byte across runs and lets the
+// transport hash or replay traffic without a decode pass.
+//
+// A frame is
+//
+//	[4-byte big-endian body length][4-byte big-endian sender ID][body]
+//
+// where body is one encoded message: a 1-byte kind tag followed by the
+// kind's fixed field layout (see codec table in DESIGN.md §9). Decoding
+// is strict: unknown tags, short bodies, and trailing bytes are errors,
+// never a best-effort value — a corrupted peer yields a counted decode
+// error, not a silently wrong message (systemic failures should enter
+// the system only through the sanctioned Corrupt injectors, not through
+// codec leniency).
+//
+//ftss:det encoding must be a byte-stable pure function of the message
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"ftss/internal/ctcons"
+	"ftss/internal/detector"
+	"ftss/internal/proc"
+)
+
+// Kind tags. The zero tag is invalid so an all-zero frame never decodes.
+const (
+	tagHeartbeat byte = iota + 1
+	tagSync
+	tagEstimate
+	tagPropose
+	tagAck
+	tagNack
+	tagRound
+	tagDecide
+)
+
+// MaxFrame bounds a frame body. A SyncMsg for n processes is 3+9n bytes,
+// so the bound admits clusters far beyond anything the runtime boots
+// while keeping a corrupt length prefix from allocating gigabytes.
+const MaxFrame = 1 << 20
+
+// frameHeader is the byte length of the [length][sender] prefix.
+const frameHeader = 8
+
+// ErrUnknownMessage reports an Append of a payload type that is not part
+// of the wire vocabulary.
+var ErrUnknownMessage = errors.New("wire: unknown message type")
+
+// ErrBadFrame reports a malformed frame or body.
+var ErrBadFrame = errors.New("wire: bad frame")
+
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func u16(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }
+
+func u32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func u64(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+// Append encodes payload onto buf and returns the extended slice. The
+// payload must be one of the networked message types (by value, as the
+// protocols send them); anything else is ErrUnknownMessage.
+func Append(buf []byte, payload any) ([]byte, error) {
+	switch m := payload.(type) {
+	case detector.Heartbeat:
+		return append(buf, tagHeartbeat), nil
+	case detector.SyncMsg:
+		if len(m.Records) > 0xffff {
+			return buf, fmt.Errorf("%w: SyncMsg with %d records", ErrUnknownMessage, len(m.Records))
+		}
+		buf = append(buf, tagSync)
+		buf = appendU16(buf, uint16(len(m.Records)))
+		for _, rec := range m.Records {
+			buf = appendU64(buf, rec.Num)
+			if rec.Dead {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+		return buf, nil
+	case ctcons.EstimateMsg:
+		buf = append(buf, tagEstimate)
+		buf = appendU64(buf, m.Round)
+		buf = appendU64(buf, uint64(m.Val))
+		buf = appendU64(buf, m.TS)
+		return buf, nil
+	case ctcons.ProposeMsg:
+		buf = append(buf, tagPropose)
+		buf = appendU64(buf, m.Round)
+		buf = appendU64(buf, uint64(m.Val))
+		return buf, nil
+	case ctcons.AckMsg:
+		buf = append(buf, tagAck)
+		return appendU64(buf, m.Round), nil
+	case ctcons.NackMsg:
+		buf = append(buf, tagNack)
+		return appendU64(buf, m.Round), nil
+	case ctcons.RoundMsg:
+		buf = append(buf, tagRound)
+		return appendU64(buf, m.Round), nil
+	case ctcons.DecideMsg:
+		buf = append(buf, tagDecide)
+		buf = appendU64(buf, m.Round)
+		buf = appendU64(buf, uint64(m.Val))
+		return buf, nil
+	default:
+		return buf, fmt.Errorf("%w: %T", ErrUnknownMessage, payload)
+	}
+}
+
+// Decode parses exactly one message from b. Unknown tags, truncated
+// bodies, and trailing bytes are all ErrBadFrame: a body is one message,
+// no more, no less.
+func Decode(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%w: empty body", ErrBadFrame)
+	}
+	tag, body := b[0], b[1:]
+	exact := func(n int) error {
+		if len(body) != n {
+			return fmt.Errorf("%w: tag %d wants %d body bytes, got %d", ErrBadFrame, tag, n, len(body))
+		}
+		return nil
+	}
+	switch tag {
+	case tagHeartbeat:
+		if err := exact(0); err != nil {
+			return nil, err
+		}
+		return detector.Heartbeat{}, nil
+	case tagSync:
+		if len(body) < 2 {
+			return nil, fmt.Errorf("%w: SyncMsg shorter than its count", ErrBadFrame)
+		}
+		n := int(u16(body))
+		body = body[2:]
+		if len(body) != 9*n {
+			return nil, fmt.Errorf("%w: SyncMsg count %d but %d record bytes", ErrBadFrame, n, len(body))
+		}
+		recs := make([]detector.Status, n)
+		for i := 0; i < n; i++ {
+			f := body[9*i : 9*i+9]
+			if f[8] > 1 {
+				return nil, fmt.Errorf("%w: SyncMsg record %d has dead byte %d", ErrBadFrame, i, f[8])
+			}
+			recs[i] = detector.Status{Num: u64(f), Dead: f[8] == 1}
+		}
+		return detector.SyncMsg{Records: recs}, nil
+	case tagEstimate:
+		if err := exact(24); err != nil {
+			return nil, err
+		}
+		return ctcons.EstimateMsg{
+			Round: u64(body), Val: ctcons.Value(u64(body[8:])), TS: u64(body[16:]),
+		}, nil
+	case tagPropose:
+		if err := exact(16); err != nil {
+			return nil, err
+		}
+		return ctcons.ProposeMsg{Round: u64(body), Val: ctcons.Value(u64(body[8:]))}, nil
+	case tagAck:
+		if err := exact(8); err != nil {
+			return nil, err
+		}
+		return ctcons.AckMsg{Round: u64(body)}, nil
+	case tagNack:
+		if err := exact(8); err != nil {
+			return nil, err
+		}
+		return ctcons.NackMsg{Round: u64(body)}, nil
+	case tagRound:
+		if err := exact(8); err != nil {
+			return nil, err
+		}
+		return ctcons.RoundMsg{Round: u64(body)}, nil
+	case tagDecide:
+		if err := exact(16); err != nil {
+			return nil, err
+		}
+		return ctcons.DecideMsg{Round: u64(body), Val: ctcons.Value(u64(body[8:]))}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown tag %d", ErrBadFrame, tag)
+	}
+}
+
+// AppendFrame encodes payload as one framed message from the given
+// sender onto buf: length and sender prefix, then the body.
+func AppendFrame(buf []byte, from proc.ID, payload any) ([]byte, error) {
+	start := len(buf)
+	buf = appendU32(buf, 0) // length back-patched below
+	buf = appendU32(buf, uint32(int32(from)))
+	body, err := Append(buf, payload)
+	if err != nil {
+		return buf[:start], err
+	}
+	n := len(body) - start - frameHeader
+	if n > MaxFrame {
+		return buf[:start], fmt.Errorf("%w: body %d exceeds MaxFrame", ErrBadFrame, n)
+	}
+	body[start] = byte(n >> 24)
+	body[start+1] = byte(n >> 16)
+	body[start+2] = byte(n >> 8)
+	body[start+3] = byte(n)
+	return body, nil
+}
+
+// DecodeFrame parses one complete frame from b (exactly; trailing bytes
+// are an error) and returns the sender and message.
+func DecodeFrame(b []byte) (proc.ID, any, error) {
+	if len(b) < frameHeader {
+		return proc.None, nil, fmt.Errorf("%w: frame shorter than header", ErrBadFrame)
+	}
+	n := int(u32(b))
+	if n > MaxFrame {
+		return proc.None, nil, fmt.Errorf("%w: length %d exceeds MaxFrame", ErrBadFrame, n)
+	}
+	if len(b) != frameHeader+n {
+		return proc.None, nil, fmt.Errorf("%w: length %d but %d body bytes", ErrBadFrame, n, len(b)-frameHeader)
+	}
+	from := proc.ID(int32(u32(b[4:])))
+	payload, err := Decode(b[frameHeader : frameHeader+n])
+	if err != nil {
+		return proc.None, nil, err
+	}
+	return from, payload, nil
+}
+
+// ReadFrame reads one frame from r (blocking until it is complete) and
+// returns the sender and decoded message. io errors pass through;
+// malformed frames are ErrBadFrame. A clean EOF before any header byte
+// is io.EOF; EOF mid-frame is io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (proc.ID, any, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return proc.None, nil, err
+	}
+	n := int(u32(hdr[:]))
+	if n > MaxFrame {
+		return proc.None, nil, fmt.Errorf("%w: length %d exceeds MaxFrame", ErrBadFrame, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return proc.None, nil, err
+	}
+	from := proc.ID(int32(u32(hdr[4:])))
+	payload, err := Decode(body)
+	if err != nil {
+		return proc.None, nil, err
+	}
+	return from, payload, nil
+}

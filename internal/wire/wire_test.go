@@ -1,0 +1,304 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"ftss/internal/ctcons"
+	"ftss/internal/detector"
+	"ftss/internal/proc"
+)
+
+// every returns one representative of every wire message kind.
+func every() []any {
+	return []any{
+		detector.Heartbeat{},
+		detector.SyncMsg{Records: []detector.Status{
+			{Num: 0, Dead: false}, {Num: 1 << 47, Dead: true}, {Num: ^uint64(0), Dead: false},
+		}},
+		detector.SyncMsg{Records: nil},
+		ctcons.EstimateMsg{Round: 7, Val: -12345, TS: 6},
+		ctcons.ProposeMsg{Round: 1 << 40, Val: 999},
+		ctcons.AckMsg{Round: 3},
+		ctcons.NackMsg{Round: 4},
+		ctcons.RoundMsg{Round: 1<<64 - 1},
+		ctcons.DecideMsg{Round: 12, Val: -1},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, msg := range every() {
+		b, err := Append(nil, msg)
+		if err != nil {
+			t.Fatalf("Append(%T): %v", msg, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(%T): %v", msg, err)
+		}
+		want := msg
+		// A nil and an empty record slice are the same message on the wire.
+		if s, ok := want.(detector.SyncMsg); ok && s.Records == nil {
+			want = detector.SyncMsg{Records: []detector.Status{}}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip %T: got %#v want %#v", msg, got, want)
+		}
+	}
+}
+
+// TestByteStable pins the exact encoding of one message per kind: the
+// codec is a wire format, so byte layout changes are breaking changes
+// and must show up as a failed test, not a silent skew between versions.
+func TestByteStable(t *testing.T) {
+	cases := []struct {
+		msg any
+		hex string
+	}{
+		{detector.Heartbeat{}, "01"},
+		{detector.SyncMsg{Records: []detector.Status{{Num: 2, Dead: true}}},
+			"020001000000000000000201"},
+		{ctcons.EstimateMsg{Round: 1, Val: 2, TS: 3},
+			"03000000000000000100000000000000020000000000000003"},
+		{ctcons.ProposeMsg{Round: 1, Val: -2},
+			"040000000000000001fffffffffffffffe"},
+		{ctcons.AckMsg{Round: 5}, "050000000000000005"},
+		{ctcons.NackMsg{Round: 5}, "060000000000000005"},
+		{ctcons.RoundMsg{Round: 5}, "070000000000000005"},
+		{ctcons.DecideMsg{Round: 1, Val: 2}, "0800000000000000010000000000000002"},
+	}
+	for _, c := range cases {
+		b, err := Append(nil, c.msg)
+		if err != nil {
+			t.Fatalf("Append(%T): %v", c.msg, err)
+		}
+		if got := hex.EncodeToString(b); got != c.hex {
+			t.Errorf("%T encodes to %s, want %s", c.msg, got, c.hex)
+		}
+		// Byte-stability also means position independence: encoding the
+		// same message again (after other traffic) yields the same bytes.
+		again, _ := Append(b, c.msg)
+		if !bytes.Equal(again[len(b):], b) {
+			t.Errorf("%T: second encoding differs from first", c.msg)
+		}
+	}
+}
+
+func TestAppendUnknownType(t *testing.T) {
+	if _, err := Append(nil, struct{ X int }{1}); err == nil {
+		t.Fatal("Append of a non-wire type succeeded")
+	}
+	// A failed Append must not leave partial bytes on the frame.
+	buf, err := AppendFrame([]byte("prefix"), 1, struct{}{})
+	if err == nil {
+		t.Fatal("AppendFrame of a non-wire type succeeded")
+	}
+	if string(buf) != "prefix" {
+		t.Fatalf("failed AppendFrame left %q, want the untouched prefix", buf)
+	}
+}
+
+func TestDecodeStrict(t *testing.T) {
+	bad := [][]byte{
+		nil,                // empty
+		{0},                // invalid tag
+		{99},               // unknown tag
+		{tagHeartbeat, 0},  // trailing byte
+		{tagAck, 1, 2, 3},  // short body
+		{tagSync, 0},       // count cut off
+		{tagSync, 0, 2, 0}, // fewer record bytes than count
+		append([]byte{tagSync, 0, 1}, []byte{0, 0, 0, 0, 0, 0, 0, 0, 7}...), // dead byte not 0/1
+	}
+	for _, b := range bad {
+		if v, err := Decode(b); err == nil {
+			t.Errorf("Decode(%x) = %#v, want error", b, v)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var stream []byte
+	type sent struct {
+		from proc.ID
+		msg  any
+	}
+	var sends []sent
+	for i, msg := range every() {
+		from := proc.ID(i % 5)
+		var err error
+		stream, err = AppendFrame(stream, from, msg)
+		if err != nil {
+			t.Fatalf("AppendFrame(%T): %v", msg, err)
+		}
+		sends = append(sends, sent{from, msg})
+	}
+	r := bytes.NewReader(stream)
+	for i, s := range sends {
+		from, got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("ReadFrame #%d: %v", i, err)
+		}
+		if from != s.from {
+			t.Errorf("frame %d: from %v, want %v", i, from, s.from)
+		}
+		want := s.msg
+		if m, ok := want.(detector.SyncMsg); ok && m.Records == nil {
+			want = detector.SyncMsg{Records: []detector.Status{}}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("frame %d: got %#v want %#v", i, got, want)
+		}
+	}
+	if _, _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("ReadFrame at stream end: %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameTruncation(t *testing.T) {
+	whole, err := AppendFrame(nil, 3, ctcons.DecideMsg{Round: 9, Val: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(whole); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(whole[:cut]))
+		if err == nil {
+			t.Fatalf("ReadFrame of %d/%d bytes succeeded", cut, len(whole))
+		}
+		if err == io.EOF && cut >= 8 {
+			t.Fatalf("ReadFrame of %d/%d bytes returned clean EOF mid-frame", cut, len(whole))
+		}
+	}
+}
+
+func TestDecodeFrameStrict(t *testing.T) {
+	whole, _ := AppendFrame(nil, 2, ctcons.AckMsg{Round: 1})
+	if _, _, err := DecodeFrame(append(whole, 0)); err == nil {
+		t.Error("DecodeFrame with a trailing byte succeeded")
+	}
+	if _, _, err := DecodeFrame(whole[:4]); err == nil {
+		t.Error("DecodeFrame of a bare length prefix succeeded")
+	}
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	if _, _, err := DecodeFrame(huge); err == nil {
+		t.Error("DecodeFrame with an over-MaxFrame length succeeded")
+	}
+	from, msg, err := DecodeFrame(whole)
+	if err != nil || from != 2 {
+		t.Fatalf("DecodeFrame = (%v, %v, %v)", from, msg, err)
+	}
+}
+
+// TestRandomSyncRoundTrip drives the one variable-length message with
+// random contents.
+func TestRandomSyncRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(64)
+		recs := make([]detector.Status, n)
+		for j := range recs {
+			recs[j] = detector.Status{Num: rng.Uint64(), Dead: rng.Intn(2) == 0}
+		}
+		msg := detector.SyncMsg{Records: recs}
+		b, err := Append(nil, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Fatalf("sync round trip %d: got %#v want %#v", i, got, msg)
+		}
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	const seed, base, max = 42, 10 * time.Millisecond, 2 * time.Second
+	// Deterministic: the schedule is a pure function of its arguments.
+	for attempt := 0; attempt < 20; attempt++ {
+		a := Backoff(seed, 1, attempt, base, max)
+		b := Backoff(seed, 1, attempt, base, max)
+		if a != b {
+			t.Fatalf("attempt %d: %v vs %v from identical inputs", attempt, a, b)
+		}
+	}
+	// Bounded: within [cap/2, cap], cap = min(base<<attempt, max).
+	for attempt := 0; attempt < 64; attempt++ {
+		d := Backoff(seed, 2, attempt, base, max)
+		cap := max
+		if attempt < 62 {
+			if c := base << uint(attempt); c > 0 && c < max {
+				cap = c
+			}
+		}
+		if d < cap/2 || d > cap {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, cap/2, cap)
+		}
+	}
+	// Jittered: two peers should not share the whole schedule.
+	same := 0
+	for attempt := 0; attempt < 16; attempt++ {
+		if Backoff(seed, 1, attempt, base, max) == Backoff(seed, 2, attempt, base, max) {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("peers 1 and 2 drew identical 16-attempt schedules; jitter is not keyed by peer")
+	}
+	// Degenerate configuration still yields a sane positive delay.
+	if d := Backoff(seed, 1, 0, 0, 0); d <= 0 {
+		t.Fatalf("zero-config backoff = %v, want > 0", d)
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	for _, msg := range every() {
+		b, err := Append(nil, msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{tagSync, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode to the identical bytes:
+		// decode and encode are inverse bijections on the valid set.
+		out, err := Append(nil, msg)
+		if err != nil {
+			t.Fatalf("decoded %#v does not re-encode: %v", msg, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode/encode not byte-identical: %x -> %#v -> %x", data, msg, out)
+		}
+	})
+}
+
+func FuzzReadFrame(f *testing.F) {
+	whole, _ := AppendFrame(nil, 1, ctcons.DecideMsg{Round: 3, Val: 4})
+	f.Add(whole)
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 0, tagHeartbeat})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		from, msg, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		out, err := AppendFrame(nil, from, msg)
+		if err != nil {
+			t.Fatalf("frame (%v, %#v) does not re-encode: %v", from, msg, err)
+		}
+		if !bytes.Equal(out, data[:len(out)]) {
+			t.Fatalf("frame re-encoding differs: %x vs %x", out, data[:len(out)])
+		}
+	})
+}
