@@ -22,6 +22,7 @@ import (
 	"ftss/internal/roundagree"
 	"ftss/internal/sim/async"
 	"ftss/internal/sim/round"
+	"ftss/internal/smr"
 	"ftss/internal/superimpose"
 	"ftss/internal/wire"
 )
@@ -314,6 +315,41 @@ func BenchmarkCoterieMaintenance64(b *testing.B) { benchCoterieMaintenance(b, 64
 // BenchmarkCoterieMaintenance256: the coterie hot path at n=256.
 func BenchmarkCoterieMaintenance256(b *testing.B) { benchCoterieMaintenance(b, 256) }
 
+// benchCoterieMaintenanceIncremental is benchCoterieMaintenance with a
+// live incremental checker attached to the history: the per-round price
+// of coterie maintenance PLUS a streaming Definition 2.4 verdict, to be
+// read against the checker-free baseline at the same width.
+func benchCoterieMaintenanceIncremental(b *testing.B, n int) {
+	faulty := proc.NewSet()
+	for i := 0; i < n/6; i++ {
+		faulty.Add(proc.ID(i))
+	}
+	adv := failure.NewRandom(failure.GeneralOmission, faulty, 0.4, 9, 0)
+	_, ps := roundagree.Procs(n)
+	h := history.New(n, adv.Faulty())
+	e := round.MustNewEngine(ps, adv)
+	e.Observe(h)
+	ic := core.NewIncrementalChecker(h, core.RoundAgreement{}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+	b.StopTimer()
+	if ic.Stab() != 1 {
+		b.Fatal("checker detached")
+	}
+}
+
+// BenchmarkCoterieMaintenanceIncremental64: maintenance + live verdict, n=64.
+func BenchmarkCoterieMaintenanceIncremental64(b *testing.B) {
+	benchCoterieMaintenanceIncremental(b, 64)
+}
+
+// BenchmarkCoterieMaintenanceIncremental256: maintenance + live verdict, n=256.
+func BenchmarkCoterieMaintenanceIncremental256(b *testing.B) {
+	benchCoterieMaintenanceIncremental(b, 256)
+}
+
 // BenchmarkE14ScalePoint: one E14 pipeline point at production width
 // (n=64) — corrupted round agreement plus the compiled wavefront, both
 // through the Definition 2.4 checker.
@@ -445,6 +481,50 @@ func BenchmarkAsyncEngineEvent(b *testing.B) {
 	}
 }
 
+// BenchmarkSMRBatch: committed-command throughput of the replicated log
+// behind the batching + pipelining frontend. One op is one committed
+// command: b.N commands are submitted round-robin across the replicas
+// and the engine runs until every replica has expanded all of them, so
+// ns/op is wall time per committed command and the implied ops/sec is
+// the batched throughput. Sub-bench names are MaxBatch sizes.
+func BenchmarkSMRBatch(b *testing.B) {
+	for _, size := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("%d", size), func(b *testing.B) {
+			const n = 3
+			weak := &detector.SimulatedWeak{N: n, AccuracyAt: 0, NoiseP: 0, SlanderP: 0, Seed: 7}
+			bs, aps := smr.NewBatchingReplicas(n, weak,
+				smr.BatchPolicy{MaxBatch: size, Window: 2, HoldFor: 2, Seed: 7})
+			for _, r := range bs {
+				r.SetPipeline(2)
+			}
+			e := async.MustNewEngine(aps, async.Config{
+				Seed: 7, TickEvery: ms, MinDelay: ms, MaxDelay: 2 * ms,
+			})
+			for i := 0; i < b.N; i++ {
+				bs[i%n].Submit(smr.Value(int64(i)))
+			}
+			b.ResetTimer()
+			for at := 50 * ms; ; at += 50 * ms {
+				e.RunUntil(at)
+				done := true
+				for _, r := range bs {
+					if len(r.Decided()) < b.N {
+						done = false
+						break
+					}
+				}
+				if done {
+					break
+				}
+				if at > 1_000_000*ms {
+					b.Fatalf("log stuck: %d/%d/%d of %d expanded",
+						len(bs[0].Decided()), len(bs[1].Decided()), len(bs[2].Decided()), b.N)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCheckFTSS: checker cost on a 60-round, n=8 compiled history.
 func BenchmarkCheckFTSS(b *testing.B) {
 	pi := fullinfo.WavefrontConsensus{F: 2}
@@ -463,6 +543,85 @@ func BenchmarkCheckFTSS(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := core.CheckFTSS(h, sigma, pi.FinalRound()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// obsRecorder deep-copies engine observations so they can be replayed
+// into a second history after the run (the engine reuses its observation
+// buffers between rounds).
+type obsRecorder struct{ rounds []round.Observation }
+
+func (rec *obsRecorder) ObserveRound(o round.Observation) {
+	c := round.Observation{
+		Round:     o.Round,
+		Alive:     o.Alive.Clone(),
+		Start:     make(map[proc.ID]round.Snapshot, len(o.Start)),
+		Delivered: make(map[proc.ID][]round.Message, len(o.Delivered)),
+		End:       make(map[proc.ID]round.Snapshot, len(o.End)),
+		Deviated:  o.Deviated.Clone(),
+	}
+	for k, v := range o.Start {
+		c.Start[k] = v
+	}
+	for k, v := range o.Delivered {
+		c.Delivered[k] = append([]round.Message(nil), v...)
+	}
+	for k, v := range o.End {
+		c.End[k] = v
+	}
+	rec.rounds = append(rec.rounds, c)
+}
+
+// BenchmarkCheckFTSSIncremental: the same workload as BenchmarkCheckFTSS,
+// but streamed — one op is appending one recorded round to a history with
+// an incremental checker attached (append-time coterie maintenance plus
+// the O(delta) window extension), in place of a full CheckFTSS recompute
+// over the whole prefix. The engine run itself happens up front, so ns/op
+// is the marginal cost of a live Definition 2.4 verdict per round.
+func BenchmarkCheckFTSSIncremental(b *testing.B) {
+	const warm = 60 // the BenchmarkCheckFTSS prefix
+	pi := fullinfo.WavefrontConsensus{F: 2}
+	in := superimpose.SeededInputs(5, 100)
+	sigma := superimpose.RepeatedConsensus{FinalRound: pi.FinalRound(), Inputs: in}
+	adv := failure.NewRandom(failure.GeneralOmission, proc.NewSet(1, 3), 0.3, 5, 30)
+	cs, ps := superimpose.Procs(pi, 8, in)
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range cs {
+		c.Corrupt(rng)
+	}
+	rec := &obsRecorder{}
+	e := round.MustNewEngine(ps, adv)
+	e.Observe(rec)
+	total := warm + b.N
+	if limit := warm + 4096; total > limit {
+		total = limit // bound the recording; the replay below rewinds
+	}
+	e.Run(total)
+
+	h := history.New(8, adv.Faulty())
+	var ic *core.IncrementalChecker
+	rewind := func() {
+		h = history.New(8, adv.Faulty())
+		for _, o := range rec.rounds[:warm] {
+			h.ObserveRound(o)
+		}
+		ic = core.NewIncrementalChecker(h, sigma, pi.FinalRound())
+	}
+	rewind()
+	at := warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if at == total {
+			b.StopTimer()
+			rewind()
+			at = warm
+			b.StartTimer()
+		}
+		h.ObserveRound(rec.rounds[at])
+		at++
+		if err := ic.Verdict(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -17,6 +17,8 @@
 // by -ns-tol when it is set ≥ 0; timing on shared runners is too noisy to
 // gate by default. -informational prints the full comparison and always
 // exits 0, for CI jobs that want the diff as an artifact, not a verdict.
+// Every comparison ends with a geometric-mean ratio line over the shared
+// benchmarks so net speedups or regressions read at a glance in CI logs.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -178,6 +181,7 @@ func doCompare(basePath, curPath string, allocTol, nsTol float64, informational 
 
 	fmt.Fprintf(w, "%-36s %14s %14s %9s %9s\n", "benchmark", "ns/op", "allocs/op", "Δns", "Δallocs")
 	var failures []string
+	var nsRatios, allocRatios ratioAcc
 	for _, name := range names {
 		b := base[name]
 		c, ok := cur[name]
@@ -186,6 +190,8 @@ func doCompare(basePath, curPath string, allocTol, nsTol float64, informational 
 			failures = append(failures, fmt.Sprintf("%s: missing from current run", name))
 			continue
 		}
+		nsRatios.add(c.NsOp, b.NsOp)
+		allocRatios.add(float64(c.AllocsOp), float64(b.AllocsOp))
 		dns := frac(c.NsOp-b.NsOp, b.NsOp)
 		dal := frac(float64(c.AllocsOp-b.AllocsOp), float64(b.AllocsOp))
 		fmt.Fprintf(w, "%-36s %14.0f %14d %8.1f%% %8.1f%%\n", name, c.NsOp, c.AllocsOp, dns*100, dal*100)
@@ -203,6 +209,15 @@ func doCompare(basePath, curPath string, allocTol, nsTol float64, informational 
 			fmt.Fprintf(w, "%-36s (new, not in baseline)\n", name)
 		}
 	}
+	// One-glance summary: the geometric mean of current/baseline ratios
+	// across the shared benchmarks, <1 = the suite got faster/leaner.
+	if m, n, ok := nsRatios.mean(); ok {
+		line := fmt.Sprintf("benchbase: geomean vs baseline: ns/op ×%.3f", m)
+		if am, _, ok := allocRatios.mean(); ok {
+			line += fmt.Sprintf(", allocs/op ×%.3f", am)
+		}
+		fmt.Fprintf(w, "\n%s (over %d shared benchmarks)\n", line, n)
+	}
 	if len(failures) == 0 {
 		fmt.Fprintf(w, "\nbenchbase: %d benchmarks within tolerance\n", len(names))
 		return nil
@@ -216,6 +231,29 @@ func doCompare(basePath, curPath string, allocTol, nsTol float64, informational 
 		return nil
 	}
 	return fmt.Errorf("%d benchmark regression(s)", len(failures))
+}
+
+// ratioAcc accumulates current/baseline ratios for a geometric mean,
+// computed in log space. Pairs without a positive value on both sides
+// are skipped — a ratio needs both, and a zero-alloc benchmark carries
+// no signal for this summary.
+type ratioAcc struct {
+	logSum float64
+	n      int
+}
+
+func (a *ratioAcc) add(cur, base float64) {
+	if cur > 0 && base > 0 {
+		a.logSum += math.Log(cur / base)
+		a.n++
+	}
+}
+
+func (a ratioAcc) mean() (float64, int, bool) {
+	if a.n == 0 {
+		return 0, 0, false
+	}
+	return math.Exp(a.logSum / float64(a.n)), a.n, true
 }
 
 // frac is delta/base, treating a zero base as "no change" unless the

@@ -86,6 +86,29 @@ func TestCompareFailsOnAllocRegression(t *testing.T) {
 	}
 }
 
+func TestCompareGeomeanSummary(t *testing.T) {
+	dir := t.TempDir()
+	// ns ratios 0.5 and 2.0 → geomean exactly 1.0; alloc ratios 2.0 and
+	// 2.0 → geomean 2.0. BenchmarkC has zero allocs on both sides, so it
+	// contributes to the ns geomean (ratio 1.0) but not the alloc one.
+	base := writeJSON(t, dir, "base.json",
+		`{"BenchmarkA": {"ns_op": 100, "bytes_op": 0, "allocs_op": 10},
+		  "BenchmarkB": {"ns_op": 400, "bytes_op": 0, "allocs_op": 50},
+		  "BenchmarkC": {"ns_op": 70, "bytes_op": 0, "allocs_op": 0}}`)
+	cur := writeJSON(t, dir, "cur.json",
+		`{"BenchmarkA": {"ns_op": 50, "bytes_op": 0, "allocs_op": 20},
+		  "BenchmarkB": {"ns_op": 800, "bytes_op": 0, "allocs_op": 100},
+		  "BenchmarkC": {"ns_op": 70, "bytes_op": 0, "allocs_op": 0}}`)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur, "-informational"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "benchbase: geomean vs baseline: ns/op ×1.000, allocs/op ×2.000 (over 3 shared benchmarks)"
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("missing geomean summary %q in:\n%s", want, buf.String())
+	}
+}
+
 func TestCompareFailsOnMissingBenchmark(t *testing.T) {
 	dir := t.TempDir()
 	base := writeJSON(t, dir, "base.json",

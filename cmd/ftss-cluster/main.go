@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registered on the opt-in -pprof listener only
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -78,8 +80,17 @@ func run(args []string) error {
 	fs.DurationVar(&p.poll, "poll", 10*time.Millisecond, "decision-register poll interval")
 	fs.StringVar(&p.dir, "dir", "", "artifact directory (default: fresh temp dir)")
 	fs.StringVar(&p.nodeBin, "node", "", "path to the ftss-node binary (default: beside this binary, then $PATH)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ftss-cluster: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof listening on %s\n", *pprofAddr)
 	}
 	if p.n < 3 {
 		return fmt.Errorf("need n ≥ 3, got %d", p.n)

@@ -29,6 +29,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on the opt-in -pprof listener only
 	"os"
 	"strconv"
 	"strings"
@@ -65,8 +67,17 @@ func run(args []string) error {
 	metricsFile := fs.String("metrics", "", "write the final telemetry snapshot to this file")
 	eventsFile := fs.String("events", "", "append the JSONL event stream (node_poll records) to this file")
 	chaosFile := fs.String("chaos-events", "", "append the deterministic chaos schedule stream to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ftss-node: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof listening on %s\n", *pprofAddr)
 	}
 
 	peerMap, err := parsePeers(*peers, proc.ID(*id), *n)

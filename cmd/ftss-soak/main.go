@@ -423,18 +423,16 @@ func soak(p soakParams, w io.Writer) error {
 
 	// Definition 2.4 verdict over the whole recorded run: find the
 	// smallest stabilization budget (in polls) that ftss-solves stable
-	// agreement, and report it exactly as the simulators would.
+	// agreement, and report it exactly as the simulators would. The
+	// two-pointer streaming scan answers the search in one pass over the
+	// history, replacing the linear search that re-ran a full batch check
+	// per candidate budget.
 	h := rec.History()
-	budget := -1
-	for b := 0; b <= int(rec.Polls()); b++ {
-		if core.CheckFTSS(h, chaos.StableAgreement, b) == nil {
-			budget = b
-			break
-		}
-	}
+	budget := core.MinimalStabilization(h, chaos.StableAgreement)
 	fmt.Fprintf(w, "\nconsensus cluster over %d polls, %d systemic marks:\n",
 		rec.Polls(), len(plan.Episodes))
-	if budget < 0 {
+	if uint64(budget) > rec.Polls() {
+		// No budget within the poll count suffices: report at the cap.
 		budget = int(rec.Polls())
 	}
 	if err := trace.Verdict(w, h, chaos.StableAgreement, budget); err != nil {

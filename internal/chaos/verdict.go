@@ -45,6 +45,13 @@ type Recorder struct {
 	polls uint64
 	h     *history.History
 	ins   *RecorderInstruments
+
+	// Reusable observation buffers: the history copies what it keeps, so
+	// one poll's Observation can be rebuilt in place for the next. The
+	// full-mesh delivery map never changes and is built once.
+	start     map[proc.ID]round.Snapshot
+	end       map[proc.ID]round.Snapshot
+	delivered map[proc.ID][]round.Message
 }
 
 // RecorderInstruments holds the verdict recorder's telemetry hooks. Nil
@@ -69,7 +76,26 @@ func (r *Recorder) Instrument(ins *RecorderInstruments) { r.ins = ins }
 // executes its protocol again, which is the paper's definition of correct
 // (§2.1) — the disruptions are systemic events, recorded via Mark.
 func NewRecorder(n int) *Recorder {
-	return &Recorder{n: n, h: history.New(n, proc.NewSet())}
+	r := &Recorder{
+		n:         n,
+		h:         history.New(n, proc.NewSet()),
+		start:     make(map[proc.ID]round.Snapshot, n),
+		end:       make(map[proc.ID]round.Snapshot, n),
+		delivered: make(map[proc.ID][]round.Message, n),
+	}
+	// The live cluster is completely connected and gossips continuously;
+	// between marks every process causally reaches every other within a
+	// poll. Recording a full mesh keeps the coterie maximal and stable so
+	// that segment boundaries come only from the Marks — the chaos events
+	// themselves.
+	for q := 0; q < n; q++ {
+		msgs := make([]round.Message, 0, n)
+		for p := 0; p < n; p++ {
+			msgs = append(msgs, round.Message{From: proc.ID(p)})
+		}
+		r.delivered[proc.ID(q)] = msgs
+	}
+	return r
 }
 
 // Observe appends one poll: up holds the processes currently running,
@@ -77,32 +103,24 @@ func NewRecorder(n int) *Recorder {
 // (they must not be required to agree while down).
 func (r *Recorder) Observe(up proc.Set, cells map[proc.ID]DecisionCell) {
 	r.polls++
-	o := round.Observation{
-		Round:     r.polls,
-		Alive:     up.Clone(),
-		Start:     make(map[proc.ID]round.Snapshot, up.Len()),
-		End:       make(map[proc.ID]round.Snapshot, up.Len()),
-		Delivered: make(map[proc.ID][]round.Message, r.n),
-		Deviated:  proc.NewSet(),
-	}
+	clear(r.start)
+	clear(r.end)
 	for _, p := range up.Sorted() {
 		snap := round.Snapshot{Clock: r.polls, Decided: cells[p]}
-		o.Start[p] = snap
-		o.End[p] = snap
+		r.start[p] = snap
+		r.end[p] = snap
 	}
-	// The live cluster is completely connected and gossips continuously;
-	// between marks every process causally reaches every other within a
-	// poll. Recording a full mesh keeps the coterie maximal and stable so
-	// that segment boundaries come only from the Marks — the chaos events
-	// themselves.
-	for q := 0; q < r.n; q++ {
-		msgs := make([]round.Message, 0, r.n)
-		for p := 0; p < r.n; p++ {
-			msgs = append(msgs, round.Message{From: proc.ID(p)})
-		}
-		o.Delivered[proc.ID(q)] = msgs
-	}
-	r.h.ObserveRound(o)
+	// The history copies what it keeps (the round.Observation ownership
+	// contract), so the buffers — including the constant full-mesh
+	// delivery map — are safely reused across polls.
+	r.h.ObserveRound(round.Observation{
+		Round:     r.polls,
+		Alive:     up,
+		Start:     r.start,
+		End:       r.end,
+		Delivered: r.delivered,
+		Deviated:  proc.Set{},
+	})
 	if r.ins != nil {
 		r.ins.Polls.Inc()
 		if r.ins.Sink != nil {
@@ -126,6 +144,16 @@ func (r *Recorder) Mark() {
 	}
 }
 
+// Watch attaches an incremental Definition 2.4 checker for the soak Σ
+// (StableAgreement) with the given stabilization budget in polls: every
+// subsequent Observe extends the verdict in O(1) amortized work instead
+// of a full batch re-check, so a long soak can report progressive
+// verdicts with memory independent of the poll count. The returned
+// checker's Verdict equals core.CheckFTSS on the history recorded so far.
+func (r *Recorder) Watch(stab int) *core.IncrementalChecker {
+	return core.NewIncrementalChecker(r.h, StableAgreement, stab)
+}
+
 // History returns the accumulated history for core/trace checking.
 func (r *Recorder) History() *history.History { return r.h }
 
@@ -136,48 +164,87 @@ func (r *Recorder) Polls() uint64 { return r.polls }
 // every up process holds a decision, all held decisions are equal, and
 // the common register never changes between polls — the asynchronous
 // eventual-stable-agreement notion projected onto poll windows. Feed it
-// to core.CheckFTSS with a stabilization budget in polls.
-var StableAgreement core.Problem = core.Func{
-	ProblemName: "eventual-stable-agreement (soak)",
-	CheckFunc:   checkStableAgreement,
+// to core.CheckFTSS with a stabilization budget in polls. It streams
+// (core.Streaming), so incremental checkers extend its windows poll by
+// poll instead of rescanning.
+var StableAgreement core.Problem = stableAgreement{}
+
+type stableAgreement struct{}
+
+// Name implements core.Problem.
+func (stableAgreement) Name() string { return "eventual-stable-agreement (soak)" }
+
+// Check implements core.Problem.
+func (stableAgreement) Check(h *history.History, lo, hi int, faulty proc.Set) error {
+	var st stableAgreementState
+	for r := lo; r <= hi; r++ {
+		if err := st.round(h, r, faulty); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func checkStableAgreement(h *history.History, lo, hi int, faulty proc.Set) error {
-	var prev DecisionCell
-	havePrev := false
-	for r := lo; r <= hi; r++ {
-		o := h.Round(r)
-		var common DecisionCell
-		haveCommon := false
-		for _, p := range o.Alive.Sorted() {
-			if faulty.Has(p) {
-				continue
-			}
-			cell, _ := o.Start[p].Decided.(DecisionCell)
-			if !cell.OK {
-				return &core.Violation{
-					Problem: "eventual-stable-agreement (soak)", Round: r,
-					Detail: fmt.Sprintf("%v holds no decision", p),
-				}
-			}
-			if !haveCommon {
-				common, haveCommon = cell, true
-			} else if cell != common {
-				return &core.Violation{
-					Problem: "eventual-stable-agreement (soak)", Round: r,
-					Detail: fmt.Sprintf("%v holds %v, others hold %v", p, cell, common),
-				}
-			}
+// NewWindow implements core.Streaming: the only cross-round state is the
+// previous poll's common register, which the window carries across
+// extensions.
+func (stableAgreement) NewWindow(h *history.History, lo int, faulty proc.Set) core.WindowChecker {
+	return &stableAgreementWindow{h: h, faulty: faulty}
+}
+
+var _ core.Streaming = stableAgreement{}
+
+type stableAgreementWindow struct {
+	h      *history.History
+	faulty proc.Set
+	st     stableAgreementState
+}
+
+// Extend implements core.WindowChecker.
+func (w *stableAgreementWindow) Extend(hi int) error {
+	return w.st.round(w.h, hi, w.faulty)
+}
+
+// stableAgreementState threads the common register between polls; round
+// is the batch scan's loop body, shared verbatim with the streaming
+// window.
+type stableAgreementState struct {
+	prev     DecisionCell
+	havePrev bool
+}
+
+func (st *stableAgreementState) round(h *history.History, r int, faulty proc.Set) error {
+	var common DecisionCell
+	haveCommon := false
+	for _, p := range h.AliveAt(r).Sorted() {
+		if faulty.Has(p) {
+			continue
 		}
-		if haveCommon && havePrev && common != prev {
+		snap, _ := h.SnapshotAt(r, p)
+		cell, _ := snap.Decided.(DecisionCell)
+		if !cell.OK {
 			return &core.Violation{
 				Problem: "eventual-stable-agreement (soak)", Round: r,
-				Detail: fmt.Sprintf("common register changed %v → %v", prev, common),
+				Detail: fmt.Sprintf("%v holds no decision", p),
 			}
 		}
-		if haveCommon {
-			prev, havePrev = common, true
+		if !haveCommon {
+			common, haveCommon = cell, true
+		} else if cell != common {
+			return &core.Violation{
+				Problem: "eventual-stable-agreement (soak)", Round: r,
+				Detail: fmt.Sprintf("%v holds %v, others hold %v", p, cell, common),
+			}
 		}
+	}
+	if haveCommon && st.havePrev && common != st.prev {
+		return &core.Violation{
+			Problem: "eventual-stable-agreement (soak)", Round: r,
+			Detail: fmt.Sprintf("common register changed %v → %v", st.prev, common),
+		}
+	}
+	if haveCommon {
+		st.prev, st.havePrev = common, true
 	}
 	return nil
 }

@@ -100,7 +100,7 @@ func TestRecorderObserveShrinkRecover(t *testing.T) {
 	if h.Len() != 4 {
 		t.Fatalf("history length %d, want 4", h.Len())
 	}
-	if o := h.Round(2); o.Alive.Has(2) {
+	if h.AliveAt(2).Has(2) {
 		t.Fatal("down process still recorded alive")
 	}
 	if err := StableAgreement.Check(h, 1, h.Len(), proc.NewSet()); err != nil {

@@ -50,61 +50,79 @@ type RoundAgreement struct{}
 // Name implements Problem.
 func (RoundAgreement) Name() string { return "round-agreement (Assumption 1)" }
 
-// Check implements Problem.
-func (RoundAgreement) Check(h *history.History, lo, hi int, faulty proc.Set) error {
+// Check implements Problem. The per-round clauses are split into
+// checkAgreement and checkRate so the streaming window in incremental.go
+// runs literally the same code in the same order as this batch scan.
+func (ra RoundAgreement) Check(h *history.History, lo, hi int, faulty proc.Set) error {
 	for r := lo; r <= hi; r++ {
-		// Agreement: c_p^r equal across correct alive processes. Iterating
-		// IDs in 0..n−1 order visits the same processes as Alive.Sorted()
-		// without allocating.
-		alive := h.Round(r).Alive
-		first := proc.None
-		var firstClock uint64
-		for i := 0; i < h.N(); i++ {
-			p := proc.ID(i)
-			if !alive.Has(p) || faulty.Has(p) {
-				continue
-			}
-			c, ok := h.ClockAt(r, p)
-			if !ok {
-				continue
-			}
-			if first == proc.None {
-				first, firstClock = p, c
-				continue
-			}
-			if c != firstClock {
-				return &Violation{
-					Problem: "agreement",
-					Round:   r,
-					Detail: fmt.Sprintf("c_%v^%d = %d but c_%v^%d = %d",
-						first, r, firstClock, p, r, c),
-				}
-			}
+		if err := ra.checkAgreement(h, r, faulty); err != nil {
+			return err
 		}
-		// Rate: c_p^{r+1} = c_p^r + 1. The condition reads the state at the
-		// start of round r+1, so it is only enforced while r+1 is still
-		// inside the window: the predicate must not read state beyond the
-		// history fragment it is given (H3 in Definition 2.4).
+		// Rate reads the state at the start of round r+1, so it is only
+		// enforced while r+1 is still inside the window: the predicate must
+		// not read state beyond the history fragment it is given (H3 in
+		// Definition 2.4).
 		if r == hi {
 			continue
 		}
-		for i := 0; i < h.N(); i++ {
-			p := proc.ID(i)
-			if !alive.Has(p) || faulty.Has(p) {
-				continue
+		if err := ra.checkRate(h, r, faulty); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkAgreement: c_p^r equal across correct alive processes. Iterating
+// IDs in 0..n−1 order visits the same processes as Alive.Sorted() without
+// allocating.
+func (RoundAgreement) checkAgreement(h *history.History, r int, faulty proc.Set) error {
+	alive := h.AliveAt(r)
+	first := proc.None
+	var firstClock uint64
+	for i := 0; i < h.N(); i++ {
+		p := proc.ID(i)
+		if !alive.Has(p) || faulty.Has(p) {
+			continue
+		}
+		c, ok := h.ClockAt(r, p)
+		if !ok {
+			continue
+		}
+		if first == proc.None {
+			first, firstClock = p, c
+			continue
+		}
+		if c != firstClock {
+			return &Violation{
+				Problem: "agreement",
+				Round:   r,
+				Detail: fmt.Sprintf("c_%v^%d = %d but c_%v^%d = %d",
+					first, r, firstClock, p, r, c),
 			}
-			before, ok1 := h.ClockAt(r, p)
-			after, ok2 := h.ClockAt(r+1, p)
-			if !ok1 || !ok2 {
-				continue // crashed in between: c undefined from then on
-			}
-			if after != before+1 {
-				return &Violation{
-					Problem: "rate",
-					Round:   r,
-					Detail: fmt.Sprintf("c_%v^%d = %d but c_%v^%d = %d (want %d)",
-						p, r, before, p, r+1, after, before+1),
-				}
+		}
+	}
+	return nil
+}
+
+// checkRate: c_p^{r+1} = c_p^r + 1 for correct processes alive in round r.
+func (RoundAgreement) checkRate(h *history.History, r int, faulty proc.Set) error {
+	alive := h.AliveAt(r)
+	for i := 0; i < h.N(); i++ {
+		p := proc.ID(i)
+		if !alive.Has(p) || faulty.Has(p) {
+			continue
+		}
+		before, ok1 := h.ClockAt(r, p)
+		after, ok2 := h.ClockAt(r+1, p)
+		if !ok1 || !ok2 {
+			continue // crashed in between: c undefined from then on
+		}
+		if after != before+1 {
+			return &Violation{
+				Problem: "rate",
+				Round:   r,
+				Detail: fmt.Sprintf("c_%v^%d = %d but c_%v^%d = %d (want %d)",
+					p, r, before, p, r+1, after, before+1),
 			}
 		}
 	}
@@ -126,7 +144,7 @@ func (Uniformity) Check(h *history.History, lo, hi int, faulty proc.Set) error {
 		// Reference clock: any correct process's clock.
 		ref := proc.None
 		var refClock uint64
-		for _, p := range h.Round(r).Alive.Sorted() {
+		for _, p := range h.AliveAt(r).Sorted() {
 			if faulty.Has(p) {
 				continue
 			}

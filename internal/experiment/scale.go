@@ -84,9 +84,10 @@ func E14NScaling(cfg Config) *Table {
 			h := history.New(n, faulty)
 			e := round.MustNewEngine(ps, adv)
 			e.Observe(h)
+			ic := core.NewIncrementalChecker(h, raSigma, 1)
 			e.Run(raRounds)
-			r.agreePass = core.CheckFTSS(h, raSigma, 1) == nil
-			r.agreeStab = core.MeasureStabilization(h, raSigma).Rounds
+			r.agreePass = ic.Verdict() == nil
+			r.agreeStab = ic.Measure().Rounds
 
 			// Leg 2: compiled wavefront consensus, everyone corrupted at
 			// round 0, f = F omission-faulty processes.
@@ -103,9 +104,10 @@ func E14NScaling(cfg Config) *Table {
 			wh := history.New(n, wfFaulty)
 			we := round.MustNewEngine(wps, wfAdv)
 			we.Observe(wh)
+			wic := core.NewIncrementalChecker(wh, wfSigma, pi.FinalRound())
 			we.Run(wfRounds)
-			r.wfPass = core.CheckFTSS(wh, wfSigma, pi.FinalRound()) == nil
-			r.wfStab = core.MeasureStabilization(wh, wfSigma).Rounds
+			r.wfPass = wic.Verdict() == nil
+			r.wfStab = wic.Measure().Rounds
 			return r
 		})
 		agreePass, wfPass, agreeMax, wfMax := 0, 0, 0, 0

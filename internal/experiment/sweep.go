@@ -56,10 +56,11 @@ func E12ParameterSweep(cfg Config) *Table {
 			h := history.New(n, faulty)
 			e := round.MustNewEngine(ps, adv)
 			e.Observe(h)
+			ic := core.NewIncrementalChecker(h, sigma, pi.FinalRound())
 			e.Run(cfg.Rounds)
 			return rep{
-				pass: core.CheckFTSS(h, sigma, pi.FinalRound()) == nil,
-				stab: core.MeasureStabilization(h, sigma).Rounds,
+				pass: ic.Verdict() == nil,
+				stab: ic.Measure().Rounds,
 			}
 		})
 		pass, maxStab := 0, 0

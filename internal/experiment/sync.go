@@ -51,10 +51,13 @@ func E1RoundAgreement(cfg Config) *Table {
 				h := history.New(n, faulty)
 				e := round.MustNewEngine(ps, adv)
 				e.Observe(h)
+				// The verdict accumulates while the engine streams rounds:
+				// each append costs O(delta) instead of the batch checker's
+				// O(T²) post-hoc re-evaluation.
+				ic := core.NewIncrementalChecker(h, sigma, 1)
 				e.Run(cfg.Rounds)
 
-				m := core.MeasureStabilization(h, sigma)
-				return rep{pass: core.CheckFTSS(h, sigma, 1) == nil, stab: m.Rounds}
+				return rep{pass: ic.Verdict() == nil, stab: ic.Measure().Rounds}
 			})
 			pass, maxStab, sumStab, measured := 0, 0, 0, 0
 			for _, r := range reps {
@@ -201,10 +204,11 @@ func E4Compiler(cfg Config) *Table {
 			h := history.New(nf.n, faulty)
 			e := round.MustNewEngine(ps, adv)
 			e.Observe(h)
+			ic := core.NewIncrementalChecker(h, sigma, pi.FinalRound())
 			e.Run(cfg.Rounds)
 			var r rep
-			r.pass = core.CheckFTSS(h, sigma, pi.FinalRound()) == nil
-			r.stab = core.MeasureStabilization(h, sigma).Rounds
+			r.pass = ic.Verdict() == nil
+			r.stab = ic.Measure().Rounds
 
 			// Naive baseline.
 			ns, nps := superimpose.NaiveProcs(pi, nf.n, in)
@@ -215,8 +219,9 @@ func E4Compiler(cfg Config) *Table {
 			nh := history.New(nf.n, faulty)
 			ne := round.MustNewEngine(nps, adv)
 			ne.Observe(nh)
+			nic := core.NewIncrementalChecker(nh, sigma, pi.FinalRound())
 			ne.Run(cfg.Rounds)
-			r.naivePass = core.CheckFTSS(nh, sigma, pi.FinalRound()) == nil
+			r.naivePass = nic.Verdict() == nil
 			return r
 		})
 		pass, naivePass, maxStab := 0, 0, 0
@@ -356,8 +361,9 @@ func E7AblationSuspects(cfg Config) *Table {
 			h := history.New(4, adv.Faulty())
 			e := round.MustNewEngine(ps, adv)
 			e.Observe(h)
+			ic := core.NewIncrementalChecker(h, sigma, pi.FinalRound())
 			e.Run(cfg.Rounds)
-			return core.CheckFTSS(h, sigma, pi.FinalRound()) == nil
+			return ic.Verdict() == nil
 		})
 		pass := 0
 		for _, ok := range reps {

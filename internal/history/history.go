@@ -13,6 +13,13 @@
 // non-decreasing in t; a de-stabilizing event is precisely a round in
 // which a process enters the coterie.
 //
+// Storage is compact: each observed round is reduced to dense
+// per-process snapshot rows plus cloned alive/deviated sets at append
+// time, and the influence/faulty/coterie caches share their backing
+// arrays between rounds in which nothing changed. In a saturated steady
+// state (influence full, faulty stable) appending a round performs no
+// causal recomputation at all.
+//
 //ftss:det causal analyses feed golden experiment output
 package history
 
@@ -23,25 +30,47 @@ import (
 	"ftss/internal/sim/round"
 )
 
+// roundRec is the compact record of one observed round. Snapshot rows are
+// dense by process ID and meaningful only where alive has the ID; the
+// deliveredFrom sender sets are populated only under RetainDeliveries.
+type roundRec struct {
+	alive    proc.Set
+	deviated proc.Set
+	start    []round.Snapshot
+	end      []round.Snapshot
+	// deliveredFrom[q] is the set of senders whose round broadcast was
+	// delivered to q (nil unless RetainDeliveries was enabled). Message
+	// payloads are not retained: the causal analyses only need edges.
+	deliveredFrom []proc.Set
+}
+
 // History is a recorded synchronous execution plus incrementally maintained
 // causal caches. It implements round.Observer; attach it to an engine with
 // Engine.Observe before running.
+//
+// ObserveRound copies what it keeps, per the round.Observation ownership
+// contract: a History never aliases engine-owned buffers.
 type History struct {
 	n          int
 	designated proc.Set
-	rounds     []round.Observation
+	recs       []roundRec
 
 	// influence[t][q] is Influence(t, q), dense by process ID; index 0 is
-	// the empty prefix.
+	// the empty prefix. Rounds in which no influence set grew share the
+	// previous round's row.
 	influence [][]proc.Set
 	// faulty[t] is F of the t-prefix (processes that have deviated by the
-	// end of round t).
+	// end of round t). Rounds without new deviators share the set.
 	faulty []proc.Set
-	// coterie[t] is the coterie of the t-prefix.
+	// coterie[t] is the coterie of the t-prefix. Shared with coterie[t-1]
+	// when neither influence nor faulty changed in round t.
 	coterie []proc.Set
 	// marks holds prefix lengths after which a systemic failure struck
 	// (see MarkSystemicFailure).
 	marks []int
+
+	retainDeliveries bool
+	onAppend         []func(t int)
 }
 
 // New creates an empty history for a system of n processes with the given
@@ -64,18 +93,65 @@ func New(n int, designated proc.Set) *History {
 
 var _ round.Observer = (*History)(nil)
 
+// RetainDeliveries makes subsequent observed rounds keep their delivery
+// edges (who heard whom), which NaiveInfluence needs. Off by default: the
+// incremental caches never read past deliveries, and at production widths
+// the edge sets dominate the footprint. Must be called before recording.
+func (h *History) RetainDeliveries() {
+	if len(h.recs) > 0 {
+		panic("history: RetainDeliveries after rounds were recorded")
+	}
+	h.retainDeliveries = true
+}
+
+// OnAppend registers a hook invoked after each observed round has been
+// folded into the causal caches, with the new prefix length. Incremental
+// checkers attach here to extend their verdicts in O(delta) per round.
+func (h *History) OnAppend(fn func(t int)) {
+	h.onAppend = append(h.onAppend, fn)
+}
+
 // ObserveRound implements round.Observer, appending one round and updating
 // the causal caches.
 func (h *History) ObserveRound(o round.Observation) {
-	t := len(h.rounds) // prefix length before this round
+	t := len(h.recs) // prefix length before this round
 	if o.Round != uint64(t+1) {
 		panic(fmt.Sprintf("history: observed round %d, expected %d", o.Round, t+1))
 	}
-	h.rounds = append(h.rounds, o)
+	rec := roundRec{
+		alive: o.Alive.Clone(),
+		start: make([]round.Snapshot, h.n),
+		end:   make([]round.Snapshot, h.n),
+	}
+	if o.Deviated.Len() > 0 {
+		rec.deviated = o.Deviated.Clone()
+	}
+	for i := 0; i < h.n; i++ {
+		id := proc.ID(i)
+		if !rec.alive.Has(id) {
+			continue
+		}
+		rec.start[i] = o.Start[id]
+		rec.end[i] = o.End[id]
+	}
+	if h.retainDeliveries {
+		rec.deliveredFrom = make([]proc.Set, h.n)
+		for i := 0; i < h.n; i++ {
+			msgs, ok := o.Delivered[proc.ID(i)]
+			if !ok {
+				continue
+			}
+			from := proc.NewSetCap(h.n)
+			for _, m := range msgs {
+				from.Add(m.From)
+			}
+			rec.deliveredFrom[i] = from
+		}
+	}
+	h.recs = append(h.recs, rec)
 
 	prev := h.influence[t]
-	next := make([]proc.Set, h.n)
-	copy(next, prev) // entries are replaced below only if they grow
+	next := prev // aliased until some influence set grows
 	for q := 0; q < h.n; q++ {
 		msgs, ok := o.Delivered[proc.ID(q)]
 		if !ok {
@@ -94,16 +170,36 @@ func (h *History) ObserveRound(o round.Observation) {
 			}
 			grown.UnionWith(src)
 		}
-		next[q] = grown
+		if copied {
+			if &next[0] == &prev[0] {
+				next = make([]proc.Set, h.n)
+				copy(next, prev)
+			}
+			next[q] = grown
+		}
 	}
+	influenceGrew := &next[0] != &prev[0]
 	h.influence = append(h.influence, next)
 
 	f := h.faulty[t]
+	faultyGrew := false
 	if o.Deviated.Len() > 0 && !o.Deviated.Subset(f) {
 		f = f.Union(o.Deviated)
+		faultyGrew = true
 	}
 	h.faulty = append(h.faulty, f)
-	h.coterie = append(h.coterie, h.computeCoterie(t+1))
+
+	if influenceGrew || faultyGrew {
+		h.coterie = append(h.coterie, h.computeCoterie(t+1))
+	} else {
+		// Both inputs of Definition 2.3 are unchanged, so the coterie is
+		// unchanged; share the set rather than recomputing it.
+		h.coterie = append(h.coterie, h.coterie[t])
+	}
+
+	for _, fn := range h.onAppend {
+		fn(t + 1)
+	}
 }
 
 func (h *History) computeCoterie(t int) proc.Set {
@@ -122,7 +218,7 @@ func (h *History) computeCoterie(t int) proc.Set {
 }
 
 // Len returns the number of recorded rounds.
-func (h *History) Len() int { return len(h.rounds) }
+func (h *History) Len() int { return len(h.recs) }
 
 // N returns the number of processes.
 func (h *History) N() int { return h.n }
@@ -130,9 +226,22 @@ func (h *History) N() int { return h.n }
 // Designated returns the designated faulty set.
 func (h *History) Designated() proc.Set { return h.designated.Clone() }
 
-// Round returns the observation of actual round r (1-based).
-func (h *History) Round(r int) round.Observation {
-	return h.rounds[r-1]
+// AliveAt returns the set of processes alive in actual round r (1-based).
+// The returned set is shared internal state: callers must treat it as
+// read-only.
+func (h *History) AliveAt(r int) proc.Set { return h.recs[r-1].alive }
+
+// DeviatedAt returns the set of processes that deviated in actual round r.
+// Read-only, like AliveAt.
+func (h *History) DeviatedAt(r int) proc.Set { return h.recs[r-1].deviated }
+
+// DeliveredFrom returns the senders whose round-r broadcast was delivered
+// to p (read-only). It requires RetainDeliveries.
+func (h *History) DeliveredFrom(r int, p proc.ID) proc.Set {
+	if !h.retainDeliveries {
+		panic("history: DeliveredFrom requires RetainDeliveries")
+	}
+	return h.recs[r-1].deliveredFrom[int(p)]
 }
 
 // FaultyUpTo returns F of the t-prefix: the processes that actually
@@ -176,17 +285,20 @@ func (h *History) Coterie() proc.Set { return h.CoterieAt(h.Len()) }
 // ClockAt returns c_p at the start of actual round r, and whether p was
 // alive then. r ranges over 1..Len().
 func (h *History) ClockAt(r int, p proc.ID) (uint64, bool) {
-	snap, ok := h.rounds[r-1].Start[p]
-	if !ok {
+	rec := &h.recs[r-1]
+	if !rec.alive.Has(p) {
 		return 0, false
 	}
-	return snap.Clock, true
+	return rec.start[int(p)].Clock, true
 }
 
 // SnapshotAt returns p's full snapshot at the start of actual round r.
 func (h *History) SnapshotAt(r int, p proc.ID) (round.Snapshot, bool) {
-	snap, ok := h.rounds[r-1].Start[p]
-	return snap, ok
+	rec := &h.recs[r-1]
+	if !rec.alive.Has(p) {
+		return round.Snapshot{}, false
+	}
+	return rec.start[int(p)], true
 }
 
 // SnapshotAtEnd returns p's snapshot at the end of actual round r. For a
@@ -194,18 +306,21 @@ func (h *History) SnapshotAt(r int, p proc.ID) (round.Snapshot, bool) {
 // available for the final recorded round, which the Rate condition of
 // Assumption 1 needs.
 func (h *History) SnapshotAtEnd(r int, p proc.ID) (round.Snapshot, bool) {
-	snap, ok := h.rounds[r-1].End[p]
-	return snap, ok
+	rec := &h.recs[r-1]
+	if !rec.alive.Has(p) {
+		return round.Snapshot{}, false
+	}
+	return rec.end[int(p)], true
 }
 
 // ClockAtEnd returns c_p at the end of actual round r — equivalently, at
 // the start of round r+1 (c_p^{r+1} in the paper's notation).
 func (h *History) ClockAtEnd(r int, p proc.ID) (uint64, bool) {
-	snap, ok := h.rounds[r-1].End[p]
-	if !ok {
+	rec := &h.recs[r-1]
+	if !rec.alive.Has(p) {
 		return 0, false
 	}
-	return snap.Clock, true
+	return rec.end[int(p)].Clock, true
 }
 
 // Segment is a maximal run of prefix lengths with a constant coterie.
@@ -233,6 +348,14 @@ func (h *History) MarkSystemicFailure() {
 func (h *History) SystemicFailureMarks() []int {
 	return append([]int(nil), h.marks...)
 }
+
+// MarkCount returns how many systemic-failure marks have been recorded.
+// Incremental checkers poll it per append instead of copying the list.
+func (h *History) MarkCount() int { return len(h.marks) }
+
+// MarkAt returns the i'th recorded mark (a prefix length), 0-indexed in
+// recording order.
+func (h *History) MarkAt(i int) int { return h.marks[i] }
 
 // StableSegments partitions prefix lengths 0..Len() into maximal stable
 // segments, in order. A segment boundary is a de-stabilizing event: a
@@ -271,12 +394,15 @@ func (h *History) DestabilizingRounds() []int {
 
 // NaiveInfluence recomputes Influence(t, q) by breadth-first search over
 // the event grid, without the incremental caches. It exists as an oracle
-// for testing the incremental computation.
+// for testing the incremental computation, and requires RetainDeliveries.
 //
 // Nodes are (process, prefix length); edges are program order
 // (p,k)→(p,k+1) for alive p, and message delivery (s,k-1)→(q,k) for every
 // message s→q delivered in round k.
 func (h *History) NaiveInfluence(t int, q proc.ID) proc.Set {
+	if !h.retainDeliveries {
+		panic("history: NaiveInfluence requires RetainDeliveries")
+	}
 	// reached[p][k] = an event of p at prefix k can reach q's state at t.
 	// Walk backwards from (q, t).
 	type node struct {
@@ -303,12 +429,15 @@ func (h *History) NaiveInfluence(t int, q proc.ID) proc.Set {
 			stack = append(stack, prev)
 		}
 		// Deliveries in round k into nd.p.
-		for _, m := range h.rounds[nd.k-1].Delivered[nd.p] {
-			src := node{m.From, nd.k - 1}
-			if !seen[src] {
-				seen[src] = true
-				stack = append(stack, src)
-			}
+		from := h.recs[nd.k-1].deliveredFrom[int(nd.p)]
+		if !from.IsZero() {
+			from.ForEach(func(s proc.ID) {
+				src := node{s, nd.k - 1}
+				if !seen[src] {
+					seen[src] = true
+					stack = append(stack, src)
+				}
+			})
 		}
 	}
 	return result

@@ -36,6 +36,7 @@ func runRecorded(t *testing.T, n int, adv failure.Adversary, rounds int) *Histor
 		faulty = adv.Faulty()
 	}
 	h := New(n, faulty)
+	h.RetainDeliveries() // the tests compare against the NaiveInfluence oracle
 	e := round.MustNewEngine(chatters(n), adv)
 	e.Observe(h)
 	e.Run(rounds)
@@ -257,11 +258,16 @@ func TestCrashedInfluenceFrozen(t *testing.T) {
 	}
 }
 
-func TestRoundAccessor(t *testing.T) {
+func TestRoundAccessors(t *testing.T) {
 	h := runRecorded(t, 2, nil, 2)
-	o := h.Round(2)
-	if o.Round != 2 {
-		t.Errorf("Round(2).Round = %d", o.Round)
+	if !h.AliveAt(2).Equal(proc.Universe(2)) {
+		t.Errorf("AliveAt(2) = %v", h.AliveAt(2))
+	}
+	if h.DeviatedAt(2).Len() != 0 {
+		t.Errorf("DeviatedAt(2) = %v", h.DeviatedAt(2))
+	}
+	if !h.DeliveredFrom(2, 0).Equal(proc.Universe(2)) {
+		t.Errorf("DeliveredFrom(2,0) = %v", h.DeliveredFrom(2, 0))
 	}
 	if h.N() != 2 {
 		t.Errorf("N = %d", h.N())

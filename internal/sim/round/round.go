@@ -80,6 +80,11 @@ type Process interface {
 // Observation records everything that happened in one actual round: the
 // paper's "round history" (state at the start of the round plus the actions
 // taken during it).
+//
+// Ownership: every field is owned by the producer (the engine reuses its
+// observation buffers from round to round) and is only valid for the
+// duration of the ObserveRound call. Observers must clone the sets and
+// copy the maps/slices they retain.
 type Observation struct {
 	// Round is the actual round number, starting at 1.
 	Round uint64
@@ -121,12 +126,20 @@ type Engine struct {
 	designed proc.Set // designated faulty set, cached
 
 	// Reusable per-round scratch, dense by process ID. The inbox buffers
-	// are handed to EndRound and recycled on the next Step — except when
-	// observers are registered, in which case each round's delivery slices
-	// are freshly allocated because the Observation retains them.
+	// are handed to EndRound and recycled on the next Step.
 	aliveIDs []proc.ID
 	sent     []any
 	inbox    [][]Message
+	deviated proc.Set
+
+	// Reusable observation buffers (allocated on first observed Step).
+	// Observations are only valid during ObserveRound, so these are
+	// cleared and refilled each round instead of freshly allocated.
+	obsAlive     proc.Set
+	obsStart     map[proc.ID]Snapshot
+	obsSent      map[proc.ID]any
+	obsDelivered map[proc.ID][]Message
+	obsEnd       map[proc.ID]Snapshot
 
 	// ins holds optional telemetry hooks; nil disables all telemetry.
 	ins *Instruments
@@ -219,14 +232,19 @@ func (e *Engine) CorruptEverything(rng *rand.Rand) int {
 //
 // Deliveries are bucketed per receiver by iterating senders in increasing
 // ID order, so each inbox is sorted by sender by construction — no sorting
-// pass. When no observer is registered the engine also skips snapshotting
-// and reuses its per-round buffers, so a steady-state round allocates
-// almost nothing beyond what the protocols themselves allocate.
+// pass. The engine reuses its per-round buffers whether or not observers
+// are registered (observers must copy what they retain — see Observation),
+// so a steady-state round allocates almost nothing beyond what the
+// protocols themselves allocate.
 func (e *Engine) Step() {
 	r := e.round
 	n := len(e.procs)
 	observed := len(e.obs) > 0
-	deviated := proc.NewSet()
+	if e.deviated.IsZero() {
+		e.deviated = proc.NewSetCap(n)
+	}
+	deviated := e.deviated
+	deviated.Clear()
 
 	// Crashes scheduled for this round take effect before any step.
 	for _, p := range e.procs {
@@ -270,7 +288,15 @@ func (e *Engine) Step() {
 
 	var start map[proc.ID]Snapshot
 	if observed {
-		start = make(map[proc.ID]Snapshot, len(aliveIDs))
+		if e.obsStart == nil {
+			e.obsAlive = proc.NewSetCap(n)
+			e.obsStart = make(map[proc.ID]Snapshot, n)
+			e.obsSent = make(map[proc.ID]any, n)
+			e.obsDelivered = make(map[proc.ID][]Message, n)
+			e.obsEnd = make(map[proc.ID]Snapshot, n)
+		}
+		start = e.obsStart
+		clear(start)
 	}
 	for _, id := range aliveIDs {
 		p := e.byID[id]
@@ -282,13 +308,7 @@ func (e *Engine) Step() {
 
 	nDelivered, nDropped := 0, 0
 	for _, to := range aliveIDs {
-		var msgs []Message
-		if observed {
-			// The Observation retains this slice; it must be fresh.
-			msgs = make([]Message, 0, len(aliveIDs))
-		} else {
-			msgs = e.inbox[to][:0]
-		}
+		msgs := e.inbox[to][:0]
 		for _, from := range aliveIDs {
 			payload := e.sent[from]
 			if payload == nil {
@@ -316,7 +336,8 @@ func (e *Engine) Step() {
 
 	var end map[proc.ID]Snapshot
 	if observed {
-		end = make(map[proc.ID]Snapshot, len(aliveIDs))
+		end = e.obsEnd
+		clear(end)
 	}
 	for _, id := range aliveIDs {
 		p := e.byID[id]
@@ -327,16 +348,16 @@ func (e *Engine) Step() {
 	}
 
 	if observed {
-		alive := proc.NewSet()
-		sent := make(map[proc.ID]any, len(aliveIDs))
-		delivered := make(map[proc.ID][]Message, len(aliveIDs))
+		alive, sent, delivered := e.obsAlive, e.obsSent, e.obsDelivered
+		alive.Clear()
+		clear(sent)
+		clear(delivered)
 		for _, id := range aliveIDs {
 			alive.Add(id)
 			if e.sent[id] != nil {
 				sent[id] = e.sent[id]
 			}
 			delivered[id] = e.inbox[id]
-			e.inbox[id] = nil // retained by the Observation; do not reuse
 		}
 		o := Observation{
 			Round:     r,

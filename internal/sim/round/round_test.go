@@ -53,7 +53,34 @@ func newEchos(n int) ([]*echoProc, []Process) {
 
 type recordObserver struct{ obs []Observation }
 
-func (r *recordObserver) ObserveRound(o Observation) { r.obs = append(r.obs, o) }
+// ObserveRound deep-copies the Observation: the engine owns and reuses
+// the buffers, so a retaining observer must copy what it keeps.
+func (r *recordObserver) ObserveRound(o Observation) {
+	c := Observation{
+		Round:     o.Round,
+		Alive:     o.Alive.Clone(),
+		Start:     make(map[proc.ID]Snapshot, len(o.Start)),
+		Sent:      make(map[proc.ID]any, len(o.Sent)),
+		Delivered: make(map[proc.ID][]Message, len(o.Delivered)),
+		End:       make(map[proc.ID]Snapshot, len(o.End)),
+		Deviated:  o.Deviated.Clone(),
+	}
+	for _, p := range o.Alive.Sorted() {
+		if s, ok := o.Start[p]; ok {
+			c.Start[p] = s
+		}
+		if v, ok := o.Sent[p]; ok {
+			c.Sent[p] = v
+		}
+		if msgs, ok := o.Delivered[p]; ok {
+			c.Delivered[p] = append([]Message(nil), msgs...)
+		}
+		if s, ok := o.End[p]; ok {
+			c.End[p] = s
+		}
+	}
+	r.obs = append(r.obs, c)
+}
 
 func TestNewEngineValidation(t *testing.T) {
 	_, ps := newEchos(2)

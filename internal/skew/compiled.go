@@ -223,7 +223,7 @@ func (a AgreementWithinSkew) Check(h *history.History, lo, hi int, faulty proc.S
 	for r := lo; r <= hi; r++ {
 		var min, max uint64
 		first := true
-		for _, q := range h.Round(r).Alive.Sorted() {
+		for _, q := range h.AliveAt(r).Sorted() {
 			if faulty.Has(q) {
 				continue
 			}
@@ -252,7 +252,7 @@ func (a AgreementWithinSkew) Check(h *history.History, lo, hi int, faulty proc.S
 		if r == hi {
 			continue
 		}
-		for _, q := range h.Round(r).Alive.Sorted() {
+		for _, q := range h.AliveAt(r).Sorted() {
 			if faulty.Has(q) {
 				continue
 			}

@@ -1,0 +1,253 @@
+package smr
+
+import (
+	"math/rand"
+	"testing"
+
+	"ftss/internal/detector"
+	"ftss/internal/proc"
+	"ftss/internal/sim/async"
+)
+
+func quietWeak(n int, seed int64) *detector.SimulatedWeak {
+	return &detector.SimulatedWeak{N: n, AccuracyAt: 0, NoiseP: 0, SlanderP: 0, Seed: seed}
+}
+
+func buildBatching(n int, pol BatchPolicy, crashAt map[proc.ID]async.Time,
+	seed int64) ([]*BatchingReplica, *async.Engine) {
+	var weak detector.WeakDetector
+	if crashAt == nil {
+		weak = quietWeak(n, seed)
+	} else {
+		weak = weakFor(n, crashAt, seed)
+	}
+	bs, aps := NewBatchingReplicas(n, weak, pol)
+	e := async.MustNewEngine(aps, async.Config{
+		Seed: seed, TickEvery: ms, MinDelay: ms, MaxDelay: 3 * ms, CrashAt: crashAt,
+	})
+	return bs, e
+}
+
+// drainUntil runs the engine in slices until every correct replica's
+// expanded stream holds at least want commands (or the horizon passes).
+func drainUntil(t *testing.T, e *async.Engine, bs []*BatchingReplica,
+	correct proc.Set, want int, horizon async.Time) {
+	t.Helper()
+	for at := 100 * ms; at <= horizon; at += 100 * ms {
+		e.RunUntil(at)
+		done := true
+		for _, b := range bs {
+			if correct.Has(b.ID()) && len(b.Decided()) < want {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+	}
+	for _, b := range bs {
+		if correct.Has(b.ID()) {
+			t.Logf("replica %v: %d/%d expanded, backlog %d, open %d",
+				b.ID(), len(b.Decided()), want, b.Backlog(), len(b.open))
+		}
+	}
+	t.Fatalf("streams did not drain %d commands within %v", want, horizon)
+}
+
+// checkStreams verifies the batched-agreement reduction: every correct
+// replica's committed stream is a prefix of the longest one, and the
+// first total commands of that stream are a permutation-free sequencing
+// of the submitted commands — each submitted command exactly once.
+func checkStreams(t *testing.T, bs []*BatchingReplica, correct proc.Set, submitted []Value) {
+	t.Helper()
+	var ref []Value
+	for _, b := range bs {
+		if correct.Has(b.ID()) && len(b.Decided()) > len(ref) {
+			ref = b.Decided()
+		}
+	}
+	for _, b := range bs {
+		if !correct.Has(b.ID()) {
+			continue
+		}
+		out := b.Decided()
+		for i, v := range out {
+			if ref[i] != v {
+				t.Fatalf("replica %v diverges at position %d: %d vs %d", b.ID(), i, v, ref[i])
+			}
+		}
+	}
+	want := make(map[Value]int)
+	for _, v := range submitted {
+		want[v]++
+	}
+	for i, v := range ref[:len(submitted)] {
+		if want[v] == 0 {
+			t.Fatalf("stream position %d: command %d duplicated or never submitted", i, v)
+		}
+		want[v]--
+	}
+}
+
+// TestBatchingCommitsAll: commands submitted across all replicas drain
+// into one agreed stream with every command exactly once.
+func TestBatchingCommitsAll(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		const n, total = 3, 90
+		bs, e := buildBatching(n, BatchPolicy{MaxBatch: 8, Seed: seed}, nil, seed)
+		var submitted []Value
+		for i := 0; i < total; i++ {
+			v := Value(int64(i) + 1000)
+			bs[i%n].Submit(v)
+			submitted = append(submitted, v)
+		}
+		drainUntil(t, e, bs, proc.Universe(n), total, 4000*ms)
+		checkStreams(t, bs, proc.Universe(n), submitted)
+	}
+}
+
+// TestBatchingPipelined: batching composed with pipeline depth 3 — the
+// throughput configuration the benchmarks run — still yields one agreed,
+// complete stream.
+func TestBatchingPipelined(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		const n, total = 3, 120
+		bs, e := buildBatching(n, BatchPolicy{MaxBatch: 16, Seed: seed}, nil, seed+50)
+		for _, b := range bs {
+			b.SetPipeline(3)
+		}
+		var submitted []Value
+		for i := 0; i < total; i++ {
+			v := Value(int64(i) + 5000)
+			bs[i%n].Submit(v)
+			submitted = append(submitted, v)
+		}
+		drainUntil(t, e, bs, proc.Universe(n), total, 4000*ms)
+		checkStreams(t, bs, proc.Universe(n), submitted)
+	}
+}
+
+// TestBatchingWithCrashes: a minority crash does not lose or reorder the
+// survivors' submitted commands.
+func TestBatchingWithCrashes(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		const n = 5
+		crash := map[proc.ID]async.Time{4: 60 * ms}
+		bs, e := buildBatching(n, BatchPolicy{MaxBatch: 4, Seed: seed}, crash, seed)
+		var submitted []Value
+		for i := 0; i < 40; i++ {
+			v := Value(int64(i) + 7000)
+			bs[i%(n-1)].Submit(v) // survivors only; a crashed client's queue dies with it
+			submitted = append(submitted, v)
+		}
+		drainUntil(t, e, bs, e.Correct(), len(submitted), 8000*ms)
+		checkStreams(t, bs, e.Correct(), submitted)
+	}
+}
+
+// TestBatchingSealPolicy: a short queue seals after the seeded hold, a
+// full queue seals immediately, and a full window pauses sealing.
+func TestBatchingSealPolicy(t *testing.T) {
+	bs, _ := NewBatchingReplicas(1, quietWeak(1, 1), BatchPolicy{MaxBatch: 4, Window: 2, HoldFor: 3, Seed: 9})
+	b := bs[0]
+	for i := 0; i < 9; i++ {
+		b.Submit(Value(int64(i)))
+	}
+	b.sealTick()
+	if len(b.open) != 2 || len(b.open[0].Cmds) != 4 || len(b.open[1].Cmds) != 4 {
+		t.Fatalf("full batches: open=%d", len(b.open))
+	}
+	if b.Backlog() != 1 {
+		t.Fatalf("backlog = %d, want 1", b.Backlog())
+	}
+	// Window full: the short remainder must wait.
+	for i := 0; i < 10; i++ {
+		b.sealTick()
+	}
+	if len(b.open) != 2 {
+		t.Fatalf("sealed past the window: open=%d", len(b.open))
+	}
+	// Retire one batch; the short remainder seals within HoldFor ticks.
+	b.retire(b.open[0].ID)
+	for i := 0; i < 3 && b.Backlog() > 0; i++ {
+		b.sealTick()
+	}
+	if b.Backlog() != 0 || len(b.open) != 2 {
+		t.Fatalf("short seal failed: backlog=%d open=%d", b.Backlog(), len(b.open))
+	}
+	if got := len(b.open[1].Cmds); got != 1 {
+		t.Fatalf("short batch carries %d commands, want 1", got)
+	}
+}
+
+// TestPipelinedLogsAgree: the plain replicated log under pipeline depth 3
+// keeps per-slot agreement and validity on clean runs.
+func TestPipelinedLogsAgree(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rs, e, cmds := build(4, nil, seed)
+		for _, r := range rs {
+			r.SetPipeline(3)
+		}
+		e.RunUntil(800 * ms)
+		correct := proc.Universe(4)
+		verifyLogs(t, rs, correct, 4, cmds, true)
+		if f := minFrontier(rs, correct); f < 5 {
+			t.Fatalf("seed=%d: frontier only %d with pipelining", seed, f)
+		}
+	}
+}
+
+// TestPipelinedCorruptedStartRecovers: corruption of every replica —
+// lookahead included — still leaves an advancing, agreed log.
+func TestPipelinedCorruptedStartRecovers(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		crash := map[proc.ID]async.Time{2: 40 * ms}
+		rs, e, cmds := build(5, crash, seed)
+		for _, r := range rs {
+			r.SetPipeline(4)
+		}
+		rng := rand.New(rand.NewSource(seed * 23))
+		for _, r := range rs {
+			r.Corrupt(rng)
+		}
+		e.RunUntil(300 * ms)
+		before := minFrontier(rs, e.Correct())
+		e.RunUntil(1200 * ms)
+		after := minFrontier(rs, e.Correct())
+		if after <= before {
+			t.Fatalf("seed=%d: no post-corruption progress (%d → %d)", seed, before, after)
+		}
+		verifyLogs(t, rs, e.Correct(), 5, cmds, false)
+	}
+}
+
+// TestPipelineHoldsDecisionOrder: a lookahead instance that decides
+// before the commit slot holds its decision out of the log until its
+// turn — the log never acquires a slot above an undecided one.
+func TestPipelineHoldsDecisionOrder(t *testing.T) {
+	rs, _, _ := build(3, nil, 3)
+	r := rs[0]
+	r.SetPipeline(3)
+	if len(r.aux) != 2 {
+		t.Fatalf("lookahead window = %d instances, want 2", len(r.aux))
+	}
+	in := r.aux[r.cur+1]
+	in.decided, in.decRound, in.decVal = true, 0, 42
+	r.syncCursor()
+	if _, ok := r.Get(r.cur + 1); ok {
+		t.Fatal("held decision leaked into the log before its slot's turn")
+	}
+	// Decide the commit slot: both decisions must now commit, in order.
+	r.inst.decided, r.inst.decRound, r.inst.decVal = true, 0, 41
+	r.syncCursor()
+	if v, ok := r.Get(0); !ok || v != 41 {
+		t.Fatalf("slot 0 = %d,%v want 41", v, ok)
+	}
+	if v, ok := r.Get(1); !ok || v != 42 {
+		t.Fatalf("slot 1 = %d,%v want 42 (promoted held decision)", v, ok)
+	}
+	if r.CurrentSlot() != 2 {
+		t.Fatalf("cursor = %d, want 2", r.CurrentSlot())
+	}
+}

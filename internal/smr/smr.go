@@ -99,6 +99,13 @@ type instance struct {
 	acks       proc.Set
 	nacks      proc.Set
 	gotPropose *ctcons.ProposeMsg
+
+	// A pipelined (lookahead) instance that reaches a decision holds it
+	// here until the commit cursor arrives at its slot: decisions enter
+	// the log strictly in slot order, so pipelining never mints holes.
+	decided  bool
+	decRound uint64
+	decVal   Value
 }
 
 func newInstance(est Value) *instance {
@@ -119,6 +126,8 @@ type Replica struct {
 	log  map[uint64]entry
 	cur  uint64 // slot the active instance is for (derived; see syncCursor)
 	inst *instance
+	pipe int                  // pipeline depth; ≤ 1 means no lookahead
+	aux  map[uint64]*instance // lookahead instances for slots cur+1 .. cur+pipe-1
 }
 
 var _ async.Proc = (*Replica)(nil)
@@ -134,6 +143,7 @@ func NewReplicas(n int, cmds CommandSource, weak detector.WeakDetector) ([]*Repl
 			cmds: cmds,
 			det:  detector.NewStrongCore(proc.ID(i), n, weak),
 			log:  make(map[uint64]entry),
+			aux:  make(map[uint64]*instance),
 		}
 		rs[i].syncCursor()
 		aps[i] = rs[i]
@@ -176,22 +186,77 @@ func (r *Replica) majority() int { return r.n/2 + 1 }
 
 func (r *Replica) coord(round uint64) proc.ID { return proc.ID(round % uint64(r.n)) }
 
-// syncCursor recomputes the working slot from the log lattice and
-// (re)creates the instance when the slot changed. The cursor is never
+// SetPipeline sets how many consecutive slots the replica drives
+// concurrently: while slot cur finalizes, the instances for the next d-1
+// slots already run their round agreement. A lookahead decision is held
+// in its instance and committed strictly in slot order, so the log
+// lattice never grows holes, and depth 1 (the default) behaves — message
+// for message — exactly like the unpipelined replica.
+func (r *Replica) SetPipeline(d int) {
+	if d < 1 {
+		d = 1
+	}
+	r.pipe = d
+	r.syncCursor()
+}
+
+func (r *Replica) depth() int {
+	if r.pipe < 1 {
+		return 1
+	}
+	return r.pipe
+}
+
+// syncCursor recomputes the working slot from the log lattice,
+// (re)creates or promotes instances when the slot changed, and commits
+// any held lookahead decisions whose turn has come. The cursor is never
 // trusted as stored state — this is what makes its corruption harmless.
 func (r *Replica) syncCursor() {
-	want := uint64(0)
-	if f, ok := r.Frontier(); ok {
-		want = f + 1
+	for {
+		want := uint64(0)
+		if f, ok := r.Frontier(); ok {
+			want = f + 1
+		}
+		if r.inst == nil || r.cur != want {
+			if in, ok := r.aux[want]; ok {
+				// Promote the lookahead instance: its in-flight round
+				// work (and possibly its held decision) carries over.
+				delete(r.aux, want)
+				r.inst = in
+			} else {
+				r.inst = newInstance(r.cmds(r.id, want))
+			}
+			r.cur = want
+		}
+		if !r.inst.decided {
+			break
+		}
+		// Its turn in the commit order: the held decision enters the log
+		// and the cursor re-derives against the new frontier.
+		r.adopt(SlotDecision{Slot: r.cur, Round: r.inst.decRound, Val: r.inst.decVal})
+		r.inst = nil
 	}
-	if r.inst == nil || r.cur != want {
-		r.cur = want
-		r.inst = newInstance(r.cmds(r.id, want))
+	// Reconcile the lookahead window [cur+1, cur+depth-1].
+	if d := uint64(r.depth()); d > 1 {
+		for s := range r.aux {
+			if s <= r.cur || s >= r.cur+d {
+				delete(r.aux, s)
+			}
+		}
+		for s := r.cur + 1; s < r.cur+d; s++ {
+			if _, ok := r.aux[s]; ok {
+				continue
+			}
+			if _, done := r.log[s]; done {
+				continue
+			}
+			r.aux[s] = newInstance(r.cmds(r.id, s))
+		}
 	}
 	// Prune below the gossip window: retained ⟺ reconciled.
-	if want > GossipWindow {
+	if r.cur > GossipWindow {
 		for s := range r.log {
-			if s < want-GossipWindow {
+			if s < r.cur-GossipWindow {
 				delete(r.log, s)
 			}
 		}
@@ -229,26 +294,56 @@ func (r *Replica) OnTick(ctx async.Context) {
 		}
 	}
 
-	// Drive the current slot's instance (ctcons OnTick, slot-wrapped).
-	in := r.inst
+	// Drive the pipeline: the commit slot first, then the lookahead slots
+	// in increasing order. Slots are collected up front because a decision
+	// mid-drive promotes a lookahead instance out of aux (it is then
+	// driven again on the next tick, not twice in this one).
+	r.driveInstance(ctx, r.cur, r.inst)
+	if len(r.aux) > 0 {
+		slots := make([]uint64, 0, len(r.aux))
+		for s := range r.aux {
+			slots = append(slots, s)
+		}
+		for i := 1; i < len(slots); i++ {
+			for j := i; j > 0 && slots[j] < slots[j-1]; j-- {
+				slots[j], slots[j-1] = slots[j-1], slots[j]
+			}
+		}
+		for _, s := range slots {
+			if in, ok := r.aux[s]; ok {
+				r.driveInstance(ctx, s, in)
+			}
+		}
+	}
+}
+
+// driveInstance is one ctcons tick for one slot's instance (slot-wrapped
+// messages). For the commit slot a majority of acks adopts the decision
+// at once (via syncCursor); for a lookahead slot it is held in the
+// instance until the commit order reaches it.
+func (r *Replica) driveInstance(ctx async.Context, slot uint64, in *instance) {
+	if in.decided {
+		// Held lookahead decision: finished locally, waiting its turn.
+		return
+	}
 	// Sanitize (mechanism 3).
 	if in.ts > in.round {
 		in.ts = in.round
 	}
 	c := r.coord(in.round)
 
-	ctx.Broadcast(SlotMsg{Slot: r.cur, Inner: ctcons.RoundMsg{Round: in.round}})
-	ctx.Send(c, SlotMsg{Slot: r.cur, Inner: ctcons.EstimateMsg{Round: in.round, Val: in.estimate, TS: in.ts}})
+	ctx.Broadcast(SlotMsg{Slot: slot, Inner: ctcons.RoundMsg{Round: in.round}})
+	ctx.Send(c, SlotMsg{Slot: slot, Inner: ctcons.EstimateMsg{Round: in.round, Val: in.estimate, TS: in.ts}})
 
 	if c != r.id && r.det.Suspects().Has(c) {
-		ctx.Send(c, SlotMsg{Slot: r.cur, Inner: ctcons.NackMsg{Round: in.round}})
-		r.advance(in.round + 1)
+		ctx.Send(c, SlotMsg{Slot: slot, Inner: ctcons.NackMsg{Round: in.round}})
+		in.advance(in.round + 1)
 		return
 	}
 	if in.gotPropose != nil && in.gotPropose.Round == in.round {
 		in.estimate = in.gotPropose.Val
 		in.ts = in.round
-		ctx.Send(c, SlotMsg{Slot: r.cur, Inner: ctcons.AckMsg{Round: in.round}})
+		ctx.Send(c, SlotMsg{Slot: slot, Inner: ctcons.AckMsg{Round: in.round}})
 	}
 	if c == r.id {
 		if !in.proposed && len(in.estimates) >= r.majority() {
@@ -256,22 +351,21 @@ func (r *Replica) OnTick(ctx async.Context) {
 			in.proposed = true
 		}
 		if in.proposed {
-			ctx.Broadcast(SlotMsg{Slot: r.cur, Inner: ctcons.ProposeMsg{Round: in.round, Val: in.propVal}})
+			ctx.Broadcast(SlotMsg{Slot: slot, Inner: ctcons.ProposeMsg{Round: in.round, Val: in.propVal}})
 		}
 		if in.proposed && in.acks.Len() >= r.majority() {
-			r.adopt(SlotDecision{Slot: r.cur, Round: in.round, Val: in.propVal})
-			r.syncCursor()
+			in.decided, in.decRound, in.decVal = true, in.round, in.propVal
+			r.syncCursor() // commits in slot order; a lookahead slot waits its turn
 			return
 		}
 		if in.proposed && in.nacks.Len() > 0 && in.acks.Len()+in.nacks.Len() >= r.majority() {
-			r.advance(in.round + 1)
+			in.advance(in.round + 1)
 		}
 	}
 }
 
 // advance abandons the instance's current round.
-func (r *Replica) advance(round uint64) {
-	in := r.inst
+func (in *instance) advance(round uint64) {
 	in.round = round
 	in.proposed = false
 	in.estimates = make(map[proc.ID]ctcons.EstimateMsg)
@@ -292,30 +386,38 @@ func (r *Replica) OnMessage(ctx async.Context, from proc.ID, payload any) {
 		}
 		r.syncCursor()
 	case SlotMsg:
-		if m.Slot != r.cur {
-			// A slot we've already decided: answer with its decision so
-			// laggards catch up even outside the gossip window.
-			if e, ok := r.log[m.Slot]; ok {
-				ctx.Send(from, LogGossip{Entries: []SlotDecision{
-					{Slot: m.Slot, Round: e.round, Val: e.val},
-				}})
-			}
+		if m.Slot == r.cur {
+			r.onSlotMessage(r.inst, from, m.Inner)
 			return
 		}
-		r.onSlotMessage(from, m.Inner)
+		if in, ok := r.aux[m.Slot]; ok {
+			r.onSlotMessage(in, from, m.Inner)
+			return
+		}
+		// A slot we've already decided: answer with its decision so
+		// laggards catch up even outside the gossip window.
+		if e, ok := r.log[m.Slot]; ok {
+			ctx.Send(from, LogGossip{Entries: []SlotDecision{
+				{Slot: m.Slot, Round: e.round, Val: e.val},
+			}})
+		}
 	}
 }
 
-func (r *Replica) onSlotMessage(from proc.ID, inner any) {
-	in := r.inst
+func (r *Replica) onSlotMessage(in *instance, from proc.ID, inner any) {
+	if in.decided {
+		// A held lookahead decision is final; late round traffic for the
+		// slot is irrelevant to it.
+		return
+	}
 	switch m := inner.(type) {
 	case ctcons.RoundMsg:
 		if m.Round > in.round {
-			r.advance(m.Round)
+			in.advance(m.Round)
 		}
 	case ctcons.EstimateMsg:
 		if m.Round > in.round {
-			r.advance(m.Round)
+			in.advance(m.Round)
 		}
 		if m.Round == in.round && r.coord(in.round) == r.id {
 			e := m
@@ -326,7 +428,7 @@ func (r *Replica) onSlotMessage(from proc.ID, inner any) {
 		}
 	case ctcons.ProposeMsg:
 		if m.Round > in.round {
-			r.advance(m.Round)
+			in.advance(m.Round)
 		}
 		if m.Round == in.round && from == r.coord(in.round) {
 			prop := m
@@ -338,7 +440,7 @@ func (r *Replica) onSlotMessage(from proc.ID, inner any) {
 		}
 	case ctcons.NackMsg:
 		if m.Round > in.round {
-			r.advance(m.Round)
+			in.advance(m.Round)
 		}
 		if m.Round == in.round && r.coord(in.round) == r.id {
 			in.nacks.Add(from)
@@ -357,6 +459,13 @@ func (r *Replica) Corrupt(rng *rand.Rand) {
 	r.inst.ts = uint64(rng.Int63n(MaxCorruptSlot))
 	r.inst.proposed = rng.Intn(2) == 0
 	r.inst.propVal = Value(rng.Int63n(1 << 20))
+	// The lookahead window is derived state too: drop it and let
+	// syncCursor rebuild it (a corrupted lookahead instance is
+	// indistinguishable from a fresh one to the protocol, and clearing
+	// keeps the rng stream identical to the unpipelined replica).
+	if len(r.aux) > 0 {
+		r.aux = make(map[uint64]*instance)
+	}
 	// Poison a few log entries, including possibly a far-future slot.
 	for i := 0; i < 3; i++ {
 		if rng.Intn(2) == 0 {
@@ -387,7 +496,13 @@ func pick(ests map[proc.ID]ctcons.EstimateMsg) Value {
 	}
 	for _, q := range ids {
 		e := ests[q]
-		if best == proc.None || e.TS > bestTS {
+		if best == proc.None || e.TS > bestTS ||
+			(e.TS == bestTS && ests[best].Val == NoOp && e.Val != NoOp) {
+			// Highest timestamp wins (a locked estimate must prevail for
+			// safety); on ties, a real proposal beats the batching
+			// frontend's NoOp sentinel so open batches are not starved by
+			// lower-ID idle replicas. Any tie-break is safe here — every
+			// estimate in the map came from the majority.
 			best, bestTS = q, e.TS
 		}
 	}

@@ -76,7 +76,7 @@ func (rc RepeatedConsensus) Check(h *history.History, lo, hi int, faulty proc.Se
 func (rc RepeatedConsensus) checkIteration(h *history.History, start, end int, iter uint64, faulty proc.Set) error {
 	var agreed *fullinfo.Value
 	var who proc.ID
-	for _, p := range h.Round(end).Alive.Sorted() {
+	for _, p := range h.AliveAt(end).Sorted() {
 		if faulty.Has(p) {
 			continue
 		}
@@ -158,7 +158,7 @@ func (rc RepeatedConsensus) checkIteration(h *history.History, start, end int, i
 // referenceClock returns the clock of the lowest-numbered correct alive
 // process at round r.
 func referenceClock(h *history.History, r int, faulty proc.Set) (uint64, proc.ID, bool) {
-	for _, p := range h.Round(r).Alive.Sorted() {
+	for _, p := range h.AliveAt(r).Sorted() {
 		if faulty.Has(p) {
 			continue
 		}
@@ -216,7 +216,7 @@ func (ra RepeatedAgreement) Check(h *history.History, lo, hi int, faulty proc.Se
 func (rc RepeatedConsensus) checkAgreementOnly(h *history.History, end int, iter uint64, faulty proc.Set) error {
 	var agreed *fullinfo.Value
 	var who proc.ID
-	for _, p := range h.Round(end).Alive.Sorted() {
+	for _, p := range h.AliveAt(end).Sorted() {
 		if faulty.Has(p) {
 			continue
 		}
@@ -296,7 +296,7 @@ func (rb RepeatedBroadcast) Check(h *history.History, lo, hi int, faulty proc.Se
 func (rb RepeatedBroadcast) checkIteration(h *history.History, end int, iter uint64, faulty proc.Set) error {
 	input := rb.Inputs(rb.Protocol.Initiator, iter)
 	delivered, missed := 0, 0
-	for _, p := range h.Round(end).Alive.Sorted() {
+	for _, p := range h.AliveAt(end).Sorted() {
 		if faulty.Has(p) {
 			continue
 		}

@@ -1,0 +1,98 @@
+package superimpose
+
+import (
+	"ftss/internal/core"
+	"ftss/internal/history"
+	"ftss/internal/proc"
+)
+
+// Streaming windows for the Σ⁺ predicates. The batch checkers rescan the
+// whole window per call: a full Assumption 1 pass plus a tile scan from
+// lo. Both decompose: extending [lo, hi-1] to [lo, hi] adds the two new
+// Assumption 1 checks and at most one newly completed tile. The tile
+// scan's decisions at rounds below hi — reference clocks, skipped rounds,
+// tile starts — do not depend on the window end, so a cursor persists
+// across extensions; the single window-dependent clause, the ragged-
+// suffix break when a tile would overrun hi, leaves the cursor in place
+// so the tile is re-attempted once the window reaches its end.
+
+var (
+	_ core.Streaming = RepeatedConsensus{}
+	_ core.Streaming = RepeatedAgreement{}
+	_ core.Streaming = RepeatedBroadcast{}
+)
+
+// repeatedWindow streams any of the repeated Σ⁺ predicates: an
+// Assumption 1 window plus the persistent tile cursor.
+type repeatedWindow struct {
+	h      *history.History
+	faulty proc.Set
+	ra     core.WindowChecker
+	fr     int
+	scanR  int
+	// checkTile validates the completed iteration spanning [start, end].
+	checkTile func(start, end int, iter uint64) error
+}
+
+func newRepeatedWindow(h *history.History, lo int, faulty proc.Set, fr int, checkTile func(start, end int, iter uint64) error) *repeatedWindow {
+	return &repeatedWindow{
+		h:      h,
+		faulty: faulty,
+		ra:     core.RoundAgreement{}.NewWindow(h, lo, faulty),
+		fr:     fr,
+		scanR:  lo,
+		checkTile: checkTile,
+	}
+}
+
+// Extend implements core.WindowChecker.
+func (w *repeatedWindow) Extend(hi int) error {
+	if err := w.ra.Extend(hi); err != nil {
+		return err
+	}
+	for w.scanR <= hi {
+		clock, _, ok := referenceClock(w.h, w.scanR, w.faulty)
+		if !ok {
+			w.scanR++
+			continue
+		}
+		if Normalize(clock, w.fr) != 1 {
+			w.scanR++
+			continue
+		}
+		end := w.scanR + w.fr - 1
+		if end > hi {
+			break // ragged suffix: retry once the window reaches end
+		}
+		if err := w.checkTile(w.scanR, end, Iteration(clock, w.fr)); err != nil {
+			return err
+		}
+		w.scanR = end + 1
+	}
+	return nil
+}
+
+// NewWindow implements core.Streaming.
+func (rc RepeatedConsensus) NewWindow(h *history.History, lo int, faulty proc.Set) core.WindowChecker {
+	return newRepeatedWindow(h, lo, faulty, rc.FinalRound,
+		func(start, end int, iter uint64) error {
+			return rc.checkIteration(h, start, end, iter, faulty)
+		})
+}
+
+// NewWindow implements core.Streaming.
+func (ra RepeatedAgreement) NewWindow(h *history.History, lo int, faulty proc.Set) core.WindowChecker {
+	rc := RepeatedConsensus{FinalRound: ra.FinalRound}
+	return newRepeatedWindow(h, lo, faulty, ra.FinalRound,
+		func(_, end int, iter uint64) error {
+			return rc.checkAgreementOnly(h, end, iter, faulty)
+		})
+}
+
+// NewWindow implements core.Streaming.
+func (rb RepeatedBroadcast) NewWindow(h *history.History, lo int, faulty proc.Set) core.WindowChecker {
+	return newRepeatedWindow(h, lo, faulty, rb.Protocol.FinalRound(),
+		func(_, end int, iter uint64) error {
+			return rb.checkIteration(h, end, iter, faulty)
+		})
+}

@@ -18,6 +18,44 @@ import (
 // The returned error is the first per-segment violation, mirroring
 // core.CheckFTSS (which evaluates the identical windows).
 func Events(sink obs.Sink, h *history.History, sigma core.Problem, stab int) error {
+	if stab >= 1 {
+		return EventsFrom(sink, core.EvalIncremental(h, sigma, stab))
+	}
+	// Degenerate budgets (< 1, which CheckFTSS rejects) keep the legacy
+	// clamped-window reading for stream compatibility.
+	return eventsLegacy(sink, h, sigma, stab)
+}
+
+// EventsFrom renders the event stream from an incremental checker's
+// accumulated per-segment verdicts instead of re-evaluating every window:
+// emitting the stream costs O(segments), so progressive harnesses can
+// publish it repeatedly as the history grows. The stream and returned
+// error are byte-identical to Events on the same history.
+func EventsFrom(sink obs.Sink, ic *core.IncrementalChecker) error {
+	h := ic.History()
+	for _, r := range h.DestabilizingRounds() {
+		sink.Emit(obs.Event{Kind: "coterie_change", T: uint64(r), P: -1,
+			Fields: []obs.KV{{K: "coterie", V: int64(h.CoterieAtView(r).Len())}}})
+	}
+	for _, m := range h.SystemicFailureMarks() {
+		sink.Emit(obs.Event{Kind: "systemic", T: uint64(m), P: -1})
+	}
+
+	var firstErr error
+	for _, seg := range ic.Segments() {
+		emitSegmentOpen(sink, seg.Start, seg.End, seg.Coterie.Len())
+		if seg.Err != nil && firstErr == nil {
+			firstErr = seg.Err
+		}
+		emitSegmentClose(sink, seg.Start, seg.End, seg.Err)
+	}
+
+	emitVerdict(sink, h.Len(), ic.Problem().Name(), ic.Stab(), firstErr == nil, ic.Measure())
+	return firstErr
+}
+
+// eventsLegacy is the original batch evaluation, retained for stab < 1.
+func eventsLegacy(sink obs.Sink, h *history.History, sigma core.Problem, stab int) error {
 	for _, r := range h.DestabilizingRounds() {
 		sink.Emit(obs.Event{Kind: "coterie_change", T: uint64(r), P: -1,
 			Fields: []obs.KV{{K: "coterie", V: int64(h.CoterieAtView(r).Len())}}})
@@ -28,11 +66,7 @@ func Events(sink obs.Sink, h *history.History, sigma core.Problem, stab int) err
 
 	var firstErr error
 	for _, seg := range h.StableSegments() {
-		sink.Emit(obs.Event{Kind: "segment_open", T: uint64(seg.Start), P: -1,
-			Fields: []obs.KV{
-				{K: "end", V: int64(seg.End)},
-				{K: "coterie", V: int64(seg.Coterie.Len())},
-			}})
+		emitSegmentOpen(sink, seg.Start, seg.End, seg.Coterie.Len())
 		// The same windows CheckFTSS enforces, restricted to this segment.
 		segErr := func() error {
 			lo := seg.Start + stab
@@ -46,28 +80,44 @@ func Events(sink obs.Sink, h *history.History, sigma core.Problem, stab int) err
 			}
 			return nil
 		}()
-		ok := int64(1)
-		detail := ""
-		if segErr != nil {
-			ok = 0
-			detail = segErr.Error()
-			if firstErr == nil {
-				firstErr = segErr
-			}
+		if segErr != nil && firstErr == nil {
+			firstErr = segErr
 		}
-		sink.Emit(obs.Event{Kind: "segment_close", T: uint64(seg.End), P: -1, Detail: detail,
-			Fields: []obs.KV{
-				{K: "start", V: int64(seg.Start)},
-				{K: "ok", V: ok},
-			}})
+		emitSegmentClose(sink, seg.Start, seg.End, segErr)
 	}
 
-	m := core.MeasureStabilization(h, sigma)
+	emitVerdict(sink, h.Len(), sigma.Name(), stab, firstErr == nil, core.MeasureStabilization(h, sigma))
+	return firstErr
+}
+
+func emitSegmentOpen(sink obs.Sink, start, end, coterie int) {
+	sink.Emit(obs.Event{Kind: "segment_open", T: uint64(start), P: -1,
+		Fields: []obs.KV{
+			{K: "end", V: int64(end)},
+			{K: "coterie", V: int64(coterie)},
+		}})
+}
+
+func emitSegmentClose(sink obs.Sink, start, end int, segErr error) {
+	ok := int64(1)
+	detail := ""
+	if segErr != nil {
+		ok = 0
+		detail = segErr.Error()
+	}
+	sink.Emit(obs.Event{Kind: "segment_close", T: uint64(end), P: -1, Detail: detail,
+		Fields: []obs.KV{
+			{K: "start", V: int64(start)},
+			{K: "ok", V: ok},
+		}})
+}
+
+func emitVerdict(sink obs.Sink, length int, name string, stab int, ok bool, m core.StabilizationMeasurement) {
 	verdict := int64(1)
-	if firstErr != nil {
+	if !ok {
 		verdict = 0
 	}
-	sink.Emit(obs.Event{Kind: "verdict", T: uint64(h.Len()), P: -1, Detail: sigma.Name(),
+	sink.Emit(obs.Event{Kind: "verdict", T: uint64(length), P: -1, Detail: name,
 		Fields: []obs.KV{
 			{K: "ok", V: verdict},
 			{K: "stab_budget", V: int64(stab)},
@@ -75,5 +125,4 @@ func Events(sink obs.Sink, h *history.History, sigma core.Problem, stab int) err
 			{K: "satisfied_from", V: int64(m.SatisfiedFrom)},
 			{K: "measured_stab", V: int64(m.Rounds)},
 		}})
-	return firstErr
 }

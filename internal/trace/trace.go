@@ -54,14 +54,14 @@ func Timeline(w io.Writer, h *history.History, opt Options) {
 	for r := from; r <= to; r++ {
 		var parts []string
 		parts = append(parts, fmt.Sprintf("r%-3d", r))
-		o := h.Round(r)
+		alive := h.AliveAt(r)
 		for _, p := range proc.Universe(h.N()).Sorted() {
-			if !o.Alive.Has(p) {
+			if !alive.Has(p) {
 				parts = append(parts, fmt.Sprintf("p%d:†", int(p)))
 				continue
 			}
 			cell := fmt.Sprintf("p%d:", int(p))
-			snap := o.Start[p]
+			snap, _ := h.SnapshotAt(r, p)
 			if opt.Clocks {
 				cell += fmt.Sprintf("c=%d", snap.Clock)
 			}
@@ -80,8 +80,8 @@ func Timeline(w io.Writer, h *history.History, opt Options) {
 		if opt.Coterie {
 			parts = append(parts, "coterie="+h.CoterieAt(r).String())
 		}
-		if o.Deviated.Len() > 0 {
-			parts = append(parts, "deviated="+o.Deviated.String())
+		if dev := h.DeviatedAt(r); dev.Len() > 0 {
+			parts = append(parts, "deviated="+dev.String())
 		}
 		fmt.Fprintln(w, strings.Join(parts, "  "))
 	}
@@ -100,17 +100,26 @@ func Segments(w io.Writer, h *history.History) {
 }
 
 // Verdict writes the Definition 2.4 verdict and the measured stabilization
-// for the final stable segment.
+// for the final stable segment. The one-shot streaming evaluation lands on
+// the same verdict as core.CheckFTSS, byte for byte.
 func Verdict(w io.Writer, h *history.History, sigma core.Problem, stab int) error {
-	err := core.CheckFTSS(h, sigma, stab)
+	return VerdictFrom(w, core.EvalIncremental(h, sigma, stab))
+}
+
+// VerdictFrom writes the verdict accumulated by an incremental checker —
+// for harnesses that keep a checker attached to a growing history and
+// report progressively without re-evaluating windows. The output is
+// byte-identical to Verdict on the same history.
+func VerdictFrom(w io.Writer, ic *core.IncrementalChecker) error {
+	err := ic.Verdict()
 	if err == nil {
 		fmt.Fprintf(w, "ftss-solves %q with stabilization time %d: SATISFIED\n",
-			sigma.Name(), stab)
+			ic.Problem().Name(), ic.Stab())
 	} else {
 		fmt.Fprintf(w, "ftss-solves %q with stabilization time %d: VIOLATED\n  %v\n",
-			sigma.Name(), stab, err)
+			ic.Problem().Name(), ic.Stab(), err)
 	}
-	m := core.MeasureStabilization(h, sigma)
+	m := ic.Measure()
 	if m.Rounds >= 0 {
 		fmt.Fprintf(w, "final segment: event at round %d, Σ satisfied from round %d (%d round(s))\n",
 			m.EventRound, m.SatisfiedFrom, m.Rounds)
