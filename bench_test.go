@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"ftss/internal/analysis"
 	"ftss/internal/core"
 	"ftss/internal/ctcons"
 	"ftss/internal/detector"
@@ -722,6 +723,54 @@ func BenchmarkWireEncode(b *testing.B) {
 	}
 	if len(buf) == 0 {
 		b.Fatal("empty frame")
+	}
+}
+
+// BenchmarkLintRepo: the static-analysis gate's own cost on the lint
+// fixture corpus. The analyze sub-bench isolates the analyzer passes on
+// preloaded packages (parse and type-check excluded); the workers
+// sub-benches run the full parse→type-check→lint pipeline through the
+// parallel loader, whose merged output is worker-count invariant, so
+// they measure pure wall-time scaling.
+func BenchmarkLintRepo(b *testing.B) {
+	corpus := []string{
+		"internal/analysis/testdata/src/chandiscipline",
+		"internal/analysis/testdata/src/guardedby",
+		"internal/analysis/testdata/src/maporder",
+		"internal/analysis/testdata/src/wallclock",
+	}
+	b.Run("analyze", func(b *testing.B) {
+		l, err := analysis.NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pkgs []*analysis.Package
+		for _, d := range corpus {
+			p, err := l.LoadDir(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkgs = append(pkgs, p)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(analysis.Lint(pkgs)) == 0 {
+				b.Fatal("fixture corpus produced no findings")
+			}
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, diags, err := analysis.LintDirs(".", corpus, workers, analysis.All())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(diags) == 0 {
+					b.Fatal("fixture corpus produced no findings")
+				}
+			}
+		})
 	}
 }
 

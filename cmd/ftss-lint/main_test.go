@@ -10,6 +10,7 @@ import (
 const (
 	cleanFixture     = "internal/analysis/testdata/src/clean"
 	wallclockFixture = "internal/analysis/testdata/src/wallclock"
+	guardedbyFixture = "internal/analysis/testdata/src/guardedby"
 )
 
 func runLint(t *testing.T, args ...string) (int, string) {
@@ -94,6 +95,61 @@ func TestStableOutput(t *testing.T) {
 	_, second := runLint(t, "-json", wallclockFixture, cleanFixture)
 	if first != second {
 		t.Errorf("output differs across runs:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+}
+
+// TestWorkersByteIdentical is the acceptance gate for the parallel
+// loader: the merged report is byte-for-byte the same for any -workers
+// value, including the sequential path.
+func TestWorkersByteIdentical(t *testing.T) {
+	dirs := []string{wallclockFixture, guardedbyFixture, cleanFixture}
+	_, seq := runLint(t, append([]string{"-json", "-workers", "1"}, dirs...)...)
+	for _, w := range []string{"2", "8"} {
+		_, par := runLint(t, append([]string{"-json", "-workers", w}, dirs...)...)
+		if par != seq {
+			t.Errorf("-workers %s output differs from -workers 1:\n--- workers=1\n%s\n--- workers=%s\n%s", w, seq, w, par)
+		}
+	}
+}
+
+// TestTierFilter pins the -tier flag: the conc tier flags the guardedby
+// fixture, the det tier passes it (conc analyzers filtered out), and
+// the report records which tier ran.
+func TestTierFilter(t *testing.T) {
+	code, out := runLint(t, "-json", "-tier", "conc", guardedbyFixture)
+	if code != 1 {
+		t.Fatalf("-tier conc on guardedby fixture: exit %d, want 1\n%s", code, out)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if rep.Tier != "conc" || rep.ConcPackages != 1 || rep.DetPackages != 0 {
+		t.Errorf("Tier = %q, ConcPackages = %d, DetPackages = %d, want conc, 1, 0", rep.Tier, rep.ConcPackages, rep.DetPackages)
+	}
+	for _, a := range rep.Analyzers {
+		switch a {
+		case "guardedby", "atomicmix", "chandiscipline", "waitbalance", "directive":
+		default:
+			t.Errorf("-tier conc ran det analyzer %s", a)
+		}
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Analyzer != "guardedby" && d.Analyzer != "directive" {
+			t.Errorf("unexpected analyzer in findings: %+v", d)
+		}
+	}
+
+	code, out = runLint(t, "-tier", "det", guardedbyFixture)
+	if code != 0 {
+		t.Fatalf("-tier det on guardedby fixture: exit %d, want 0 (conc analyzers filtered)\n%s", code, out)
+	}
+}
+
+func TestBadTierExitsTwo(t *testing.T) {
+	code, out := runLint(t, "-tier", "bogus", cleanFixture)
+	if code != 2 {
+		t.Errorf("exit %d on -tier bogus, want 2\n%s", code, out)
 	}
 }
 

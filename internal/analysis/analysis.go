@@ -1,27 +1,42 @@
 // Package analysis implements the ftss-lint analyzer suite: static
 // checks that enforce the repo's determinism contract (DESIGN.md §4,
-// "the determinism contract") and the paper's protocol invariants at
-// every configuration — not just the seeds the dynamic tests happen to
-// sweep. One unseeded rand.Intn, one time.Now, or one unsorted map
-// iteration feeding a rendered table silently breaks reproducibility of
-// the E1–E14 experiment output; this package catches that class of bug
-// at analysis time.
+// "the determinism contract"), its concurrency protocols (§11), and
+// the paper's protocol invariants at every configuration — not just
+// the seeds the dynamic tests happen to sweep. One unseeded rand.Intn,
+// one time.Now, or one unsorted map iteration feeding a rendered table
+// silently breaks reproducibility of the E1–E14 experiment output; one
+// field read outside its mutex is a data race no sampled -race seed
+// reliably catches. This package catches both classes at analysis time.
 //
-// Strictness is per package. A package opts in by carrying a
-// "ftss:det" directive comment (written //-style with no space, like
-// //go:build) in a file header, conventionally the last line of the
-// package doc comment. Packages without the annotation — the wall-clock
-// runtime internal/sim/live, the cmd/ binaries — are exempt from the
-// determinism analyzers. Test files are never analyzed.
+// Strictness is per package, in two tiers. Every internal/... package
+// declares exactly one tier in a file header (written //-style with no
+// space, like //go:build, conventionally the last line of the package
+// doc comment):
+//
+//   - "ftss:det" — the deterministic core. The determinism analyzers
+//     run: nowallclock, seededrand, maporder, nogoroutine, clonealias.
+//   - "ftss:conc" — the concurrent shell (the live runtime, the wire
+//     transport, the cluster layer, telemetry, CLI plumbing). The
+//     concurrency analyzers run: guardedby, atomicmix, chandiscipline,
+//     waitbalance.
+//
+// An internal package with no tier header is itself a finding; cmd/
+// binaries and examples stay exempt. Test files are never analyzed.
 //
 // Escape hatches are directives too: "ftss:orderless <reason>" on a map
-// range whose order provably cannot reach output, and a file-level
+// range whose order provably cannot reach output, a file-level
 // "ftss:pool <reason>" sanctioning goroutine fan-out in a worker-pool
-// file. Every escape hatch must carry a reason; the directive analyzer
-// enforces that.
+// file (such a file also gets the chandiscipline and waitbalance
+// checks, even inside a det package), and "ftss:unguarded <reason>" on
+// a line the concurrency analyzers should not police. Annotations feed
+// the conc tier as well: "ftss:guardedby <mu>" on a struct field binds
+// it to the named sibling mutex. Every escape hatch must carry a
+// reason; the directive analyzer enforces that.
 //
 // Everything here is stdlib-only (go/parser, go/ast, go/types): the
 // module stays dependency-free.
+//
+//ftss:det diagnostics are CI-gated artifacts and must be byte-identical across runs and worker counts
 package analysis
 
 import (
@@ -54,27 +69,57 @@ func (d Diagnostic) String() string {
 type Analyzer struct {
 	Name string
 	Doc  string
+	// Tier is "det", "conc", or "" for checks that always run (the
+	// directive well-formedness analyzer). Tier-scoped analyzers still
+	// decide applicability per package themselves; the field exists for
+	// the CLI's -tier filter and the report.
+	Tier string
 	Run  func(p *Package) []Diagnostic
 }
 
 // All returns every analyzer in name order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AtomicMix,
+		ChanDiscipline,
 		CloneAlias,
 		Directives,
+		GuardedBy,
 		MapOrder,
 		NoGoroutine,
 		NoWallClock,
 		SeededRand,
+		WaitBalance,
 	}
+}
+
+// ForTier returns the analyzers of one tier ("det" or "conc"), plus the
+// tier-independent checks; "all" (or "") returns every analyzer.
+func ForTier(tier string) []*Analyzer {
+	if tier == "all" || tier == "" {
+		return All()
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if a.Tier == tier || a.Tier == "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // Lint runs every analyzer over every package and returns the combined
 // diagnostics in sorted order.
 func Lint(pkgs []*Package) []Diagnostic {
+	return LintWith(pkgs, All())
+}
+
+// LintWith runs the given analyzers over every package and returns the
+// combined diagnostics in sorted order.
+func LintWith(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
 	for _, p := range pkgs {
-		for _, a := range All() {
+		for _, a := range analyzers {
 			out = append(out, a.Run(p)...)
 		}
 	}
@@ -131,23 +176,48 @@ type Package struct {
 	Directives []Directive
 
 	det       bool
+	conc      bool
 	orderless map[string]map[int]Directive
 	pool      map[string]Directive
+	guarded   map[string]map[int]Directive
+	unguarded map[string]map[int]Directive
 }
 
 // Det reports whether the package carries the ftss:det annotation.
 func (p *Package) Det() bool { return p.det }
 
-// OrderlessAt returns the ftss:orderless directive governing a range
-// statement at the given file line: on the same line (trailing comment)
-// or the line directly above.
-func (p *Package) OrderlessAt(file string, line int) (Directive, bool) {
-	byLine := p.orderless[file]
+// Conc reports whether the package carries the ftss:conc annotation.
+func (p *Package) Conc() bool { return p.conc }
+
+// lineDirective looks a directive up by file line: same line (trailing
+// comment) or the line directly above, the attachment convention every
+// line-scoped directive shares.
+func lineDirective(byFile map[string]map[int]Directive, file string, line int) (Directive, bool) {
+	byLine := byFile[file]
 	if d, ok := byLine[line]; ok {
 		return d, true
 	}
 	d, ok := byLine[line-1]
 	return d, ok
+}
+
+// OrderlessAt returns the ftss:orderless directive governing a range
+// statement at the given file line: on the same line (trailing comment)
+// or the line directly above.
+func (p *Package) OrderlessAt(file string, line int) (Directive, bool) {
+	return lineDirective(p.orderless, file, line)
+}
+
+// GuardedByAt returns the ftss:guardedby directive annotating a struct
+// field at the given file line (same line or the line directly above).
+func (p *Package) GuardedByAt(file string, line int) (Directive, bool) {
+	return lineDirective(p.guarded, file, line)
+}
+
+// UnguardedAt returns the ftss:unguarded escape hatch governing the
+// given file line (same line or the line directly above).
+func (p *Package) UnguardedAt(file string, line int) (Directive, bool) {
+	return lineDirective(p.unguarded, file, line)
 }
 
 // PoolDirective returns the file-level ftss:pool directive of the named
@@ -157,24 +227,56 @@ func (p *Package) PoolDirective(file string) (Directive, bool) {
 	return d, ok
 }
 
-// indexDirectives builds the lookup tables behind OrderlessAt and
-// PoolDirective, and the Det flag.
+// concFiles returns the indices of the files subject to the concurrency
+// discipline checks (chandiscipline, waitbalance): every file of a
+// //ftss:conc package, and the //ftss:pool-sanctioned worker-pool files
+// of any other package — a det package's only sanctioned goroutines
+// still owe the channel and WaitGroup protocol.
+func (p *Package) concFiles() []int {
+	var idx []int
+	for i, name := range p.FileNames {
+		if p.conc {
+			idx = append(idx, i)
+			continue
+		}
+		if _, ok := p.pool[name]; ok {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// indexDirectives builds the lookup tables behind the At accessors and
+// the tier flags.
 func (p *Package) indexDirectives() {
 	p.orderless = map[string]map[int]Directive{}
 	p.pool = map[string]Directive{}
+	p.guarded = map[string]map[int]Directive{}
+	p.unguarded = map[string]map[int]Directive{}
+	index := func(m map[string]map[int]Directive, d Directive) {
+		if m[d.File] == nil {
+			m[d.File] = map[int]Directive{}
+		}
+		m[d.File][d.Line] = d
+	}
 	for _, d := range p.Directives {
 		switch d.Kind {
 		case "det":
 			if d.header {
 				p.det = true
 			}
-		case "orderless":
-			if p.orderless[d.File] == nil {
-				p.orderless[d.File] = map[int]Directive{}
+		case "conc":
+			if d.header {
+				p.conc = true
 			}
-			p.orderless[d.File][d.Line] = d
+		case "orderless":
+			index(p.orderless, d)
 		case "pool":
 			p.pool[d.File] = d
+		case "guardedby":
+			index(p.guarded, d)
+		case "unguarded":
+			index(p.unguarded, d)
 		}
 	}
 }

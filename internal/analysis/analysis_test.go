@@ -85,13 +85,18 @@ func fixtureWants(t *testing.T, p *Package) []want {
 // every want must be hit, every diagnostic must be wanted.
 func TestFixtures(t *testing.T) {
 	fixtures := []string{
+		"atomicmix",
+		"chandiscipline",
 		"clean",
 		"clonealias",
 		"directive",
 		"globalrand",
 		"goroutine",
+		"guardedby",
 		"maporder",
 		"nondet",
+		"tierconflict",
+		"waitbalance",
 		"wallclock",
 	}
 	for _, name := range fixtures {
@@ -141,6 +146,45 @@ func TestFixtureDetFlags(t *testing.T) {
 	}
 	if _, ok := p.PoolDirective("internal/analysis/testdata/src/goroutine/goroutine.go"); ok {
 		t.Errorf("goroutine: goroutine.go unexpectedly has a pool directive")
+	}
+}
+
+// TestFixtureConcFlags pins the conc-tier annotation semantics: the
+// conc fixtures are conc and not det, and tierconflict is both (which
+// the directive analyzer then flags).
+func TestFixtureConcFlags(t *testing.T) {
+	for _, name := range []string{"guardedby", "atomicmix", "chandiscipline", "waitbalance"} {
+		p := loadFixture(t, name)
+		if !p.Conc() || p.Det() {
+			t.Errorf("%s: Conc() = %v, Det() = %v, want true, false", name, p.Conc(), p.Det())
+		}
+	}
+	if p := loadFixture(t, "tierconflict"); !p.Conc() || !p.Det() {
+		t.Errorf("tierconflict: Conc() = %v, Det() = %v, want both true", p.Conc(), p.Det())
+	}
+}
+
+// TestUnclassifiedInternalPackage pins the tier requirement: an
+// internal package with no tier header is a finding, while fixture
+// paths (under testdata) and non-internal paths are exempt. The nondet
+// fixture has no tier header, so re-pathing a shallow copy of it
+// simulates each case without touching the loader's cache.
+func TestUnclassifiedInternalPackage(t *testing.T) {
+	base := loadFixture(t, "nondet")
+	run := func(path string) []Diagnostic {
+		q := *base
+		q.Path = path
+		return runDirectives(&q)
+	}
+	if ds := run("ftss/internal/mystery"); len(ds) != 1 ||
+		!strings.Contains(ds[0].Message, "declares no lint tier") {
+		t.Errorf("internal package without tier: diagnostics = %v, want one 'declares no lint tier'", ds)
+	}
+	if ds := run("ftss/internal/analysis/testdata/src/nondet"); len(ds) != 0 {
+		t.Errorf("testdata package: diagnostics = %v, want none", ds)
+	}
+	if ds := run("ftss/cmd/ftss-lint"); len(ds) != 0 {
+		t.Errorf("cmd package: diagnostics = %v, want none", ds)
 	}
 }
 
@@ -254,7 +298,7 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	l := loader(t)
 	var pkgs []*Package
-	det := 0
+	det, conc := 0, 0
 	for _, d := range dirs {
 		p, err := l.LoadDir(d)
 		if err != nil {
@@ -263,10 +307,16 @@ func TestRepoIsClean(t *testing.T) {
 		if p.Det() {
 			det++
 		}
+		if p.Conc() {
+			conc++
+		}
 		pkgs = append(pkgs, p)
 	}
 	if det < 10 {
 		t.Errorf("only %d det packages, want the core packages annotated (>= 10)", det)
+	}
+	if conc < 5 {
+		t.Errorf("only %d conc packages, want the concurrent shell annotated (>= 5: obs, cli, cluster, sim/live, wire/transport)", conc)
 	}
 	// Since the bitset proc.Set made every process-set iteration
 	// ascending by construction, the committed tree carries no reasoned

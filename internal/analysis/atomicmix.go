@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix forbids mixing sync/atomic and plain accesses on the same
+// variable in //ftss:conc packages. A variable whose address is ever
+// passed to a sync/atomic function (atomic.AddUint64(&x, 1), ...) is an
+// atomic variable: every other read or write of it must also go
+// through the atomic API, or the atomics guarantee nothing — the plain
+// access races with them, and the race detector only catches the
+// interleavings a given seed happens to produce.
+//
+// Pass 1 collects every variable addressed inside a sync/atomic call
+// (those identifiers are sanctioned). Pass 2 flags every other mention
+// of those variables in the package, unless the line carries a
+// //ftss:unguarded <reason> hatch (e.g. a read in a snapshot method
+// that runs after all writers have been joined).
+//
+// The typed atomics (atomic.Uint64, atomic.Bool, ...) make this class
+// of bug unrepresentable and pass trivially; prefer them in new code.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "variables touched via sync/atomic in ftss:conc packages are never also accessed non-atomically",
+	Tier: "conc",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(p *Package) []Diagnostic {
+	if !p.Conc() {
+		return nil
+	}
+
+	// Pass 1: variables addressed inside sync/atomic calls. The
+	// identifier nodes inside those calls are the sanctioned mentions.
+	atomicVars := map[types.Object]bool{}
+	sanctioned := map[*ast.Ident]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !p.selectsPackage(sel, "sync/atomic") {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				var id *ast.Ident
+				switch x := un.X.(type) {
+				case *ast.Ident:
+					id = x
+				case *ast.SelectorExpr:
+					id = x.Sel
+				}
+				if id == nil {
+					continue
+				}
+				if obj, ok := p.objOf(id).(*types.Var); ok {
+					atomicVars[obj] = true
+					sanctioned[id] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other mention is a plain access racing the atomics.
+	var out []Diagnostic
+	for i, f := range p.Files {
+		fname := p.FileNames[i]
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			obj, isVar := p.Info.Uses[id].(*types.Var)
+			if !isVar || !atomicVars[obj] {
+				return true
+			}
+			if _, hatched := p.UnguardedAt(fname, p.line(id.Pos())); hatched {
+				return true
+			}
+			out = append(out, p.diag("atomicmix", id.Pos(), fmt.Sprintf(
+				"%s is accessed with sync/atomic elsewhere in this package; this plain access races with those atomics — use the atomic API here too (or a typed atomic), or hatch //ftss:unguarded <reason>",
+				id.Name)))
+			return true
+		})
+	}
+	return out
+}

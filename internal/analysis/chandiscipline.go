@@ -1,0 +1,329 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanDiscipline enforces the channel protocol of the concurrent shell
+// — every file of a //ftss:conc package, plus the //ftss:pool worker
+// files of det packages:
+//
+//   - Single closing owner: un-hatched close(ch) sites for one channel
+//     variable must all live in the same function. Two functions that
+//     can both close the same channel is a double-close panic waiting
+//     on an interleaving (exactly the Stop/Kill overlap class of bug).
+//   - No send after close, per function: a linear walk tracks which
+//     channels a path has closed; a send on one of them is a "send on
+//     closed channel" panic on that path.
+//   - Termination signal: a "for {" loop with no condition must reach
+//     a return, or a break that targets the loop — otherwise the
+//     goroutine running it can never be joined. Loops that range over
+//     a channel terminate when it closes and pass trivially.
+//
+// Each rule is hatched per line with //ftss:unguarded <reason>.
+var ChanDiscipline = &Analyzer{
+	Name: "chandiscipline",
+	Doc:  "channels in ftss:conc packages have one closing owner, no send after close, and no condition-free loop without a termination signal",
+	Tier: "conc",
+	Run:  runChanDiscipline,
+}
+
+func runChanDiscipline(p *Package) []Diagnostic {
+	var out []Diagnostic
+
+	// Close-ownership sites, collected across every in-scope file.
+	type closeSite struct {
+		pos  token.Pos
+		file string
+		fn   *ast.FuncDecl
+	}
+	sites := map[types.Object][]closeSite{}
+	var siteOrder []types.Object // first-seen order, for deterministic iteration
+
+	for _, i := range p.concFiles() {
+		f, fname := p.Files[i], p.FileNames[i]
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Collect close sites (any nesting; literals belong to the
+			// enclosing declaration for ownership purposes).
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 || !p.isBuiltin(call.Fun, "close") {
+					return true
+				}
+				if obj := p.chanVarObj(call.Args[0]); obj != nil {
+					if _, hatched := p.UnguardedAt(fname, p.line(call.Pos())); !hatched {
+						if len(sites[obj]) == 0 {
+							siteOrder = append(siteOrder, obj)
+						}
+						sites[obj] = append(sites[obj], closeSite{call.Pos(), fname, fd})
+					}
+				}
+				return true
+			})
+			// Send-after-close, per function body.
+			p.closeWalk(fname, fd.Body, map[types.Object]bool{}, &out)
+			// Termination-signal rule for condition-free loops.
+			p.foreverWalk(fname, fd.Body, &out)
+		}
+	}
+
+	for _, obj := range siteOrder {
+		ss := sites[obj]
+		owners := map[*ast.FuncDecl]bool{}
+		for _, s := range ss {
+			owners[s.fn] = true
+		}
+		if len(owners) <= 1 {
+			continue
+		}
+		for _, s := range ss {
+			out = append(out, p.diag("chandiscipline", s.pos, fmt.Sprintf(
+				"channel %s is closed in %d different functions; give it exactly one closing owner (route every shutdown path through one function), or hatch //ftss:unguarded <reason>",
+				obj.Name(), len(owners))))
+		}
+	}
+	return out
+}
+
+// chanVarObj resolves a channel expression to the variable that names
+// it: the field object for x.done (so sibling channels on one struct
+// stay distinct), the var object for a local or parameter. Anything
+// else — a call result, an index into a slice of channels — is nil and
+// exempt.
+func (p *Package) chanVarObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return p.Info.Uses[x.Sel]
+		case *ast.Ident:
+			return p.objOf(x)
+		default:
+			return nil
+		}
+	}
+}
+
+// closeWalk tracks the set of channels closed so far on the current
+// path and flags sends on them. Branch bodies run on copies (a close
+// inside one branch taints only that branch); function literals start
+// fresh.
+func (p *Package) closeWalk(fname string, body *ast.BlockStmt, closed map[types.Object]bool, out *[]Diagnostic) {
+	cp := func(m map[types.Object]bool) map[types.Object]bool {
+		c := make(map[types.Object]bool, len(m))
+		for k, v := range m {
+			c[k] = v
+		}
+		return c
+	}
+	chanObj := p.chanVarObj
+
+	var walk func(c map[types.Object]bool, s ast.Stmt)
+
+	var check func(c map[types.Object]bool, n ast.Node)
+	check = func(c map[types.Object]bool, n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				fresh := map[types.Object]bool{}
+				for _, s := range fl.Body.List {
+					walk(fresh, s)
+				}
+				return false
+			}
+			return true
+		})
+	}
+
+	walk = func(c map[types.Object]bool, s ast.Stmt) {
+		switch st := s.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			for _, s := range st.List {
+				walk(c, s)
+			}
+		case *ast.ExprStmt:
+			check(c, st.X)
+			if call, ok := st.X.(*ast.CallExpr); ok && len(call.Args) == 1 && p.isBuiltin(call.Fun, "close") {
+				if obj := chanObj(call.Args[0]); obj != nil {
+					c[obj] = true
+				}
+			}
+		case *ast.SendStmt:
+			check(c, st.Value)
+			if obj := chanObj(st.Chan); obj != nil && c[obj] {
+				if _, hatched := p.UnguardedAt(fname, p.line(st.Pos())); !hatched {
+					*out = append(*out, p.diag("chandiscipline", st.Pos(), fmt.Sprintf(
+						"send on %s after close(%s) in the same function: this path panics — close last, or gate the send",
+						obj.Name(), obj.Name())))
+				}
+			}
+		case *ast.DeferStmt:
+			check(c, st.Call)
+		case *ast.GoStmt:
+			check(c, st.Call)
+		case *ast.AssignStmt:
+			for _, e := range st.Rhs {
+				check(c, e)
+			}
+		case *ast.IfStmt:
+			walk(c, st.Init)
+			check(c, st.Cond)
+			walk(cp(c), st.Body)
+			walk(cp(c), st.Else)
+		case *ast.ForStmt:
+			c2 := cp(c)
+			walk(c2, st.Init)
+			walk(c2, st.Body)
+			walk(c2, st.Post)
+		case *ast.RangeStmt:
+			walk(cp(c), st.Body)
+		case *ast.SwitchStmt:
+			walk(c, st.Init)
+			for _, cl := range st.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					c2 := cp(c)
+					for _, s := range cc.Body {
+						walk(c2, s)
+					}
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			walk(c, st.Init)
+			for _, cl := range st.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					c2 := cp(c)
+					for _, s := range cc.Body {
+						walk(c2, s)
+					}
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cl := range st.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					c2 := cp(c)
+					walk(c2, cc.Comm)
+					for _, s := range cc.Body {
+						walk(c2, s)
+					}
+				}
+			}
+		case *ast.LabeledStmt:
+			walk(c, st.Stmt)
+		case *ast.ReturnStmt:
+			for _, e := range st.Results {
+				check(c, e)
+			}
+		case *ast.DeclStmt:
+			check(c, st.Decl)
+		}
+	}
+	for _, s := range body.List {
+		walk(closed, s)
+	}
+}
+
+// foreverWalk flags every condition-free for loop that contains neither
+// a return nor a break targeting it. Nested function literals are
+// separate bodies: a return inside one does not terminate this loop.
+func (p *Package) foreverWalk(fname string, body *ast.BlockStmt, out *[]Diagnostic) {
+	// Loop labels, for matching labeled breaks.
+	labels := map[*ast.ForStmt]string{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			if fs, ok := ls.Stmt.(*ast.ForStmt); ok {
+				labels[fs] = ls.Label.Name
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Cond != nil {
+			return true
+		}
+		if _, hatched := p.UnguardedAt(fname, p.line(fs.Pos())); hatched {
+			return true
+		}
+		if !loopTerminates(fs, labels[fs]) {
+			*out = append(*out, p.diag("chandiscipline", fs.Pos(),
+				"for loop without a condition never reaches a termination signal: add a stop-channel/context case that returns or breaks out, range over the input channel instead, or hatch //ftss:unguarded <reason>"))
+		}
+		return true
+	})
+}
+
+// loopTerminates reports whether the condition-free loop body contains
+// a return, or a break that exits this loop. depth counts the breakable
+// constructs (for/range/switch/select) between the loop body and a
+// break statement: an unlabeled break only exits this loop at depth 0.
+func loopTerminates(fs *ast.ForStmt, label string) bool {
+	found := false
+	var scan func(s ast.Stmt, depth int)
+	scanBody := func(list []ast.Stmt, depth int) {
+		for _, s := range list {
+			scan(s, depth)
+		}
+	}
+	scan = func(s ast.Stmt, depth int) {
+		if found || s == nil {
+			return
+		}
+		switch st := s.(type) {
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if st.Tok != token.BREAK {
+				return
+			}
+			if st.Label == nil {
+				if depth == 0 {
+					found = true
+				}
+			} else if label != "" && st.Label.Name == label {
+				found = true
+			}
+		case *ast.BlockStmt:
+			scanBody(st.List, depth)
+		case *ast.LabeledStmt:
+			scan(st.Stmt, depth)
+		case *ast.IfStmt:
+			scan(st.Body, depth)
+			scan(st.Else, depth)
+		case *ast.ForStmt:
+			scan(st.Body, depth+1)
+		case *ast.RangeStmt:
+			scan(st.Body, depth+1)
+		case *ast.SwitchStmt:
+			for _, cl := range st.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					scanBody(cc.Body, depth+1)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cl := range st.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					scanBody(cc.Body, depth+1)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cl := range st.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					scanBody(cc.Body, depth+1)
+				}
+			}
+		}
+	}
+	scan(fs.Body, 0)
+	return found
+}

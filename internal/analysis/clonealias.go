@@ -27,6 +27,7 @@ import (
 var CloneAlias = &Analyzer{
 	Name: "clonealias",
 	Doc:  "flag Clone/Step implementations in ftss:det packages that return or store a parameter's slice/map without copying",
+	Tier: "det",
 	Run:  runCloneAlias,
 }
 

@@ -12,10 +12,12 @@ import (
 // Go toolchain convention — "//" immediately followed by "ftss:kind",
 // no space — so gofmt keeps them intact and godoc hides them.
 type Directive struct {
-	// Kind is the word after "ftss:": det, orderless, or pool.
+	// Kind is the word after "ftss:": det, conc, orderless, pool,
+	// guardedby, or unguarded.
 	Kind string
 	// Reason is the free text after the kind. Mandatory for the escape
-	// hatches (orderless, pool).
+	// hatches (orderless, pool, unguarded); for guardedby it names the
+	// guarding mutex field.
 	Reason string
 	// File (root-relative) and Line locate the directive comment.
 	File string
@@ -52,12 +54,19 @@ func parseDirectives(fset *token.FileSet, f *ast.File, relName string) []Directi
 
 // Directives validates that every ftss directive is well-formed: a
 // known kind, a reason on each escape hatch, orderless attached to a
-// range statement, det in the package header. It runs on every package,
-// det-annotated or not.
+// range statement, the tier directives (det, conc) in the package
+// header and mutually exclusive, and every internal package classified
+// into exactly one tier. It runs on every package, annotated or not.
 var Directives = &Analyzer{
 	Name: "directive",
-	Doc:  "ftss: directive comments are well-formed and attached to what they govern",
+	Doc:  "ftss: directive comments are well-formed, attached to what they govern, and every internal package declares one lint tier",
 	Run:  runDirectives,
+}
+
+// requiresTier reports whether the package must carry a tier header:
+// everything under internal/, except the lint fixtures under testdata.
+func requiresTier(p *Package) bool {
+	return strings.Contains(p.Path, "/internal/") && !strings.Contains(p.Path, "/testdata/")
 }
 
 func runDirectives(p *Package) []Diagnostic {
@@ -86,6 +95,10 @@ func runDirectives(p *Package) []Diagnostic {
 			if !d.header {
 				report(d, "//ftss:det annotates the whole package and must sit in the file header, before the package clause")
 			}
+		case "conc":
+			if !d.header {
+				report(d, "//ftss:conc annotates the whole package and must sit in the file header, before the package clause")
+			}
 		case "orderless":
 			if d.Reason == "" {
 				report(d, "//ftss:orderless needs a reason: say why this map iteration order cannot reach any output")
@@ -97,9 +110,37 @@ func runDirectives(p *Package) []Diagnostic {
 			if d.Reason == "" {
 				report(d, "//ftss:pool needs a reason: say why this file's goroutine fan-out keeps results deterministic")
 			}
+		case "guardedby":
+			if d.Reason == "" {
+				report(d, "//ftss:guardedby needs the name of the guarding mutex field")
+			}
+			if !p.Conc() {
+				report(d, "//ftss:guardedby only applies in //ftss:conc packages; this package is not in the concurrency tier")
+			}
+		case "unguarded":
+			if d.Reason == "" {
+				report(d, "//ftss:unguarded needs a reason: say why this access is safe without the declared protection")
+			}
 		default:
-			report(d, fmt.Sprintf("unknown //ftss: directive %q (known: det, orderless, pool)", d.Kind))
+			report(d, fmt.Sprintf("unknown //ftss: directive %q (known: det, conc, orderless, pool, guardedby, unguarded)", d.Kind))
 		}
+	}
+
+	// Tier discipline: det and conc are mutually exclusive, and every
+	// internal package must pick one.
+	if p.det && p.conc {
+		for _, d := range p.Directives {
+			if (d.Kind == "det" || d.Kind == "conc") && d.header {
+				report(d, "package declares both //ftss:det and //ftss:conc; a package has exactly one lint tier")
+			}
+		}
+	}
+	if requiresTier(p) && !p.det && !p.conc && len(p.Files) > 0 {
+		pos := p.Fset.Position(p.Files[0].Package)
+		out = append(out, Diagnostic{
+			Analyzer: "directive", File: p.FileNames[0], Line: pos.Line, Col: 1,
+			Message: fmt.Sprintf("internal package %s declares no lint tier; add //ftss:det (deterministic core) or //ftss:conc (concurrent shell) to the package header", p.Path),
+		})
 	}
 	return out
 }

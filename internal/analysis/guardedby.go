@@ -1,0 +1,358 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GuardedBy enforces //ftss:guardedby annotations in //ftss:conc
+// packages: a struct field annotated "//ftss:guardedby mu" may only be
+// read or written while the named sibling mutex is held. The check is
+// intra-procedural lock-state tracking over each function body:
+//
+//   - X.Lock() / X.RLock() on a sync.Mutex or sync.RWMutex adds X to
+//     the held set; X.Unlock() / X.RUnlock() removes it; a deferred
+//     unlock keeps the lock held for the rest of the body (it releases
+//     at return).
+//   - Branch bodies (if, for, range, switch, select) are analyzed on a
+//     copy of the held set and their lock effects are dropped
+//     afterwards — conservative, so a lock taken inside one branch
+//     never excuses an access after the join.
+//   - Function literals are separate goroutine-candidate bodies and
+//     start with nothing held.
+//   - A method whose name ends in "Locked" documents the convention
+//     that its caller holds the receiver's locks: it starts with every
+//     guard of the receiver held.
+//
+// An access of a guarded field base.f requires "base.mu" (by
+// expression spelling) in the held set; anything else is a finding
+// unless the line carries a //ftss:unguarded <reason> hatch — the
+// standard hatch for pre-publication initialization, where the object
+// is not yet reachable by any other goroutine.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated //ftss:guardedby mu in ftss:conc packages are only accessed while the named mutex is held",
+	Tier: "conc",
+	Run:  runGuardedBy,
+}
+
+func runGuardedBy(p *Package) []Diagnostic {
+	if !p.Conc() {
+		return nil
+	}
+	var out []Diagnostic
+
+	// Pass 1: bind //ftss:guardedby directives to struct fields.
+	// guards: field object -> guarding mutex field name.
+	// typeGuards: struct type name -> set of mutex names (for *Locked).
+	guards := map[types.Object]string{}
+	typeGuards := map[string][]string{}
+	consumed := map[[2]interface{}]bool{}
+	for i, f := range p.Files {
+		fname := p.FileNames[i]
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					d, ok := p.GuardedByAt(fname, p.line(fld.Pos()))
+					if !ok || d.Reason == "" {
+						continue
+					}
+					consumed[[2]interface{}{d.File, d.Line}] = true
+					mu := strings.Fields(d.Reason)[0]
+					if !p.structHasMutex(st, mu) {
+						out = append(out, Diagnostic{
+							Analyzer: "guardedby", File: d.File, Line: d.Line, Col: 1,
+							Message: fmt.Sprintf("//ftss:guardedby %s names no sibling sync.Mutex/RWMutex field %q in struct %s", mu, mu, ts.Name.Name),
+						})
+						continue
+					}
+					for _, name := range fld.Names {
+						if obj := p.Info.Defs[name]; obj != nil {
+							guards[obj] = mu
+						}
+					}
+					if !contains(typeGuards[ts.Name.Name], mu) {
+						typeGuards[ts.Name.Name] = append(typeGuards[ts.Name.Name], mu)
+					}
+				}
+			}
+		}
+	}
+	// A guardedby directive that bound to no struct field is dead — and
+	// silently unenforced, which is worse than absent.
+	for _, d := range p.Directives {
+		if d.Kind == "guardedby" && !consumed[[2]interface{}{d.File, d.Line}] {
+			out = append(out, Diagnostic{
+				Analyzer: "guardedby", File: d.File, Line: d.Line, Col: 1,
+				Message: "//ftss:guardedby is not attached to a struct field (put it on the field line or the line directly above)",
+			})
+		}
+	}
+	if len(guards) == 0 {
+		return out
+	}
+
+	// Pass 2: lock-state walk over every function body.
+	for i, f := range p.Files {
+		fname := p.FileNames[i]
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			held := map[string]bool{}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				if recv, typ := recvNameType(fd); recv != "" {
+					for _, mu := range typeGuards[typ] {
+						held[recv+"."+mu] = true
+					}
+				}
+			}
+			p.lockWalk(fname, fd.Body, held, guards, &out)
+		}
+	}
+	return out
+}
+
+// contains reports whether the slice holds the string.
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// structHasMutex reports whether the struct literally declares a field
+// of the given name whose type is sync.Mutex or sync.RWMutex (possibly
+// a pointer to one).
+func (p *Package) structHasMutex(st *ast.StructType, name string) bool {
+	for _, fld := range st.Fields.List {
+		for _, n := range fld.Names {
+			if n.Name == name {
+				return isSyncType(p.typeOf(fld.Type), "Mutex", "RWMutex")
+			}
+		}
+	}
+	return false
+}
+
+// recvNameType extracts the receiver variable name and the receiver's
+// type name from a method declaration.
+func recvNameType(fd *ast.FuncDecl) (string, string) {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return "", ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	return fd.Recv.List[0].Names[0].Name, id.Name
+}
+
+// isSyncType reports whether t (or its pointee) is one of the named
+// types from package sync.
+func isSyncType(t types.Type, names ...string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	for _, name := range names {
+		if obj.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// lockWalk analyzes one statement sequence under the given held set,
+// mutating held as lock statements execute and reporting every guarded
+// access made while its mutex is not held.
+func (p *Package) lockWalk(fname string, body *ast.BlockStmt, held map[string]bool, guards map[types.Object]string, out *[]Diagnostic) {
+	cp := func(h map[string]bool) map[string]bool {
+		c := make(map[string]bool, len(h))
+		for k, v := range h {
+			c[k] = v
+		}
+		return c
+	}
+
+	var walk func(h map[string]bool, s ast.Stmt)
+
+	// check inspects an expression (or any node) for guarded-field
+	// accesses under h; nested function literals restart with an empty
+	// held set (they may run on another goroutine).
+	var check func(h map[string]bool, n ast.Node)
+	check = func(h map[string]bool, n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				fresh := map[string]bool{}
+				for _, s := range x.Body.List {
+					walk(fresh, s)
+				}
+				return false
+			case *ast.SelectorExpr:
+				mu, ok := guards[p.Info.Uses[x.Sel]]
+				if !ok {
+					return true
+				}
+				key := types.ExprString(x.X) + "." + mu
+				if h[key] {
+					return true
+				}
+				if _, hatched := p.UnguardedAt(fname, p.line(x.Pos())); hatched {
+					return true
+				}
+				*out = append(*out, p.diag("guardedby", x.Sel.Pos(), fmt.Sprintf(
+					"%s is accessed without holding %s (//ftss:guardedby %s): lock it first, move the access into a *Locked helper, or hatch //ftss:unguarded <reason>",
+					types.ExprString(x), key, mu)))
+			}
+			return true
+		})
+	}
+
+	// effect applies the lock-state change of a statement-position call.
+	effect := func(h map[string]bool, e ast.Expr) {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isSyncType(p.typeOf(sel.X), "Mutex", "RWMutex") {
+			return
+		}
+		key := types.ExprString(sel.X)
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			h[key] = true
+		case "Unlock", "RUnlock":
+			delete(h, key)
+		}
+	}
+
+	walk = func(h map[string]bool, s ast.Stmt) {
+		switch st := s.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			for _, s := range st.List {
+				walk(h, s)
+			}
+		case *ast.ExprStmt:
+			check(h, st.X)
+			effect(h, st.X)
+		case *ast.DeferStmt:
+			// A deferred unlock releases at return: the lock stays held
+			// for the remainder of the body, so no effect here. Deferred
+			// literals run via check (fresh state).
+			check(h, st.Call)
+		case *ast.GoStmt:
+			check(h, st.Call)
+		case *ast.AssignStmt:
+			for _, e := range st.Rhs {
+				check(h, e)
+			}
+			for _, e := range st.Lhs {
+				check(h, e)
+			}
+		case *ast.IfStmt:
+			walk(h, st.Init)
+			check(h, st.Cond)
+			walk(cp(h), st.Body)
+			walk(cp(h), st.Else)
+		case *ast.ForStmt:
+			h2 := cp(h)
+			walk(h2, st.Init)
+			check(h2, st.Cond)
+			walk(h2, st.Body)
+			walk(h2, st.Post)
+		case *ast.RangeStmt:
+			check(h, st.X)
+			walk(cp(h), st.Body)
+		case *ast.SwitchStmt:
+			walk(h, st.Init)
+			check(h, st.Tag)
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					h2 := cp(h)
+					for _, e := range cc.List {
+						check(h2, e)
+					}
+					for _, s := range cc.Body {
+						walk(h2, s)
+					}
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			walk(h, st.Init)
+			check(h, st.Assign)
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					h2 := cp(h)
+					for _, s := range cc.Body {
+						walk(h2, s)
+					}
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					h2 := cp(h)
+					walk(h2, cc.Comm)
+					for _, s := range cc.Body {
+						walk(h2, s)
+					}
+				}
+			}
+		case *ast.LabeledStmt:
+			walk(h, st.Stmt)
+		case *ast.ReturnStmt:
+			for _, e := range st.Results {
+				check(h, e)
+			}
+		case *ast.SendStmt:
+			check(h, st.Chan)
+			check(h, st.Value)
+		case *ast.IncDecStmt:
+			check(h, st.X)
+		case *ast.DeclStmt:
+			check(h, st.Decl)
+		}
+	}
+	for _, s := range body.List {
+		walk(held, s)
+	}
+}

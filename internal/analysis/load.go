@@ -27,6 +27,7 @@ type Loader struct {
 	ModPath string
 
 	std     types.Importer
+	shared  *sharedImports            // non-nil in pool loaders: cross-worker import cache
 	typesBy map[string]*types.Package // by import path
 	pkgsBy  map[string]*Package       // by absolute directory
 	loading map[string]bool           // cycle guard, by absolute directory
@@ -55,6 +56,21 @@ func NewLoader(modRoot string) (*Loader, error) {
 	return l, nil
 }
 
+// newPoolLoader builds a worker's loader for LintDirs: it shares the
+// fileset and the single-flight import cache with its sibling workers,
+// so every dependency is type-checked once per run rather than once per
+// worker. Only the worker that owns the loader may call into it.
+func newPoolLoader(modRoot string, fset *token.FileSet, shared *sharedImports) (*Loader, error) {
+	l, err := NewLoader(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	l.Fset = fset
+	l.std = nil // dependency resolution goes through shared instead
+	l.shared = shared
+	return l, nil
+}
+
 // modulePath extracts the module path from a go.mod file.
 func modulePath(gomod string) (string, error) {
 	data, err := os.ReadFile(gomod)
@@ -71,7 +87,9 @@ func modulePath(gomod string) (string, error) {
 }
 
 // Import implements types.Importer for the dependencies of packages
-// under analysis.
+// under analysis. Pool loaders route every dependency through the
+// cross-worker single-flight cache; completed types.Packages are safe
+// for the concurrent reads the sibling type-checkers do with them.
 func (l *Loader) Import(ipath string) (*types.Package, error) {
 	if tp, ok := l.typesBy[ipath]; ok {
 		return tp, nil
@@ -80,16 +98,45 @@ func (l *Loader) Import(ipath string) (*types.Package, error) {
 		return types.Unsafe, nil
 	}
 	if dir := l.localDir(ipath); dir != "" {
-		p, err := l.LoadDir(dir)
+		load := func() (*types.Package, error) {
+			p, err := l.LoadDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+		if l.shared == nil {
+			return load()
+		}
+		tp, err := l.shared.resolve(ipath, load)
 		if err != nil {
 			return nil, err
 		}
-		return p.Types, nil
+		l.typesBy[ipath] = tp
+		return tp, nil
 	}
-	tp, err := l.std.Import(ipath)
-	if err != nil || tp == nil {
-		tp = types.NewPackage(ipath, path.Base(ipath))
-		tp.MarkComplete()
+	// Stdlib (or at least non-module): a failed import degrades to an
+	// empty placeholder so analysis of the importer proceeds on
+	// package-local type information instead of dying.
+	load := func() (*types.Package, error) {
+		var tp *types.Package
+		var err error
+		if l.shared != nil {
+			tp, err = l.shared.stdImport(ipath)
+		} else {
+			tp, err = l.std.Import(ipath)
+		}
+		if err != nil || tp == nil {
+			tp = types.NewPackage(ipath, path.Base(ipath))
+			tp.MarkComplete()
+		}
+		return tp, nil
+	}
+	var tp *types.Package
+	if l.shared != nil {
+		tp, _ = l.shared.resolve(ipath, load) // load never errors: failures become placeholders
+	} else {
+		tp, _ = load()
 	}
 	l.typesBy[ipath] = tp
 	return tp, nil

@@ -24,6 +24,7 @@ import (
 var MapOrder = &Analyzer{
 	Name: "maporder",
 	Doc:  "flag map ranges in ftss:det packages whose body lets the randomized iteration order escape",
+	Tier: "det",
 	Run:  runMapOrder,
 }
 

@@ -13,6 +13,7 @@ import "go/ast"
 var NoGoroutine = &Analyzer{
 	Name: "nogoroutine",
 	Doc:  "forbid go statements in ftss:det packages outside //ftss:pool-sanctioned worker-pool files",
+	Tier: "det",
 	Run:  runNoGoroutine,
 }
 

@@ -14,6 +14,7 @@ import (
 var NoWallClock = &Analyzer{
 	Name: "nowallclock",
 	Doc:  "forbid time.Now/Since/Until/Sleep/After/Tick/AfterFunc/NewTimer/NewTicker in ftss:det packages",
+	Tier: "det",
 	Run:  runNoWallClock,
 }
 

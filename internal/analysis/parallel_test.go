@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestLintDirsWorkerCountInvariant pins the pool contract: packages,
+// diagnostics, and their order are identical for any worker count,
+// including the inline workers<=1 path.
+func TestLintDirsWorkerCountInvariant(t *testing.T) {
+	root := filepath.Join("..", "..")
+	var dirs []string
+	for _, name := range []string{
+		"chandiscipline", "clean", "directive", "guardedby", "maporder", "wallclock", "waitbalance",
+	} {
+		dirs = append(dirs, filepath.Join("testdata", "src", name))
+	}
+
+	pkgsSeq, seq, err := LintDirs(root, dirs, 1, All())
+	if err != nil {
+		t.Fatalf("LintDirs(workers=1): %v", err)
+	}
+	if len(seq) == 0 {
+		t.Fatal("sequential run found no diagnostics; the fixtures should produce findings")
+	}
+	for _, workers := range []int{2, 4, 8, 32} {
+		pkgs, par, err := LintDirs(root, dirs, workers, All())
+		if err != nil {
+			t.Fatalf("LintDirs(workers=%d): %v", workers, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: diagnostics differ from sequential run\nseq: %v\npar: %v", workers, seq, par)
+		}
+		if len(pkgs) != len(pkgsSeq) {
+			t.Fatalf("workers=%d: %d packages, want %d", workers, len(pkgs), len(pkgsSeq))
+		}
+		for i := range pkgs {
+			if pkgs[i].Path != pkgsSeq[i].Path {
+				t.Errorf("workers=%d: package %d is %s, want %s (directory order)", workers, i, pkgs[i].Path, pkgsSeq[i].Path)
+			}
+		}
+	}
+}
+
+// TestLintDirsTierFilter pins ForTier composition through LintDirs: the
+// det tier sees no conc findings and vice versa, while the directive
+// analyzer runs in both.
+func TestLintDirsTierFilter(t *testing.T) {
+	root := filepath.Join("..", "..")
+	dirs := []string{
+		filepath.Join("testdata", "src", "guardedby"),
+		filepath.Join("testdata", "src", "wallclock"),
+	}
+	_, det, err := LintDirs(root, dirs, 2, ForTier("det"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, conc, err := LintDirs(root, dirs, 2, ForTier("conc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(ds []Diagnostic, analyzer string) int {
+		n := 0
+		for _, d := range ds {
+			if d.Analyzer == analyzer {
+				n++
+			}
+		}
+		return n
+	}
+	if count(det, "nowallclock") == 0 || count(det, "guardedby") != 0 {
+		t.Errorf("det tier: %v, want nowallclock findings and no guardedby findings", det)
+	}
+	if count(conc, "guardedby") == 0 || count(conc, "nowallclock") != 0 {
+		t.Errorf("conc tier: %v, want guardedby findings and no nowallclock findings", conc)
+	}
+}
+
+// TestForTier pins the tier partition of the suite: every analyzer is
+// det, conc, or tier-independent, and ForTier returns the matching
+// subset plus the independent ones.
+func TestForTier(t *testing.T) {
+	if got, want := len(ForTier("all")), len(All()); got != want {
+		t.Errorf("ForTier(all) = %d analyzers, want %d", got, want)
+	}
+	for _, tier := range []string{"det", "conc"} {
+		for _, a := range ForTier(tier) {
+			if a.Tier != tier && a.Tier != "" {
+				t.Errorf("ForTier(%s) includes %s (tier %q)", tier, a.Name, a.Tier)
+			}
+		}
+	}
+	names := func(as []*Analyzer) map[string]bool {
+		m := map[string]bool{}
+		for _, a := range as {
+			m[a.Name] = true
+		}
+		return m
+	}
+	det, conc := names(ForTier("det")), names(ForTier("conc"))
+	for _, n := range []string{"nowallclock", "seededrand", "maporder", "nogoroutine", "clonealias", "directive"} {
+		if !det[n] {
+			t.Errorf("ForTier(det) is missing %s", n)
+		}
+	}
+	for _, n := range []string{"guardedby", "atomicmix", "chandiscipline", "waitbalance", "directive"} {
+		if !conc[n] {
+			t.Errorf("ForTier(conc) is missing %s", n)
+		}
+	}
+}

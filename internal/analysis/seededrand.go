@@ -16,6 +16,7 @@ import (
 var SeededRand = &Analyzer{
 	Name: "seededrand",
 	Doc:  "forbid global math/rand functions in ftss:det packages; randomness must come from an injected *rand.Rand",
+	Tier: "det",
 	Run:  runSeededRand,
 }
 

@@ -1,0 +1,49 @@
+// Package atomicmix is a lint fixture: a variable touched via
+// sync/atomic anywhere in the package must be touched that way
+// everywhere — plain reads and writes of it are findings; typed
+// atomics and hatched snapshot reads pass.
+//
+//ftss:conc fixture
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits uint64
+	safe atomic.Uint64
+}
+
+func (s *stats) Inc() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+func (s *stats) GoodRead() uint64 {
+	return atomic.LoadUint64(&s.hits)
+}
+
+func (s *stats) BadRead() uint64 {
+	return s.hits // want "hits is accessed with sync/atomic elsewhere"
+}
+
+func (s *stats) BadWrite() {
+	s.hits = 0 // want "hits is accessed with sync/atomic elsewhere"
+}
+
+func (s *stats) HatchedSnapshot() uint64 {
+	return s.hits //ftss:unguarded every writer goroutine is joined before snapshots
+}
+
+func (s *stats) GoodTyped() uint64 {
+	s.safe.Add(1)
+	return s.safe.Load()
+}
+
+var global int64
+
+func BumpGlobal() {
+	atomic.AddInt64(&global, 1)
+}
+
+func BadGlobal() int64 {
+	return global // want "global is accessed with sync/atomic elsewhere"
+}

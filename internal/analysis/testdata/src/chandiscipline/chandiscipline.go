@@ -1,0 +1,90 @@
+// Package chandiscipline is a lint fixture: one closing owner per
+// channel, no send after close on the same path, and every
+// condition-free loop reaches a termination signal.
+//
+//ftss:conc fixture
+package chandiscipline
+
+type pipe struct {
+	a chan int
+	b chan int
+}
+
+// CloseA is channel a's single closing owner: no finding.
+func (p *pipe) CloseA() {
+	close(p.a)
+}
+
+func (p *pipe) CloseB1() {
+	close(p.b) // want "closed in 2 different functions"
+}
+
+func (p *pipe) CloseB2() {
+	close(p.b) // want "closed in 2 different functions"
+}
+
+func SendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "send on ch after close"
+}
+
+func GoodCloseLast() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+func GoodBranchClose(b bool) {
+	ch := make(chan int, 1)
+	if b {
+		close(ch)
+		return
+	}
+	ch <- 1 // the close taints only its branch: no finding
+}
+
+func BadSpin(work chan int) {
+	go func() {
+		for { // want "never reaches a termination signal"
+			<-work
+		}
+	}()
+}
+
+func GoodStopChannel(work chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-work:
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+func GoodRange(work chan int) {
+	go func() {
+		for range work {
+		}
+	}()
+}
+
+func GoodLabeledBreak(work chan int, stop chan struct{}) {
+drain:
+	for {
+		select {
+		case <-work:
+		case <-stop:
+			break drain
+		}
+	}
+}
+
+func HatchedSpin(tick func()) {
+	//ftss:unguarded fixture: daemon loop, exits with the process
+	for {
+		tick()
+	}
+}

@@ -32,3 +32,15 @@ var _ = 1 // want:-1 "//ftss:pool needs a reason"
 
 //ftss:det misplaced
 var _ = 2 // want:-1 "must sit in the file header"
+
+//ftss:conc misplaced
+var _ = 3 // want:-1 "must sit in the file header"
+
+//ftss:guardedby
+var _ = 4 // want:-1 "needs the name of the guarding mutex" want:-1 "only applies in //ftss:conc packages"
+
+//ftss:guardedby mu
+var _ = 5 // want:-1 "only applies in //ftss:conc packages"
+
+//ftss:unguarded
+var _ = 6 // want:-1 "//ftss:unguarded needs a reason"

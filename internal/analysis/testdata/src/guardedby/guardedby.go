@@ -1,0 +1,96 @@
+// Package guardedby is a lint fixture: //ftss:guardedby lock-state
+// tracking — locked and deferred-unlock accesses pass, unlocked
+// accesses (including after an unlock, inside goroutines, and after a
+// branch-local lock) are findings, *Locked helpers start held, and
+// malformed annotations are findings of their own.
+//
+//ftss:conc fixture
+package guardedby
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	//ftss:guardedby mu
+	n int
+	//ftss:guardedby mu
+	names []string
+}
+
+func (c *counter) Good() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) GoodDefer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) Bad() {
+	c.n++ // want "c.n is accessed without holding c.mu"
+}
+
+func (c *counter) BadAfterUnlock() {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	c.names = nil // want "c.names is accessed without holding c.mu"
+}
+
+// bumpLocked's name declares the caller-holds-lock convention: the body
+// starts with the receiver's guards held.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+func (c *counter) GoodThroughHelper() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked()
+}
+
+func (c *counter) BadInGoroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "c.n is accessed without holding c.mu"
+	}()
+}
+
+func (c *counter) BadBranchLocalLock(b bool) {
+	if b {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+	c.names = append(c.names, "x") // want "c.names is accessed without holding c.mu"
+}
+
+func HatchedInit() *counter {
+	d := &counter{}
+	d.n = 7 //ftss:unguarded fresh object, not yet reachable by any other goroutine
+	return d
+}
+
+type gauge struct {
+	rw sync.RWMutex
+	//ftss:guardedby rw
+	v int
+}
+
+func (g *gauge) GoodRead() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.v
+}
+
+type badAnnotation struct {
+	//ftss:guardedby missing
+	x int // want:-1 "names no sibling sync.Mutex/RWMutex field"
+}
+
+//ftss:guardedby mu
+var dangling = 0 // want:-1 "not attached to a struct field"

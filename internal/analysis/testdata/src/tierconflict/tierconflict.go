@@ -1,0 +1,11 @@
+// Package tierconflict is a lint fixture: a package that declares both
+// //ftss:det and //ftss:conc gets a finding at each tier header — a
+// package has exactly one lint tier.
+//
+//ftss:det fixture
+// want:-1 "exactly one lint tier"
+//ftss:conc fixture
+// want:-1 "exactly one lint tier"
+package tierconflict
+
+var _ = 0

@@ -1,0 +1,76 @@
+// Package waitbalance is a lint fixture: WaitGroup Add/Done pairing per
+// variable, Done via defer (or the sole fall-through path), and Add
+// before the go statement rather than inside the goroutine.
+//
+//ftss:conc fixture
+package waitbalance
+
+import "sync"
+
+func Good(fns []func()) {
+	var wg sync.WaitGroup
+	for _, f := range fns {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}
+
+func BadAddInGoroutine(f func()) {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "Add inside the spawned goroutine races with Wait"
+		defer wg.Done()
+		f()
+	}()
+	wg.Wait()
+}
+
+func BadDoneAfterEarlyReturn(f func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if f == nil {
+			return
+		}
+		f()
+		wg.Done() // want "Done outside defer"
+	}()
+	wg.Wait()
+}
+
+func GoodTailDone(f func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		f()
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+type leaky struct {
+	wg sync.WaitGroup
+}
+
+func (l *leaky) BadAddNoDone() {
+	l.wg.Add(1) // want "Add calls but no Done"
+	l.wg.Wait()
+}
+
+type overdone struct {
+	wg sync.WaitGroup
+}
+
+func (o *overdone) BadDoneNoAdd() {
+	defer o.wg.Done() // want "Done calls but no Add"
+}
+
+func HatchedSoloAdd() {
+	var wg sync.WaitGroup
+	wg.Add(1) //ftss:unguarded fixture: the matching Done lives in generated code
+	wg.Wait()
+}

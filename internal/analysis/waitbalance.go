@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WaitBalance enforces the sync.WaitGroup protocol in //ftss:conc
+// packages and //ftss:pool worker files:
+//
+//   - Pairing: a WaitGroup variable with Add calls but no Done call
+//     anywhere in scope deadlocks Wait; Done with no Add panics with a
+//     negative counter. Pairing is per variable across the package —
+//     Add in the spawner and a deferred Done in the worker is the
+//     normal split.
+//   - Done placement: a Done outside defer is skipped by any early
+//     return before it, leaving Wait hanging. A plain Done call passes
+//     only when it is a direct statement of its function body with no
+//     return before it (the single fall-through path); anything else
+//     must be "defer wg.Done()".
+//   - Add placement: an Add inside the spawned goroutine itself races
+//     with Wait — Wait can observe the counter before the goroutine
+//     runs Add. Add must happen before the go statement.
+//
+// Hatch a deliberate exception per line with //ftss:unguarded <reason>.
+var WaitBalance = &Analyzer{
+	Name: "waitbalance",
+	Doc:  "WaitGroup Add/Done pairing in ftss:conc packages: Done via defer or on the sole fall-through path, Add before the go statement",
+	Tier: "conc",
+	Run:  runWaitBalance,
+}
+
+func runWaitBalance(p *Package) []Diagnostic {
+	var out []Diagnostic
+
+	// wgCall unpacks a sel call X.Add/Done/Wait on a sync.WaitGroup and
+	// resolves the WaitGroup variable (field object for t.wg, var object
+	// for a local or parameter).
+	wgCall := func(call *ast.CallExpr) (types.Object, string, bool) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return nil, "", false
+		}
+		m := sel.Sel.Name
+		if m != "Add" && m != "Done" && m != "Wait" {
+			return nil, "", false
+		}
+		if !isSyncType(p.typeOf(sel.X), "WaitGroup") {
+			return nil, "", false
+		}
+		var id *ast.Ident
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		default:
+			id = rootIdent(sel.X)
+		}
+		if id == nil {
+			return nil, "", false
+		}
+		obj := p.objOf(id)
+		return obj, m, obj != nil
+	}
+
+	type site struct {
+		pos  token.Pos
+		file string
+	}
+	adds := map[types.Object][]site{}
+	dones := map[types.Object][]site{}
+	var addOrder, doneOrder []types.Object // first-seen order, for deterministic iteration
+
+	for _, i := range p.concFiles() {
+		f, fname := p.Files[i], p.FileNames[i]
+
+		// Global Add/Done tallies and the Add-inside-go rule.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if obj, m, ok := wgCall(x); ok {
+					switch m {
+					case "Add":
+						if len(adds[obj]) == 0 {
+							addOrder = append(addOrder, obj)
+						}
+						adds[obj] = append(adds[obj], site{x.Pos(), fname})
+					case "Done":
+						if len(dones[obj]) == 0 {
+							doneOrder = append(doneOrder, obj)
+						}
+						dones[obj] = append(dones[obj], site{x.Pos(), fname})
+					}
+				}
+			case *ast.GoStmt:
+				fl, ok := x.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				ast.Inspect(fl.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if _, m, ok := wgCall(call); ok && m == "Add" {
+						if _, hatched := p.UnguardedAt(fname, p.line(call.Pos())); !hatched {
+							out = append(out, p.diag("waitbalance", call.Pos(),
+								"WaitGroup.Add inside the spawned goroutine races with Wait (Wait can run before this Add): call Add before the go statement, or hatch //ftss:unguarded <reason>"))
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+
+		// Done-placement rule, per function body (literals are their own
+		// bodies: a Done inside a worker literal is judged against that
+		// literal's returns, not the spawner's).
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			bodies := []*ast.BlockStmt{fd.Body}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					bodies = append(bodies, fl.Body)
+				}
+				return true
+			})
+			for _, body := range bodies {
+				p.checkDonePlacement(fname, body, wgCall, &out)
+			}
+		}
+	}
+
+	// Pairing rule, per WaitGroup variable across the whole scope.
+	flagUnpaired := func(order []types.Object, sites map[types.Object][]site, other map[types.Object][]site, msg string) {
+		for _, obj := range order {
+			if len(other[obj]) > 0 {
+				continue
+			}
+			s := sites[obj][0]
+			if _, hatched := p.UnguardedAt(s.file, p.line(s.pos)); hatched {
+				continue
+			}
+			out = append(out, p.diag("waitbalance", s.pos, fmt.Sprintf(msg, obj.Name())))
+		}
+	}
+	flagUnpaired(addOrder, adds, dones,
+		"WaitGroup %s has Add calls but no Done anywhere in this package's concurrent files: Wait deadlocks — pair every Add with a (deferred) Done, or hatch //ftss:unguarded <reason>")
+	flagUnpaired(doneOrder, dones, adds,
+		"WaitGroup %s has Done calls but no Add anywhere in this package's concurrent files: the counter goes negative and panics — add the matching Add, or hatch //ftss:unguarded <reason>")
+
+	return out
+}
+
+// checkDonePlacement flags every non-deferred Done call in the body
+// that is not a direct top-level statement with no return before it.
+// Nested literal bodies are skipped here — the caller visits each
+// literal body separately.
+func (p *Package) checkDonePlacement(fname string, body *ast.BlockStmt, wgCall func(*ast.CallExpr) (types.Object, string, bool), out *[]Diagnostic) {
+	direct := map[*ast.CallExpr]bool{}
+	for _, s := range body.List {
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				direct[call] = true
+			}
+		}
+	}
+
+	var returns []token.Pos
+	var doneCalls []*ast.CallExpr
+	var scan func(n ast.Node, deferred bool)
+	scan = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false // its own body, judged separately
+			case *ast.ReturnStmt:
+				returns = append(returns, x.Pos())
+			case *ast.DeferStmt:
+				scan(x.Call, true)
+				return false
+			case *ast.CallExpr:
+				if _, m, ok := wgCall(x); ok && m == "Done" && !deferred {
+					doneCalls = append(doneCalls, x)
+				}
+			}
+			return true
+		})
+	}
+	scan(body, false)
+
+	for _, call := range doneCalls {
+		bad := !direct[call]
+		if !bad {
+			for _, r := range returns {
+				if r < call.Pos() {
+					bad = true
+					break
+				}
+			}
+		}
+		if !bad {
+			continue
+		}
+		if _, hatched := p.UnguardedAt(fname, p.line(call.Pos())); hatched {
+			continue
+		}
+		*out = append(*out, p.diag("waitbalance", call.Pos(),
+			"WaitGroup.Done outside defer: an early return before this line leaves the counter unbalanced and Wait hanging — write \"defer wg.Done()\" at the top of the goroutine, or hatch //ftss:unguarded <reason>"))
+	}
+}

@@ -2,6 +2,8 @@
 // It is wall-clock, OS-signal territory and deliberately outside the
 // determinism contract — nothing under internal/sim or internal/core may
 // import it.
+//
+//ftss:conc signal handling spans goroutines; lock/channel protocol statically checked
 package cli
 
 import (

@@ -12,6 +12,8 @@
 // each node's rendered chaos-event stream, the dial backoff schedule,
 // and the input vector. Same seed, same adversary, on every node,
 // without any coordination message ever crossing the network.
+//
+//ftss:conc real processes and timers; lock/channel protocol statically checked
 package cluster
 
 import (

@@ -19,6 +19,8 @@
 // state for small rings, and the MutualExclusion predicate plugs into
 // core.CheckSS — Definition 2.2, the paper's formalization of exactly this
 // protocol's guarantee.
+//
+//ftss:det exhaustive small-ring sweeps must be reproducible per seed
 package dijkstra
 
 import (

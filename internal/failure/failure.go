@@ -15,6 +15,8 @@
 // Adversaries therefore distinguish the *designated* faulty set (the bound
 // f) from the rounds at which processes first *actually* deviate, which is
 // what the history layer needs to compute F(H,Π) for each prefix.
+//
+//ftss:det adversary schedules are a pure function of their seed
 package failure
 
 import (

@@ -49,9 +49,11 @@ func (Null) Emit(Event) {}
 // one buffer under the mutex, so a long run allocates only when an event
 // outgrows every previous one.
 type JSONL struct {
-	mu  sync.Mutex
-	w   io.Writer
+	mu sync.Mutex
+	w  io.Writer
+	//ftss:guardedby mu
 	buf []byte
+	//ftss:guardedby mu
 	err error
 }
 

@@ -17,7 +17,7 @@
 // snapshots are emitted in sorted name order — byte-identical output is
 // a property of the representation, not of the schedule.
 //
-//ftss:det telemetry snapshots feed byte-compared experiment artifacts
+//ftss:conc instruments are written from live goroutines; snapshots stay name-sorted and byte-stable
 package obs
 
 import (
@@ -186,7 +186,8 @@ func (h *Histogram) appendLine(buf []byte, name string) []byte {
 // not a runtime condition. The accessors are get-or-create and safe for
 // concurrent use.
 type Registry struct {
-	mu  sync.Mutex
+	mu sync.Mutex
+	//ftss:guardedby mu
 	ins map[string]instrument
 }
 

@@ -14,6 +14,8 @@
 // shared storage, so it behaves like the map it replaced: copies alias,
 // and in-place mutators (Add, UnionWith, IntersectWith, …) are visible
 // through every copy, including after internal growth.
+//
+//ftss:det ascending set iteration is the bedrock of every golden table
 package proc
 
 import (

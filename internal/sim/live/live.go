@@ -23,6 +23,8 @@
 // Because process state is owned by its goroutine, external inspection
 // must go through Inspect, which executes a closure on the process's own
 // goroutine.
+//
+//ftss:conc one goroutine per process; lock/channel protocol statically checked
 package live
 
 import (
@@ -121,9 +123,12 @@ type item struct {
 // Control items (Inspect closures) always bypass the bound: they belong
 // to the runtime, not the network.
 type mailbox struct {
-	mu     sync.Mutex
-	items  []item
-	msgs   int // queued non-control items
+	mu sync.Mutex
+	//ftss:guardedby mu
+	items []item
+	//ftss:guardedby mu
+	msgs int // queued non-control items
+	//ftss:guardedby mu
 	closed bool
 	notify chan struct{} // new item available
 	space  chan struct{} // space freed (Backpressure wakeup)
@@ -132,8 +137,10 @@ type mailbox struct {
 	cap    int
 	policy OverflowPolicy
 
+	//ftss:guardedby mu
 	highWater int
-	dropped   uint64
+	//ftss:guardedby mu
+	dropped uint64
 
 	rt    *Runtime // telemetry access; nil in direct unit tests
 	owner proc.ID
@@ -303,18 +310,26 @@ type Runtime struct {
 	procs map[proc.ID]*worker
 	start time.Time
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	//ftss:guardedby mu
 	crashed proc.Set
+	//ftss:guardedby mu
 	started bool
+	//ftss:guardedby mu
 	stopped bool
 
+	//ftss:guardedby mu
 	restarts map[proc.ID]int
-	panics   map[proc.ID]int
+	//ftss:guardedby mu
+	panics map[proc.ID]int
 	// retired accumulates mailbox stats of closed incarnations.
-	retiredHW   map[proc.ID]int
+	//ftss:guardedby mu
+	retiredHW map[proc.ID]int
+	//ftss:guardedby mu
 	retiredDrop map[proc.ID]uint64
 
-	wg     sync.WaitGroup
+	wg sync.WaitGroup
+	//ftss:guardedby mu
 	timers []*time.Timer
 	seq    atomic.Uint64
 
@@ -329,11 +344,15 @@ type worker struct {
 	p   async.Proc
 	rng *rand.Rand
 
-	mu     sync.Mutex
-	box    *mailbox
-	stop   chan struct{}
+	mu sync.Mutex
+	//ftss:guardedby mu
+	box *mailbox
+	//ftss:guardedby mu
+	stop chan struct{}
+	//ftss:guardedby mu
 	exited chan struct{} // closed when the current incarnation returns
-	alive  bool
+	//ftss:guardedby mu
+	alive bool
 }
 
 // New builds a runtime over the processes. IDs must be unique (density is
@@ -418,6 +437,30 @@ func (w *worker) launch() {
 	go w.run(box, stop, exited)
 }
 
+// halt stops the worker's current incarnation: marks it dead and closes
+// its mailbox and stop channel, all under w.mu. retire additionally
+// retires the mailbox (the Kill path), handing back its final stats and
+// clearing box so the next launch builds a fresh one. It returns the
+// incarnation's exited channel and reports whether the worker was alive.
+// halt is the single closing owner of w.stop: Stop and Kill both route
+// through here, so the two paths can never double-close it on a racing
+// interleaving (the chandiscipline rule ftss-lint enforces).
+func (w *worker) halt(retire bool) (hw int, dropped uint64, exited chan struct{}, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.alive {
+		return 0, 0, nil, false
+	}
+	w.alive = false
+	w.box.close()
+	if retire {
+		hw, dropped = w.box.stats()
+		w.box = nil // next launch gets a fresh mailbox
+	}
+	close(w.stop)
+	return hw, dropped, w.exited, true
+}
+
 // Stop shuts down every goroutine and waits for them to exit. Safe to call
 // once after Start.
 func (rt *Runtime) Stop() {
@@ -435,13 +478,7 @@ func (rt *Runtime) Stop() {
 		t.Stop()
 	}
 	for _, w := range rt.procs {
-		w.mu.Lock()
-		if w.alive {
-			w.alive = false
-			w.box.close()
-			close(w.stop)
-		}
-		w.mu.Unlock()
+		w.halt(false)
 	}
 	rt.wg.Wait()
 }
@@ -462,18 +499,10 @@ func (rt *Runtime) Kill(id proc.ID) bool {
 	}
 	rt.mu.Unlock()
 
-	w.mu.Lock()
-	if !w.alive {
-		w.mu.Unlock()
+	hw, dropped, exited, ok := w.halt(true)
+	if !ok {
 		return false
 	}
-	w.alive = false
-	w.box.close()
-	hw, dropped := w.box.stats()
-	w.box = nil // next launch gets a fresh mailbox
-	close(w.stop)
-	exited := w.exited
-	w.mu.Unlock()
 
 	rt.mu.Lock()
 	rt.crashed.Add(id)

@@ -36,11 +36,14 @@
 // predicate is suffix-shaped, like everything else in the paper:
 // eventually, every retained slot is identical at all correct replicas
 // that hold it, and the decided frontier keeps advancing.
+//
+//ftss:det replica transitions must replay identically from a seed
 package smr
 
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"ftss/internal/ctcons"
 	"ftss/internal/detector"
@@ -304,11 +307,7 @@ func (r *Replica) OnTick(ctx async.Context) {
 		for s := range r.aux {
 			slots = append(slots, s)
 		}
-		for i := 1; i < len(slots); i++ {
-			for j := i; j > 0 && slots[j] < slots[j-1]; j-- {
-				slots[j], slots[j-1] = slots[j-1], slots[j]
-			}
-		}
+		slices.Sort(slots)
 		for _, s := range slots {
 			if in, ok := r.aux[s]; ok {
 				r.driveInstance(ctx, s, in)
@@ -489,11 +488,7 @@ func pick(ests map[proc.ID]ctcons.EstimateMsg) Value {
 	for q := range ests {
 		ids = append(ids, q)
 	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	slices.Sort(ids)
 	for _, q := range ids {
 		e := ests[q]
 		if best == proc.None || e.TS > bestTS ||

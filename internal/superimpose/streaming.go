@@ -36,11 +36,11 @@ type repeatedWindow struct {
 
 func newRepeatedWindow(h *history.History, lo int, faulty proc.Set, fr int, checkTile func(start, end int, iter uint64) error) *repeatedWindow {
 	return &repeatedWindow{
-		h:      h,
-		faulty: faulty,
-		ra:     core.RoundAgreement{}.NewWindow(h, lo, faulty),
-		fr:     fr,
-		scanR:  lo,
+		h:         h,
+		faulty:    faulty,
+		ra:        core.RoundAgreement{}.NewWindow(h, lo, faulty),
+		fr:        fr,
+		scanR:     lo,
 		checkTile: checkTile,
 	}
 }

@@ -3,6 +3,8 @@
 // segment summaries, and Definition 2.4 verdict reports. The CLIs use it
 // for their -trace flags and the examples for their narratives; it is also
 // the debugging loupe for protocol work on top of this module.
+//
+//ftss:det rendered timelines are compared byte-for-byte in golden tests
 package trace
 
 import (

@@ -14,6 +14,8 @@
 // (partition) closes the connection and refuses frames in both
 // directions until it heals; per-frame fates inject loss and write delay
 // (skew) without touching the protocol above.
+//
+//ftss:conc sockets and per-peer writer goroutines; lock/channel protocol statically checked
 package transport
 
 import (
@@ -118,12 +120,15 @@ type peerLink struct {
 	id   proc.ID
 	addr string
 
-	mu     sync.Mutex
-	queue  []outFrame
+	mu sync.Mutex
+	//ftss:guardedby mu
+	queue []outFrame
+	//ftss:guardedby mu
 	closed bool
 	notify chan struct{}
 	done   chan struct{} // closed with the link (wakes sleeps and waits)
-	conn   net.Conn
+	//ftss:guardedby mu
+	conn net.Conn
 }
 
 // Transport is one node's endpoint: a listener for inbound frames and a
@@ -135,8 +140,10 @@ type Transport struct {
 	seq   atomic.Uint64
 	peers map[proc.ID]*peerLink
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
+	mu sync.Mutex
+	//ftss:guardedby mu
+	conns map[net.Conn]struct{}
+	//ftss:guardedby mu
 	closed bool
 	wg     sync.WaitGroup
 
