@@ -24,6 +24,7 @@ import (
 	"ftss/internal/sim/async"
 	"ftss/internal/sim/round"
 	"ftss/internal/smr"
+	"ftss/internal/store"
 	"ftss/internal/superimpose"
 	"ftss/internal/wire"
 )
@@ -522,6 +523,52 @@ func BenchmarkSMRBatch(b *testing.B) {
 						len(bs[0].Decided()), len(bs[1].Decided()), len(bs[2].Decided()), b.N)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkStoreShards: the sharded CAS store's headline — aggregate
+// throughput across independent Π⁺ consensus groups. A fixed seeded
+// workload is routed across the shards and every shard is driven to
+// drain; the reported ns/op is *simulated* time per committed CAS
+// (makespan = the slowest shard's virtual clock, divided over the
+// ops), which is the modeled system's capacity and is deterministic on
+// any host. Sub-bench names are shard counts: near-linear scaling means
+// ns/op falls near-linearly from /1 to /16 (the /64 row shows the
+// tail-off once per-shard op counts stop filling batches).
+func BenchmarkStoreShards(b *testing.B) {
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("%d", shards), func(b *testing.B) {
+			const opsPerIter = 1024
+			var simTotal async.Time
+			var applied uint64
+			for i := 0; i < b.N; i++ {
+				st := store.New(store.Config{
+					Shards: shards, Seed: int64(i + 1), MaxBatch: 8,
+				})
+				rng := rand.New(rand.NewSource(int64(i)*131 + 17))
+				ver := make(map[string]uint64, opsPerIter/4)
+				for j := 0; j < opsPerIter; j++ {
+					k := fmt.Sprintf("k%04d", rng.Intn(opsPerIter/4))
+					old := ver[k]
+					if rng.Intn(5) == 0 {
+						old++ // deliberate stale CAS
+					} else {
+						ver[k]++
+					}
+					st.Submit(store.Op{Key: k, Old: old, Val: int64(j)})
+				}
+				if err := st.Drive(shards); err != nil {
+					b.Fatal(err)
+				}
+				simTotal += st.Makespan()
+				applied += st.Stats().Applied
+			}
+			if want := uint64(b.N) * opsPerIter; applied != want {
+				b.Fatalf("applied %d of %d ops", applied, want)
+			}
+			// Sim-µs → ns so the unit benchbase tracks stays ns/op.
+			b.ReportMetric(float64(simTotal)*1000/float64(uint64(b.N)*opsPerIter), "ns/op")
 		})
 	}
 }

@@ -1,10 +1,10 @@
 // Command ftss-exp regenerates the paper-reproduction experiment tables
-// (E1–E14, one per figure/theorem of Gopal & Perry PODC '93). See
+// (E1–E15, one per figure/theorem of Gopal & Perry PODC '93). See
 // EXPERIMENTS.md for the recorded outputs and DESIGN.md for the index.
 //
 // Usage:
 //
-//	ftss-exp [-exp all|E1|…|E14] [-seed BASE] [-seeds N] [-rounds N] [-horizon MS]
+//	ftss-exp [-exp all|E1|…|E15] [-seed BASE] [-seeds N] [-rounds N] [-horizon MS]
 //	         [-workers N] [-markdown] [-metrics FILE] [-events FILE]
 //
 // -metrics and -events write the run's telemetry (instrument snapshot and
@@ -32,7 +32,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ftss-exp", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, or one of E1..E14")
+	exp := fs.String("exp", "all", "experiment to run: all, or one of E1..E15")
 	seed := fs.Int64("seed", 0, "base seed; repetitions use seed+1..seed+seeds")
 	seeds := fs.Int("seeds", experiment.DefaultConfig().Seeds, "random repetitions per parameter point")
 	rounds := fs.Int("rounds", experiment.DefaultConfig().Rounds, "synchronous run length (rounds)")
@@ -75,6 +75,7 @@ func run(args []string) error {
 		"E12": experiment.E12ParameterSweep,
 		"E13": experiment.E13RepeatedAsyncConsensus,
 		"E14": experiment.E14NScaling,
+		"E15": experiment.E15ShardScaling,
 	}
 
 	var tables []*experiment.Table
@@ -84,7 +85,7 @@ func run(args []string) error {
 	default:
 		r, ok := runners[which]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want all or E1..E14)", *exp)
+			return fmt.Errorf("unknown experiment %q (want all or E1..E15)", *exp)
 		}
 		tables = []*experiment.Table{r(cfg)}
 	}

@@ -1,0 +1,94 @@
+// Command ftss-store serves the sharded CAS key-value store over TCP:
+// N completely independent Π⁺ consensus groups (internal/store) behind
+// the wire CASRequest/CASReply framing, one shard per key-space slice
+// under the deterministic FNV-1a router. Connections are closed-loop —
+// one op in flight per connection, replies in order — and each op is
+// driven to commitment on its shard's private discrete-event engine
+// before the reply frame leaves.
+//
+// With -corrupt-every the server periodically corrupts one seeded-
+// random replica per shard (the §2.1 systemic-failure model) while it
+// serves, and every shard's poll trace runs through the incremental
+// Definition 2.4 checker. On shutdown (SIGINT/SIGTERM) the server
+// prints the store report — totals, latency quantiles, per-shard
+// verdict lines — and exits non-zero if any shard's verdict failed,
+// which is what the CI soak smoke gates on.
+//
+// Usage:
+//
+//	ftss-store [-listen 127.0.0.1:7400] [-shards 16] [-replicas 3]
+//	           [-seed 1] [-max-batch 64] [-pipeline 2]
+//	           [-corrupt-every 0] [-metrics FILE] [-pprof ADDR]
+//
+//ftss:conc one goroutine per connection over monitor-guarded shards
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registered on the opt-in -pprof listener only
+	"os"
+
+	"ftss/internal/cli"
+	"ftss/internal/sim/async"
+	"ftss/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, cli.Shutdown("ftss-store")); err != nil {
+		fmt.Fprintln(os.Stderr, "ftss-store:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("ftss-store", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7400", "TCP listen address")
+	shards := fs.Int("shards", 16, "independent consensus groups")
+	replicas := fs.Int("replicas", 3, "replicas per shard")
+	seed := fs.Int64("seed", 1, "seed for every shard's engine, batching, and corruption")
+	maxBatch := fs.Int("max-batch", 64, "smr batch sealing bound")
+	pipeline := fs.Int("pipeline", 2, "smr pipeline depth")
+	corruptEvery := fs.Duration("corrupt-every", 0,
+		"sim interval between per-shard corruption strikes (0 = off)")
+	metricsFile := fs.String("metrics", "", "write the merged metrics snapshot to this file on exit")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ftss-store: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(out, "pprof listening on %s\n", *pprofAddr)
+	}
+
+	st := store.New(store.Config{
+		Shards: *shards, Replicas: *replicas, Seed: *seed,
+		MaxBatch: *maxBatch, Pipeline: *pipeline,
+		CorruptEvery: async.Time(corruptEvery.Microseconds()),
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "listening on %s (shards=%d replicas=%d seed=%d)\n",
+		ln.Addr(), *shards, *replicas, *seed)
+
+	serveErr := store.NewServer(st).Serve(ln, stop)
+
+	if *metricsFile != "" {
+		if err := os.WriteFile(*metricsFile, st.MetricsSnapshot(), 0o644); err != nil {
+			return err
+		}
+	}
+	if err := st.Report(out); err != nil {
+		return err
+	}
+	return serveErr
+}

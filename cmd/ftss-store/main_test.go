@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ftss/internal/wire"
+)
+
+// addrWriter buffers run's output and reports the listen address once
+// the "listening on" line appears.
+type addrWriter struct {
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	addr chan string
+	sent bool
+}
+
+func newAddrWriter() *addrWriter {
+	return &addrWriter{addr: make(chan string, 1)}
+}
+
+func (w *addrWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.sent {
+		if s := w.buf.String(); strings.Contains(s, "listening on ") {
+			rest := s[strings.Index(s, "listening on ")+len("listening on "):]
+			if i := strings.IndexAny(rest, " \n"); i > 0 {
+				w.addr <- rest[:i]
+				w.sent = true
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (w *addrWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+func TestServeCASAndReport(t *testing.T) {
+	metrics := filepath.Join(t.TempDir(), "metrics.txt")
+	out := newAddrWriter()
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-listen", "127.0.0.1:0", "-shards", "4", "-seed", "7",
+			"-corrupt-every", "50ms", "-metrics", metrics,
+		}, out, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-out.addr:
+	case err := <-errc:
+		t.Fatalf("run exited early: %v\n%s", err, out.String())
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no listen line:\n%s", out.String())
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var ver uint64
+	for i := 0; i < 40; i++ {
+		buf, err := wire.AppendFrame(nil, 0, wire.CASRequest{
+			ID: uint64(i), Old: ver, Val: int64(i), Key: "soak",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+		_, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := payload.(wire.CASReply)
+		if !rep.OK || rep.ID != uint64(i) {
+			t.Fatalf("op %d: %+v", i, rep)
+		}
+		ver = rep.Version
+	}
+
+	close(stop)
+	if err := <-errc; err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "verdicts 4/4 pass") {
+		t.Fatalf("report missing passing verdicts:\n%s", got)
+	}
+	if !strings.Contains(got, "ops=40 applied=40") {
+		t.Fatalf("report missing op totals:\n%s", got)
+	}
+	snap, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(snap), "store.all.cas_ok") {
+		t.Fatalf("metrics snapshot missing merged counters:\n%s", snap)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-listen", "300.0.0.1:bad"}, &bytes.Buffer{}, nil); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

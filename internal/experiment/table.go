@@ -5,7 +5,7 @@
 // shape — who stabilizes, within how many rounds, who fails and why — is
 // what the paper predicts. EXPERIMENTS.md records the outputs.
 //
-//ftss:det E1-E14 tables must be byte-identical across machines
+//ftss:det E1-E15 tables must be byte-identical across machines
 package experiment
 
 import (
@@ -158,5 +158,6 @@ func All(cfg Config) []*Table {
 		E12ParameterSweep(cfg),
 		E13RepeatedAsyncConsensus(cfg),
 		E14NScaling(cfg),
+		E15ShardScaling(cfg),
 	}
 }

@@ -120,6 +120,71 @@ func (h *Histogram) Observe(v uint64) {
 	h.n.Add(1)
 }
 
+// Quantile returns the upper bound of the bucket holding the p-quantile
+// observation (rank ⌈p·Count⌉ in the sorted stream), and whether that
+// rank landed in a finite bucket. The answer is a bucket bound, not an
+// interpolation, so it is integral and byte-stable: two histograms with
+// equal bucket counts report equal quantiles on every platform. An empty
+// histogram reports (0, false); a rank in the overflow bucket reports
+// the largest finite bound and false.
+func (h *Histogram) Quantile(p float64) (uint64, bool) {
+	if h == nil {
+		return 0, false
+	}
+	total := h.n.Load()
+	if total == 0 {
+		return 0, false
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(p * float64(total))
+	if float64(rank) < p*float64(total) || rank == 0 {
+		rank++ // ⌈p·total⌉, and at least the first observation
+	}
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return bound, true
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0, false
+	}
+	return h.bounds[len(h.bounds)-1], false
+}
+
+// Merge folds src's observations into h bucket by bucket. Bounds must
+// match (same panic contract as Registry re-registration). Merging is
+// commutative and associative, so per-shard histograms folded in any
+// order yield identical totals; fold them in a fixed order anyway when
+// the target registry's creation order matters. Nil receiver or source
+// is a no-op.
+func (h *Histogram) Merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	if len(h.bounds) != len(src.bounds) {
+		panic("obs: histogram merge with different bounds")
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != src.bounds[i] {
+			panic("obs: histogram merge with different bounds")
+		}
+	}
+	for i := range src.counts {
+		if v := src.counts[i].Load(); v > 0 {
+			h.counts[i].Add(v)
+		}
+	}
+	h.sum.Add(src.sum.Load())
+	h.n.Add(src.n.Load())
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -261,6 +326,40 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 	}
 	r.ins[name] = h
 	return h
+}
+
+// Merge folds every instrument of src into r under prefix+name:
+// counters add, histograms merge bucket-wise, gauges fold with SetMax
+// (the only commutative gauge combination — merged gauges are high-water
+// marks). Source names are visited in sorted order and the fold
+// operations commute, so merging per-shard registries in a fixed shard
+// order after a worker pool joins yields a byte-identical Snapshot for
+// any worker count.
+func (r *Registry) Merge(prefix string, src *Registry) {
+	if src == nil {
+		return
+	}
+	src.mu.Lock()
+	names := make([]string, 0, len(src.ins))
+	for name := range src.ins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	srcIns := make([]instrument, len(names))
+	for i, name := range names {
+		srcIns[i] = src.ins[name]
+	}
+	src.mu.Unlock()
+	for i, name := range names {
+		switch in := srcIns[i].(type) {
+		case *Counter:
+			r.Counter(prefix + name).Add(in.Value())
+		case *Gauge:
+			r.Gauge(prefix + name).SetMax(in.Value())
+		case *Histogram:
+			r.Histogram(prefix+name, in.bounds).Merge(in)
+		}
+	}
 }
 
 // Snapshot renders every instrument as one line, sorted by name — the

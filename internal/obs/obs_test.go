@@ -178,3 +178,104 @@ func TestNullSink(t *testing.T) {
 	var s Sink = Null{}
 	s.Emit(Event{Kind: "ignored"})
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	bounds := []uint64{10, 20, 50, 100}
+	h := NewRegistry().Histogram("q", bounds)
+	if q, ok := h.Quantile(0.5); q != 0 || ok {
+		t.Fatalf("empty histogram Quantile = %d,%v", q, ok)
+	}
+	// 4 obs ≤10, 4 in (10,20], 2 in (50,100].
+	for _, v := range []uint64{1, 5, 9, 10, 11, 15, 18, 20, 60, 99} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		p    float64
+		want uint64
+	}{
+		{0, 10},    // rank clamps to the first observation
+		{0.25, 10}, // rank 3 ≤ cum 4
+		{0.4, 10},  // rank 4, boundary of the first bucket
+		{0.5, 20},  // rank 5 lands in the second bucket
+		{0.8, 20},  // rank 8, boundary of the second bucket
+		{0.9, 100}, // rank 9 skips the empty (20,50] bucket
+		{1, 100},
+	}
+	for _, c := range cases {
+		q, ok := h.Quantile(c.p)
+		if !ok || q != c.want {
+			t.Fatalf("Quantile(%v) = %d,%v want %d,true", c.p, q, ok, c.want)
+		}
+	}
+	h.Observe(101) // overflow
+	if q, ok := h.Quantile(1); q != 100 || ok {
+		t.Fatalf("overflow Quantile(1) = %d,%v want 100,false", q, ok)
+	}
+	var nilH *Histogram
+	if q, ok := nilH.Quantile(0.5); q != 0 || ok {
+		t.Fatalf("nil histogram Quantile = %d,%v", q, ok)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	bounds := []uint64{10, 100}
+	a := NewRegistry().Histogram("h", bounds)
+	b := NewRegistry().Histogram("h", bounds)
+	a.Observe(5)
+	a.Observe(50)
+	b.Observe(50)
+	b.Observe(500)
+	a.Merge(b)
+	if a.Count() != 4 || a.Sum() != 605 {
+		t.Fatalf("merged Count=%d Sum=%d", a.Count(), a.Sum())
+	}
+	if q, ok := a.Quantile(0.5); q != 100 || !ok {
+		t.Fatalf("merged Quantile(0.5) = %d,%v", q, ok)
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != 4 {
+		t.Fatalf("nil merge changed Count to %d", a.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merge with different bounds did not panic")
+		}
+	}()
+	a.Merge(NewRegistry().Histogram("h", []uint64{10, 20}))
+}
+
+func TestRegistryMergeIsOrderIndependent(t *testing.T) {
+	shard := func(i int) *Registry {
+		r := NewRegistry()
+		r.Counter("ops").Add(uint64(10 * (i + 1)))
+		r.Gauge("depth").SetMax(int64(i))
+		h := r.Histogram("lat", []uint64{10, 100})
+		h.Observe(uint64(i))
+		h.Observe(uint64(100 * i))
+		return r
+	}
+	merge := func(order []int) []byte {
+		dst := NewRegistry()
+		for _, i := range order {
+			dst.Merge("all.", shard(i))
+		}
+		// A prefixed per-shard copy keyed by the canonical shard index,
+		// as the store emits after its pool joins.
+		dst.Merge("shard0.", shard(0))
+		return dst.Snapshot()
+	}
+	a := merge([]int{0, 1, 2})
+	b := merge([]int{2, 0, 1})
+	if !bytes.Equal(a, b) {
+		t.Fatalf("merge order changed snapshot:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(string(a), "counter all.ops 60") {
+		t.Fatalf("merged counter missing:\n%s", a)
+	}
+	if !strings.Contains(string(a), "gauge all.depth 2") {
+		t.Fatalf("merged gauge should fold SetMax:\n%s", a)
+	}
+	if !strings.Contains(string(a), "histogram all.lat count=6") {
+		t.Fatalf("merged histogram missing:\n%s", a)
+	}
+}

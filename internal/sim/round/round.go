@@ -162,12 +162,24 @@ func NewEngine(procs []Process, adv failure.Adversary) (*Engine, error) {
 		}
 		byID[id] = p
 	}
+	// The per-round scratch is sized once here, with every inbox at full
+	// fan-in capacity, so steady-state Steps allocate nothing for message
+	// routing: lazy growth inside Step would charge ~2× the final
+	// footprint in doubling garbage to the first rounds (the n=256
+	// coterie benchmarks' dominant B/op term before this was hoisted).
+	inbox := make([][]Message, len(procs))
+	for i := range inbox {
+		inbox[i] = make([]Message, 0, len(procs))
+	}
 	return &Engine{
 		procs:    procs,
 		byID:     byID,
 		adv:      adv,
 		round:    1,
 		crashed:  proc.NewSet(),
+		aliveIDs: make([]proc.ID, 0, len(procs)),
+		sent:     make([]any, len(procs)),
+		inbox:    inbox,
 		designed: adv.Faulty().Clone(),
 	}, nil
 }
@@ -265,12 +277,8 @@ func (e *Engine) Step() {
 	}
 
 	// Alive IDs in increasing order: a counting pass over the dense ID
-	// space, not a set sort.
-	if e.aliveIDs == nil {
-		e.aliveIDs = make([]proc.ID, 0, n)
-		e.sent = make([]any, n)
-		e.inbox = make([][]Message, n)
-	}
+	// space, not a set sort. The scratch buffers were sized at
+	// construction (NewEngine), so this never allocates.
 	aliveIDs := e.aliveIDs[:0]
 	for i := 0; i < n; i++ {
 		if !e.crashed.Has(proc.ID(i)) {

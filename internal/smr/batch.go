@@ -215,6 +215,18 @@ func (b *BatchingReplica) learn(batch Batch) {
 // name contributes nothing; an ID whose contents are not yet known
 // stalls the fold and asks a peer, so the stream never reorders.
 func (b *BatchingReplica) expand(ctx async.Context) {
+	// Fold-cursor invariant: next ≤ cur (the fold never outruns the
+	// commit cursor). Corruption breaks it transiently — a corrupted
+	// cursor can sit 2⁴⁰ slots ahead, the wholesale forfeit below then
+	// latches next onto it, and when gossip adoption pulls the cursor
+	// back to the group's live window the fold would be stranded above
+	// it forever: the replica stops expanding, never retires its open
+	// batches, and re-proposes them until peers' dedupe records age out.
+	// Resetting to the commit cursor restores the invariant; the span
+	// skipped is the corrupted one, whose agreement is forfeit anyway.
+	if b.next > b.cur {
+		b.next = b.cur
+	}
 	for {
 		id, ok := b.Get(b.next)
 		if !ok {
@@ -223,6 +235,16 @@ func (b *BatchingReplica) expand(ctx async.Context) {
 				// only possible after corruption minted a far-future
 				// frontier. Skip; agreement for the corrupted span is
 				// forfeit anyway (same trade as the inner log).
+				if b.cur-b.next > GossipWindow {
+					// Everything below cur−GossipWindow is pruned from the
+					// log (syncCursor prunes before expand ever runs), so
+					// each of those slots would take this branch one by
+					// one. Forfeit them wholesale: a corrupted cursor can
+					// sit 2⁴⁰ slots ahead, and the per-slot walk would
+					// never terminate on a human timescale.
+					b.next = b.cur - GossipWindow
+					continue
+				}
 				b.next++
 				continue
 			}

@@ -251,3 +251,150 @@ func TestPipelineHoldsDecisionOrder(t *testing.T) {
 		t.Fatalf("cursor = %d, want 2", r.CurrentSlot())
 	}
 }
+
+// TestExpandDedupesCollidingID: a corruption-minted decision can collide
+// with a live batch ID inside the gossip window (Corrupt poisons log
+// entries with values in [0, 2²⁰) — the same range real IDs start in).
+// The fold must commit the batch's commands exactly once and record the
+// duplicate slot as NoOp.
+func TestExpandDedupesCollidingID(t *testing.T) {
+	bs, _ := NewBatchingReplicas(1, quietWeak(1, 1), BatchPolicy{MaxBatch: 2, Seed: 3})
+	b := bs[0]
+	b.Submit(10)
+	b.Submit(11)
+	b.sealTick()
+	if len(b.open) != 1 {
+		t.Fatalf("open window = %d batches, want 1", len(b.open))
+	}
+	id := b.open[0].ID
+	// Slot 0: the live decision. Slot 1: the corruption-minted collision,
+	// one slot later, well inside GossipWindow. Slot 2: a NoOp so the
+	// cursor sits past both.
+	b.log[0] = entry{val: id}
+	b.log[1] = entry{val: id}
+	b.log[2] = entry{val: NoOp}
+	b.cur = 3
+	b.expand(nil)
+	if b.next != 3 {
+		t.Fatalf("expanded through slot %d, want 3", b.next)
+	}
+	if len(b.out) != 2 || b.out[0] != 10 || b.out[1] != 11 {
+		t.Fatalf("committed stream = %v, want [10 11] exactly once", b.out)
+	}
+	if slot, ok := b.expanded[id]; !ok || slot != 0 {
+		t.Fatalf("dedupe record = %d,%v, want slot 0", slot, ok)
+	}
+	if len(b.open) != 0 {
+		t.Fatalf("decided batch not retired: open=%d", len(b.open))
+	}
+}
+
+// TestExpandForfeitsUnknownID: a decided ID nobody can name stalls the
+// fold while it is still inside the gossip window (a peer might yet
+// answer a BatchRequest) and is forfeited once a full window has passed
+// — the direct test of the forfeit branch.
+func TestExpandForfeitsUnknownID(t *testing.T) {
+	bs, _ := NewBatchingReplicas(1, quietWeak(1, 1), BatchPolicy{MaxBatch: 2, Seed: 3})
+	b := bs[0]
+	b.Submit(20)
+	b.sealTick() // hold path: not sealed yet (short queue)
+	const ghost = Value(7777)
+	b.log[0] = entry{val: ghost}
+	for s := uint64(1); s <= 4; s++ {
+		b.log[s] = entry{val: NoOp}
+	}
+	b.cur = 5
+	b.expand(nil)
+	if b.next != 0 {
+		t.Fatalf("fold advanced to %d past an in-window unknown ID", b.next)
+	}
+	for s := uint64(5); s <= 8; s++ {
+		b.log[s] = entry{val: NoOp}
+	}
+	b.cur = 9 // cur-next = 9 > GossipWindow: the ghost is now forfeit
+	b.expand(nil)
+	if b.next != 9 {
+		t.Fatalf("fold stopped at %d, want 9 after forfeiting the ghost", b.next)
+	}
+	if len(b.out) != 0 {
+		t.Fatalf("forfeited slot committed commands: %v", b.out)
+	}
+}
+
+// TestExpandJumpsCorruptedFrontier: corruption can mint a frontier up to
+// 2²⁰ slots ahead (and a corrupted cursor up to 2⁴⁰); the fold must
+// forfeit the pruned span wholesale instead of walking it slot by slot,
+// and still expand the live batch decided inside the new window.
+func TestExpandJumpsCorruptedFrontier(t *testing.T) {
+	bs, _ := NewBatchingReplicas(1, quietWeak(1, 1), BatchPolicy{MaxBatch: 1, Seed: 3})
+	b := bs[0]
+	b.Submit(30)
+	b.sealTick()
+	id := b.open[0].ID
+	const far = uint64(1) << 40
+	b.log[far-1] = entry{val: id}
+	b.cur = far
+	b.expand(nil)
+	if b.next != far {
+		t.Fatalf("fold at %d, want %d (wholesale forfeit of the pruned span)", b.next, far)
+	}
+	if len(b.out) != 1 || b.out[0] != 30 {
+		t.Fatalf("committed stream = %v, want [30]", b.out)
+	}
+}
+
+// TestBatchingCorruptedRecovers: end to end, a mid-run inner-log
+// corruption (far-future cursor, poisoned entries colliding with the
+// live ID range) leaves a group that keeps committing: every command
+// submitted after the corruption is expanded by every replica, each at
+// most once per stream.
+func TestBatchingCorruptedRecovers(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		const n = 3
+		bs, e := buildBatching(n, BatchPolicy{MaxBatch: 4, Seed: seed}, nil, seed)
+		for i := 0; i < 24; i++ {
+			bs[i%n].Submit(Value(int64(i) + 100))
+		}
+		drainUntil(t, e, bs, proc.Universe(n), 24, 4000*ms)
+
+		rng := rand.New(rand.NewSource(seed * 31))
+		bs[1].Replica.Corrupt(rng)
+		fresh := make(map[Value]bool)
+		for i := 0; i < 24; i++ {
+			v := Value(int64(i) + 9000)
+			bs[i%n].Submit(v)
+			fresh[v] = true
+		}
+		deadline := e.Now() + 8000*ms
+		for {
+			e.RunUntil(e.Now() + 100*ms)
+			done := true
+			for _, b := range bs {
+				got := 0
+				for _, v := range b.Decided() {
+					if fresh[v] {
+						got++
+					}
+				}
+				if got < len(fresh) {
+					done = false
+				}
+			}
+			if done {
+				break
+			}
+			if e.Now() > deadline {
+				t.Fatalf("seed=%d: post-corruption commands not committed everywhere", seed)
+			}
+		}
+		for _, b := range bs {
+			seen := make(map[Value]int)
+			for _, v := range b.Decided() {
+				seen[v]++
+				if seen[v] > 1 {
+					t.Fatalf("seed=%d: replica %v committed %d twice", seed, b.ID(), v)
+				}
+			}
+		}
+	}
+}

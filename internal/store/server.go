@@ -1,0 +1,146 @@
+package store
+
+import (
+	"net"
+	"sync"
+
+	"ftss/internal/proc"
+	"ftss/internal/wire"
+)
+
+// Server exposes a Store over TCP speaking the wire framing: clients
+// send CASRequest frames and get one CASReply per request, in order, on
+// the same connection. The reply frame's sender ID is the shard that
+// served the op, so clients can observe the routing.
+//
+// Each connection is served by one goroutine running a closed loop —
+// read, submit, drive the op's shard until it applies, reply — so a
+// connection has at most one op in flight and the shard monitors are
+// the only synchronization the data path needs. This file is the
+// wall-clock edge of the package; everything it drives underneath stays
+// deterministic per shard.
+type Server struct {
+	st *Store
+
+	mu sync.Mutex
+	//ftss:guardedby mu
+	conns map[net.Conn]struct{}
+	//ftss:guardedby mu
+	closed bool
+	//ftss:guardedby mu
+	stopped bool
+}
+
+// NewServer wraps st; the caller still owns the store and reads its
+// Report/MetricsSnapshot after Serve returns.
+func NewServer(st *Store) *Server {
+	return &Server{st: st, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until stop closes (graceful: the
+// listener and every live connection are closed, in-flight ops having
+// already been driven to completion by their connection loops) or the
+// listener fails. It returns nil on a stop-initiated shutdown.
+func (sv *Server) Serve(ln net.Listener, stop <-chan struct{}) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-stop:
+			sv.shutdown(ln, true)
+		case <-done:
+		}
+	}()
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			sv.shutdown(ln, false)
+			wg.Wait()
+			if sv.wasStopped() {
+				return nil
+			}
+			return err
+		}
+		if !sv.track(conn) {
+			conn.Close() // lost the race with shutdown
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sv.serveConn(conn)
+		}()
+	}
+}
+
+func (sv *Server) serveConn(conn net.Conn) {
+	defer sv.untrack(conn)
+	defer conn.Close()
+	var buf []byte
+	for {
+		_, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // EOF, shutdown, or a malformed frame: drop the conn
+		}
+		req, ok := payload.(wire.CASRequest)
+		if !ok {
+			return // wrong protocol: this port only serves CAS
+		}
+		shard := sv.st.ShardFor(req.Key)
+		sh := sv.st.Shard(shard)
+		id := sh.Submit(Op{Key: req.Key, Old: req.Old, Val: req.Val})
+		if err := sh.DriveAll(); err != nil {
+			return // shard stuck at its sim horizon; verdicts will tell
+		}
+		res, _ := sh.Result(id)
+		buf, err = wire.AppendFrame(buf[:0], proc.ID(shard), wire.CASReply{
+			ID: req.ID, OK: res.OK, Version: res.Version, Val: res.Val,
+		})
+		if err != nil {
+			return
+		}
+		if _, err := conn.Write(buf); err != nil {
+			return
+		}
+	}
+}
+
+// shutdown closes the listener and every tracked connection, once.
+func (sv *Server) shutdown(ln net.Listener, byStop bool) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if byStop {
+		sv.stopped = true
+	}
+	if sv.closed {
+		return
+	}
+	sv.closed = true
+	ln.Close()
+	for c := range sv.conns {
+		c.Close()
+	}
+}
+
+func (sv *Server) track(conn net.Conn) bool {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if sv.closed {
+		return false
+	}
+	sv.conns[conn] = struct{}{}
+	return true
+}
+
+func (sv *Server) untrack(conn net.Conn) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	delete(sv.conns, conn)
+}
+
+func (sv *Server) wasStopped() bool {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.stopped
+}

@@ -1,0 +1,419 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"ftss/internal/chaos"
+	"ftss/internal/core"
+	"ftss/internal/detector"
+	"ftss/internal/obs"
+	"ftss/internal/proc"
+	"ftss/internal/sim/async"
+	"ftss/internal/smr"
+)
+
+// latencyBounds bucket op latency in sim microseconds: one consensus
+// slot costs a few virtual milliseconds, a retried (forfeited) op a few
+// hundred.
+var latencyBounds = []uint64{
+	500, 1000, 2000, 3000, 5000, 8000, 12_000, 20_000,
+	50_000, 100_000, 300_000, 1_000_000, 3_000_000, 10_000_000,
+}
+
+// hashWindow is how many decided slots below the group frontier each
+// poll folds into a replica's cell hash. It must stay well inside
+// smr.GossipWindow: replicas prune below cursor−GossipWindow, and
+// benign frontier skew must never make a live replica hash a pruned
+// slot.
+const hashWindow = 4
+
+type kvEntry struct {
+	ver uint64
+	val int64
+}
+
+// Shard is one Π⁺ consensus group serving one slice of the key space:
+// cfg.Replicas batching replicas on a private seeded discrete-event
+// engine, a CAS state machine folded from the committed command stream,
+// and a chaos.Recorder feeding the incremental Definition 2.4 checker.
+//
+// A Shard is a monitor: one mutex guards everything, so it can be
+// driven from a worker pool and served from connection goroutines
+// without further coordination. All determinism is per shard — the
+// state after Submit/Advance sequence S is a pure function of (cfg,
+// idx, S), whatever other shards or goroutines were doing.
+type Shard struct {
+	mu  sync.Mutex
+	idx int
+	cfg Config
+
+	//ftss:guardedby mu
+	reps []*smr.BatchingReplica
+	//ftss:guardedby mu
+	eng *async.Engine
+	//ftss:guardedby mu
+	rec *chaos.Recorder
+	//ftss:guardedby mu
+	ic *core.IncrementalChecker
+	//ftss:guardedby mu
+	reg *obs.Registry
+	//ftss:guardedby mu
+	crng *rand.Rand
+
+	// Submitted ops, dense by shard-local sequence number (the value the
+	// replicated log carries).
+	//ftss:guardedby mu
+	ops []Op
+	//ftss:guardedby mu
+	firstAt []async.Time // first submission, for latency
+	//ftss:guardedby mu
+	done []bool
+	//ftss:guardedby mu
+	results []Result
+	//ftss:guardedby mu
+	pending int
+	//ftss:guardedby mu
+	scanFrom int64 // ops below this are all applied
+	//ftss:guardedby mu
+	lastProgress async.Time // last time an op applied; retry fires on stall
+	//ftss:guardedby mu
+	nextRep int // round-robin submission target
+
+	//ftss:guardedby mu
+	kv map[string]kvEntry
+	//ftss:guardedby mu
+	applyIdx int // fold cursor into reps[0].Decided()
+
+	//ftss:guardedby mu
+	nextPoll async.Time
+	//ftss:guardedby mu
+	nextCorrupt async.Time
+
+	//ftss:guardedby mu
+	opsC *obs.Counter
+	//ftss:guardedby mu
+	appliedC *obs.Counter
+	//ftss:guardedby mu
+	okC *obs.Counter
+	//ftss:guardedby mu
+	missC *obs.Counter
+	//ftss:guardedby mu
+	retryC *obs.Counter
+	//ftss:guardedby mu
+	invalidC *obs.Counter
+	//ftss:guardedby mu
+	dupC *obs.Counter
+	//ftss:guardedby mu
+	corruptC *obs.Counter
+	//ftss:guardedby mu
+	pollsC *obs.Counter
+	//ftss:guardedby mu
+	marksC *obs.Counter
+	//ftss:guardedby mu
+	frontierG *obs.Gauge
+	//ftss:guardedby mu
+	latH *obs.Histogram
+}
+
+// newShard builds shard idx of a store with config cfg. All randomness
+// derives from (cfg.Seed, idx), so equal configs build equal shards.
+func newShard(idx int, cfg Config) *Shard {
+	base := cfg.Seed*1_000_003 + int64(idx)*7919
+	weak := &detector.SimulatedWeak{N: cfg.Replicas, Seed: base}
+	reps, aps := smr.NewBatchingReplicas(cfg.Replicas, weak, smr.BatchPolicy{
+		MaxBatch: cfg.MaxBatch, Window: 2, HoldFor: 2, Seed: base + 1,
+	})
+	for _, r := range reps {
+		r.SetPipeline(cfg.Pipeline)
+	}
+	eng := async.MustNewEngine(aps, async.Config{
+		Seed: base + 2, TickEvery: async.Millisecond,
+		MinDelay: async.Millisecond, MaxDelay: 2 * async.Millisecond,
+	})
+	rec := chaos.NewRecorder(cfg.Replicas)
+	reg := obs.NewRegistry()
+	pollsC, marksC := reg.Counter("polls"), reg.Counter("marks")
+	rec.Instrument(&chaos.RecorderInstruments{Polls: pollsC, Marks: marksC})
+	s := &Shard{
+		idx: idx, cfg: cfg,
+		reps: reps, eng: eng, rec: rec, reg: reg,
+		ic:   core.NewIncrementalChecker(rec.History(), WindowAgreement, cfg.StabPolls),
+		crng: rand.New(rand.NewSource(base + 3)),
+		kv:   make(map[string]kvEntry),
+
+		nextPoll: cfg.PollEvery,
+
+		opsC: reg.Counter("ops"), appliedC: reg.Counter("applied"),
+		okC: reg.Counter("cas_ok"), missC: reg.Counter("cas_mismatch"),
+		retryC: reg.Counter("retries"), invalidC: reg.Counter("invalid"),
+		dupC: reg.Counter("dups"), corruptC: reg.Counter("corruptions"),
+		pollsC: pollsC, marksC: marksC,
+		frontierG: reg.Gauge("frontier"),
+		latH:      reg.Histogram("latency_us", latencyBounds),
+	}
+	if cfg.CorruptEvery > 0 {
+		s.nextCorrupt = cfg.CorruptEvery //ftss:unguarded constructor; the shard is not yet published
+	}
+	return s
+}
+
+// Submit queues one op and returns its shard-local ID. The op's result
+// becomes available (Result) once its batch commits during a subsequent
+// Advance or DriveAll.
+func (s *Shard) Submit(op Op) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := int64(len(s.ops))
+	now := s.eng.Now()
+	s.ops = append(s.ops, op)
+	s.firstAt = append(s.firstAt, now)
+	s.done = append(s.done, false)
+	s.results = append(s.results, Result{})
+	s.pending++
+	s.opsC.Inc()
+	s.reps[s.nextRep].Submit(smr.Value(seq))
+	s.nextRep = (s.nextRep + 1) % len(s.reps)
+	return seq
+}
+
+// Advance runs the shard's engine d further sim-time units, applying
+// committed ops, polling the Definition 2.4 trace on the configured
+// cadence, and injecting scheduled corruption.
+func (s *Shard) Advance(d async.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(s.eng.Now() + d)
+}
+
+// DriveAll advances the shard until every submitted op has applied, or
+// cfg.MaxSim further sim-time passes (an error: the shard is stuck).
+// The horizon is relative to the call so a long-lived server can keep
+// driving the same shard indefinitely.
+func (s *Shard) DriveAll() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	deadline := s.eng.Now() + s.cfg.MaxSim
+	for s.pending > 0 {
+		if s.eng.Now() >= deadline {
+			return fmt.Errorf("%d ops unapplied at sim horizon %dms",
+				s.pending, s.eng.Now()/async.Millisecond)
+		}
+		s.advanceLocked(s.eng.Now() + 20*async.Millisecond)
+	}
+	return nil
+}
+
+func (s *Shard) advanceLocked(until async.Time) {
+	for {
+		next := until
+		if s.nextCorrupt > 0 && s.nextCorrupt < next {
+			next = s.nextCorrupt
+		}
+		if s.nextPoll < next {
+			next = s.nextPoll
+		}
+		s.eng.RunUntil(next)
+		now := s.eng.Now()
+		if s.nextCorrupt > 0 && now >= s.nextCorrupt {
+			victim := s.crng.Intn(len(s.reps))
+			s.reps[victim].Replica.Corrupt(s.crng)
+			s.rec.Mark()
+			s.corruptC.Inc()
+			s.nextCorrupt += s.cfg.CorruptEvery
+		}
+		if now >= s.nextPoll {
+			s.applyLocked(now)
+			s.pollLocked()
+			s.retryLocked(now)
+			s.nextPoll += s.cfg.PollEvery
+		}
+		if now >= until {
+			break
+		}
+	}
+	s.applyLocked(s.eng.Now())
+}
+
+// applyLocked folds newly committed commands into the CAS state
+// machine. The command stream is reps[0]'s expansion — all replicas
+// agree on it outside forfeited (corrupted) spans, and ops lost to a
+// forfeit are resubmitted by retryLocked, so the fold is both
+// deterministic and complete.
+func (s *Shard) applyLocked(now async.Time) {
+	dec := s.reps[0].Decided()
+	for ; s.applyIdx < len(dec); s.applyIdx++ {
+		seq := int64(dec[s.applyIdx])
+		if seq < 0 || seq >= int64(len(s.ops)) {
+			// A corruption-minted command value. The frontends only ever
+			// expand real batch contents, so this counts wire-level
+			// garbage that survived as a decided batch ID collision.
+			s.invalidC.Inc()
+			continue
+		}
+		if s.done[seq] {
+			s.dupC.Inc() // a retry's second copy, applied after the first
+			continue
+		}
+		op := s.ops[seq]
+		e := s.kv[op.Key]
+		var res Result
+		if op.Old == e.ver {
+			e = kvEntry{ver: e.ver + 1, val: op.Val}
+			s.kv[op.Key] = e
+			res = Result{OK: true, Version: e.ver, Val: e.val}
+			s.okC.Inc()
+		} else {
+			res = Result{OK: false, Version: e.ver, Val: e.val}
+			s.missC.Inc()
+		}
+		s.done[seq] = true
+		s.results[seq] = res
+		s.pending--
+		s.appliedC.Inc()
+		s.latH.Observe(uint64(now - s.firstAt[seq]))
+		s.lastProgress = now
+	}
+}
+
+// pollLocked records one Definition 2.4 observation: each replica's
+// cell is (group frontier W, hash of its log window (W−hashWindow, W]),
+// so the incremental checker's Σ (WindowAgreement) demands that every
+// stable segment reach and keep identical recent logs with a
+// non-regressing frontier.
+func (s *Shard) pollLocked() {
+	w := uint64(0)
+	haveW := false
+	for _, r := range s.reps {
+		f, ok := r.Frontier()
+		if !ok {
+			continue
+		}
+		if !haveW || f < w {
+			w, haveW = f, true
+		}
+	}
+	if !haveW {
+		return // nothing decided anywhere yet: no observation to record
+	}
+	lo := uint64(0)
+	if w+1 > hashWindow {
+		lo = w + 1 - hashWindow
+	}
+	up := proc.NewSet()
+	cells := make(map[proc.ID]chaos.DecisionCell, len(s.reps))
+	for i, r := range s.reps {
+		if _, ok := r.Frontier(); !ok {
+			continue
+		}
+		h := uint64(14695981039346656037)
+		mix := func(v uint64) {
+			h ^= v
+			h *= 1099511628211
+		}
+		for slot := lo; slot <= w; slot++ {
+			mix(slot)
+			if v, ok := r.Get(slot); ok {
+				mix(1)
+				mix(uint64(v))
+			} else {
+				mix(0)
+			}
+		}
+		up.Add(proc.ID(i))
+		cells[proc.ID(i)] = chaos.DecisionCell{OK: true, Round: w, Val: int64(h)}
+	}
+	s.rec.Observe(up, cells)
+	s.frontierG.SetMax(int64(w))
+}
+
+// retryLocked resubmits pending ops when the shard has stalled: no op
+// applied for cfg.RetryAfter while some are still pending. That is the
+// forfeit signature — a batch was expanded by its proposer but skipped
+// by reps[0]'s fold over a corrupted span, so its ops will never apply
+// without resubmission. A merely backlogged shard keeps applying and
+// never trips this, so retries don't multiply load under deep queues.
+// Re-deciding an already-applied op is harmless — applyLocked dedupes
+// by sequence number.
+func (s *Shard) retryLocked(now async.Time) {
+	for s.scanFrom < int64(len(s.ops)) && s.done[s.scanFrom] {
+		s.scanFrom++
+	}
+	if s.pending == 0 || now-s.lastProgress < s.cfg.RetryAfter {
+		return
+	}
+	for seq := s.scanFrom; seq < int64(len(s.ops)); seq++ {
+		if s.done[seq] {
+			continue
+		}
+		s.reps[s.nextRep].Submit(smr.Value(seq))
+		s.nextRep = (s.nextRep + 1) % len(s.reps)
+		s.retryC.Inc()
+	}
+	s.lastProgress = now // pace the next stall round trip
+}
+
+// Result returns op id's post-commit register state, if it has applied.
+func (s *Shard) Result(id int64) (Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= int64(len(s.done)) || !s.done[id] {
+		return Result{}, false
+	}
+	return s.results[id], true
+}
+
+// Get reads a key's current version and value (0, 0 when absent).
+func (s *Shard) Get(key string) (version uint64, val int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.kv[key]
+	return e.ver, e.val
+}
+
+// Pending returns how many submitted ops have not yet applied.
+func (s *Shard) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}
+
+// Now returns the shard's sim clock.
+func (s *Shard) Now() async.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Now()
+}
+
+// Verdict returns the shard's incremental Definition 2.4 verdict over
+// every poll so far (nil: all closed segments stabilized and stayed
+// clean).
+func (s *Shard) Verdict() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ic.Verdict()
+}
+
+// Polls returns how many Definition 2.4 observations were recorded.
+func (s *Shard) Polls() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pollsC.Value()
+}
+
+// Marks returns how many systemic-failure marks (corruptions) were
+// recorded.
+func (s *Shard) Marks() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.marksC.Value()
+}
+
+// Registry returns the shard's metrics registry (instruments are
+// internally synchronized; the registry pointer itself is immutable).
+func (s *Shard) Registry() *obs.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg
+}

@@ -1,0 +1,223 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ftss/internal/chaos"
+	"ftss/internal/core"
+	"ftss/internal/proc"
+	"ftss/internal/sim/async"
+)
+
+// seededOps builds a deterministic op stream: keys k000..k(keys-1),
+// values and expected versions driven by a seeded rng with a running
+// per-key version estimate, so a fixed share of CASes succeed.
+func seededOps(seed int64, n, keys int) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	ver := make(map[string]uint64, keys)
+	ops := make([]Op, n)
+	for i := range ops {
+		k := fmt.Sprintf("k%03d", rng.Intn(keys))
+		old := ver[k]
+		if rng.Intn(4) == 0 {
+			old += uint64(rng.Intn(3)) + 1 // deliberate mismatch
+		} else {
+			ver[k]++ // in-order CAS chain: will succeed
+		}
+		ops[i] = Op{Key: k, Old: old, Val: int64(1000 + i)}
+	}
+	return ops
+}
+
+func TestStoreCASSemantics(t *testing.T) {
+	st := New(Config{Shards: 1, Seed: 3, MaxBatch: 8})
+	sh := st.Shard(0)
+	a := sh.Submit(Op{Key: "x", Old: 0, Val: 10})
+	b := sh.Submit(Op{Key: "x", Old: 1, Val: 20})
+	c := sh.Submit(Op{Key: "x", Old: 1, Val: 30}) // stale: version is 2 by then
+	d := sh.Submit(Op{Key: "y", Old: 0, Val: 40})
+	if err := st.Drive(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		id   int64
+		want Result
+	}{
+		{a, Result{OK: true, Version: 1, Val: 10}},
+		{b, Result{OK: true, Version: 2, Val: 20}},
+		{c, Result{OK: false, Version: 2, Val: 20}},
+		{d, Result{OK: true, Version: 1, Val: 40}},
+	} {
+		got, ok := sh.Result(tc.id)
+		if !ok || got != tc.want {
+			t.Fatalf("op %d: result %+v,%v want %+v", tc.id, got, ok, tc.want)
+		}
+	}
+	if ver, val := sh.Get("x"); ver != 2 || val != 20 {
+		t.Fatalf("x = v%d %d, want v2 20", ver, val)
+	}
+	if err := st.Report(&bytes.Buffer{}); err != nil {
+		t.Fatalf("clean run verdicts: %v", err)
+	}
+}
+
+// TestRouterDeterministic: the hash router is a pure function — two
+// stores with the same shard count agree on every key's home shard, the
+// assignment doesn't depend on the seed, and the keys spread across
+// shards rather than clumping.
+func TestRouterDeterministic(t *testing.T) {
+	a := New(Config{Shards: 16, Seed: 1})
+	b := New(Config{Shards: 16, Seed: 99})
+	used := make(map[int]int)
+	for i := 0; i < 512; i++ {
+		key := fmt.Sprintf("user/%04d", i)
+		sa, sb := a.ShardFor(key), b.ShardFor(key)
+		if sa != sb {
+			t.Fatalf("key %q routed to %d and %d", key, sa, sb)
+		}
+		used[sa]++
+	}
+	if len(used) != 16 {
+		t.Fatalf("512 keys hit only %d/16 shards", len(used))
+	}
+	for sh, n := range used {
+		if n > 512/4 {
+			t.Fatalf("shard %d got %d/512 keys — router clumping", sh, n)
+		}
+	}
+}
+
+// TestStoreWorkersByteIdentical: the satellite determinism claim — the
+// same seed and key set produce byte-identical merged metrics and
+// reports whether the shards are driven by 1 worker or 8.
+func TestStoreWorkersByteIdentical(t *testing.T) {
+	run := func(workers int) ([]byte, []byte) {
+		st := New(Config{Shards: 8, Seed: 5, MaxBatch: 8})
+		for _, op := range seededOps(11, 256, 64) {
+			st.Submit(op)
+		}
+		if err := st.Drive(workers); err != nil {
+			t.Fatal(err)
+		}
+		var rep bytes.Buffer
+		if err := st.Report(&rep); err != nil {
+			t.Fatal(err)
+		}
+		return st.MetricsSnapshot(), rep.Bytes()
+	}
+	snap1, rep1 := run(1)
+	snap8, rep8 := run(8)
+	if !bytes.Equal(snap1, snap8) {
+		t.Fatalf("metrics differ between -workers 1 and 8:\n%s\nvs\n%s", snap1, snap8)
+	}
+	if !bytes.Equal(rep1, rep8) {
+		t.Fatalf("reports differ between -workers 1 and 8:\n%s\nvs\n%s", rep1, rep8)
+	}
+	if !strings.Contains(string(rep1), "verdicts 8/8 pass") {
+		t.Fatalf("expected all verdicts to pass:\n%s", rep1)
+	}
+}
+
+// TestStoreVerdictsUnderCorruption: with periodic corruption each shard
+// records systemic marks, retries forfeit ops, and still drains with
+// every per-shard Definition 2.4 verdict passing (each corruption
+// stabilizes within the budget).
+func TestStoreVerdictsUnderCorruption(t *testing.T) {
+	st := New(Config{
+		Shards: 4, Seed: 7, MaxBatch: 8,
+		CorruptEvery: 60 * async.Millisecond,
+	})
+	for _, op := range seededOps(13, 512, 32) {
+		st.Submit(op)
+	}
+	if err := st.Drive(2); err != nil {
+		t.Fatal(err)
+	}
+	var rep bytes.Buffer
+	if err := st.Report(&rep); err != nil {
+		t.Fatalf("verdicts under corruption: %v\n%s", err, rep.String())
+	}
+	marks := uint64(0)
+	for i := 0; i < st.NumShards(); i++ {
+		marks += st.Shard(i).Marks()
+	}
+	if marks == 0 {
+		t.Fatal("corruption was configured but no systemic marks recorded")
+	}
+	for i := 0; i < st.NumShards(); i++ {
+		if p := st.Shard(i).Pending(); p != 0 {
+			t.Fatalf("shard %d still has %d pending ops", i, p)
+		}
+	}
+}
+
+// TestStoreRerunIdentical: a full store run is a pure function of its
+// config and submit sequence.
+func TestStoreRerunIdentical(t *testing.T) {
+	run := func() []byte {
+		st := New(Config{Shards: 4, Seed: 9, MaxBatch: 16, CorruptEvery: 600 * async.Millisecond})
+		for _, op := range seededOps(17, 300, 40) {
+			st.Submit(op)
+		}
+		if err := st.Drive(4); err != nil {
+			t.Fatal(err)
+		}
+		return st.MetricsSnapshot()
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatalf("reruns differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestWindowAgreementViolations: the Σ itself — divergent cells, a
+// missing frontier, and a regressing frontier are violations; lockstep
+// advance is not.
+func TestWindowAgreementViolations(t *testing.T) {
+	cell := func(w uint64, h int64) chaos.DecisionCell {
+		return chaos.DecisionCell{OK: true, Round: w, Val: h}
+	}
+	obsPoll := func(rec *chaos.Recorder, cells ...chaos.DecisionCell) {
+		up := proc.NewSet()
+		m := map[proc.ID]chaos.DecisionCell{}
+		for i, c := range cells {
+			up.Add(proc.ID(i))
+			m[proc.ID(i)] = c
+		}
+		rec.Observe(up, m)
+	}
+
+	rec := chaos.NewRecorder(3)
+	ic := core.NewIncrementalChecker(rec.History(), WindowAgreement, 1)
+	obsPoll(rec, cell(5, 42), cell(5, 42), cell(5, 42))
+	obsPoll(rec, cell(6, 43), cell(6, 43), cell(6, 43))
+	if err := ic.Verdict(); err != nil {
+		t.Fatalf("lockstep advance violated Σ: %v", err)
+	}
+	obsPoll(rec, cell(7, 44), cell(7, 99), cell(7, 44))
+	obsPoll(rec, cell(7, 44), cell(7, 99), cell(7, 44))
+	if err := ic.Verdict(); err == nil {
+		t.Fatal("divergent window hashes passed")
+	}
+
+	rec = chaos.NewRecorder(2)
+	ic = core.NewIncrementalChecker(rec.History(), WindowAgreement, 1)
+	obsPoll(rec, cell(5, 1), cell(5, 1))
+	obsPoll(rec, cell(5, 1), cell(5, 1)) // past the stabilization prefix
+	obsPoll(rec, cell(4, 1), cell(4, 1)) // frontier rolls back with no mark
+	obsPoll(rec, cell(4, 1), cell(4, 1))
+	if err := ic.Verdict(); err == nil {
+		t.Fatal("regressing frontier passed")
+	}
+
+	rec = chaos.NewRecorder(2)
+	ic = core.NewIncrementalChecker(rec.History(), WindowAgreement, 1)
+	obsPoll(rec, cell(5, 1), chaos.DecisionCell{})
+	obsPoll(rec, cell(5, 1), chaos.DecisionCell{})
+	if err := ic.Verdict(); err == nil {
+		t.Fatal("missing frontier passed")
+	}
+}

@@ -50,7 +50,37 @@ const (
 	tagNack
 	tagRound
 	tagDecide
+	tagCASRequest
+	tagCASReply
 )
+
+// CASRequest is the client-facing store frame: compare-and-swap Key from
+// version Old to value Val. ID is a client-chosen correlation number
+// echoed verbatim in the reply, so one connection can pipeline requests.
+type CASRequest struct {
+	// ID correlates the reply on a pipelined connection.
+	ID uint64
+	// Old is the expected current version of Key (0 for "absent").
+	Old uint64
+	// Val is the value to install.
+	Val int64
+	// Key names the register. Bounded to 64 KiB by the encoding.
+	Key string
+}
+
+// CASReply answers one CASRequest. OK reports whether the swap applied;
+// Version and Val are the register's post-decision version and value
+// either way, so a failed CAS doubles as a versioned read.
+type CASReply struct {
+	// ID echoes the request's correlation number.
+	ID uint64
+	// OK reports whether the swap applied.
+	OK bool
+	// Version is the register's version after the op committed.
+	Version uint64
+	// Val is the register's value after the op committed.
+	Val int64
+}
 
 // MaxFrame bounds a frame body. A SyncMsg for n processes is 3+9n bytes,
 // so the bound admits clusters far beyond anything the runtime boots
@@ -139,6 +169,26 @@ func Append(buf []byte, payload any) ([]byte, error) {
 		buf = appendU64(buf, m.Round)
 		buf = appendU64(buf, uint64(m.Val))
 		return buf, nil
+	case CASRequest:
+		if len(m.Key) > 0xffff {
+			return buf, fmt.Errorf("%w: CASRequest key of %d bytes", ErrUnknownMessage, len(m.Key))
+		}
+		buf = append(buf, tagCASRequest)
+		buf = appendU64(buf, m.ID)
+		buf = appendU64(buf, m.Old)
+		buf = appendU64(buf, uint64(m.Val))
+		buf = appendU16(buf, uint16(len(m.Key)))
+		return append(buf, m.Key...), nil
+	case CASReply:
+		buf = append(buf, tagCASReply)
+		buf = appendU64(buf, m.ID)
+		if m.OK {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = appendU64(buf, m.Version)
+		return appendU64(buf, uint64(m.Val)), nil
 	default:
 		return buf, fmt.Errorf("%w: %T", ErrUnknownMessage, payload)
 	}
@@ -214,6 +264,30 @@ func Decode(b []byte) (any, error) {
 			return nil, err
 		}
 		return ctcons.DecideMsg{Round: u64(body), Val: ctcons.Value(u64(body[8:]))}, nil
+	case tagCASRequest:
+		if len(body) < 26 {
+			return nil, fmt.Errorf("%w: CASRequest shorter than its fixed fields", ErrBadFrame)
+		}
+		keyLen := int(u16(body[24:]))
+		if len(body) != 26+keyLen {
+			return nil, fmt.Errorf("%w: CASRequest key length %d but %d key bytes",
+				ErrBadFrame, keyLen, len(body)-26)
+		}
+		return CASRequest{
+			ID: u64(body), Old: u64(body[8:]), Val: int64(u64(body[16:])),
+			Key: string(body[26:]),
+		}, nil
+	case tagCASReply:
+		if err := exact(25); err != nil {
+			return nil, err
+		}
+		if body[8] > 1 {
+			return nil, fmt.Errorf("%w: CASReply ok byte %d", ErrBadFrame, body[8])
+		}
+		return CASReply{
+			ID: u64(body), OK: body[8] == 1,
+			Version: u64(body[9:]), Val: int64(u64(body[17:])),
+		}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown tag %d", ErrBadFrame, tag)
 	}

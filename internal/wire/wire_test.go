@@ -28,6 +28,10 @@ func every() []any {
 		ctcons.NackMsg{Round: 4},
 		ctcons.RoundMsg{Round: 1<<64 - 1},
 		ctcons.DecideMsg{Round: 12, Val: -1},
+		CASRequest{ID: 1, Old: 0, Val: -7, Key: "users/42"},
+		CASRequest{ID: ^uint64(0), Old: 1 << 50, Val: 1<<63 - 1, Key: ""},
+		CASReply{ID: 9, OK: true, Version: 3, Val: -1},
+		CASReply{ID: 0, OK: false, Version: 0, Val: 0},
 	}
 }
 
@@ -113,6 +117,22 @@ func TestDecodeStrict(t *testing.T) {
 		{tagSync, 0},       // count cut off
 		{tagSync, 0, 2, 0}, // fewer record bytes than count
 		append([]byte{tagSync, 0, 1}, []byte{0, 0, 0, 0, 0, 0, 0, 0, 7}...), // dead byte not 0/1
+		{tagCASRequest, 0, 0, 0},                                // shorter than the fixed fields
+		append([]byte{tagCASRequest}, make([]byte, 26)...)[:26], // key length cut off
+		func() []byte { // key length 5 but only 2 key bytes
+			b := append([]byte{tagCASRequest}, make([]byte, 24)...)
+			return append(b, 0, 5, 'a', 'b')
+		}(),
+		func() []byte { // trailing bytes past the declared key
+			b, _ := Append(nil, CASRequest{ID: 1, Key: "k"})
+			return append(b, 'x')
+		}(),
+		append([]byte{tagCASReply}, make([]byte, 24)...), // short body
+		func() []byte { // ok byte not 0/1
+			b, _ := Append(nil, CASReply{ID: 1, OK: true, Version: 2, Val: 3})
+			b[9] = 7
+			return b
+		}(),
 	}
 	for _, b := range bad {
 		if v, err := Decode(b); err == nil {
@@ -301,4 +321,25 @@ func FuzzReadFrame(f *testing.F) {
 			t.Fatalf("frame re-encoding differs: %x vs %x", out, data[:len(out)])
 		}
 	})
+}
+
+// TestCASKeyBounds: the encoding bounds keys at 64 KiB; an oversized key
+// is an Append-time error, and the largest admissible key round-trips.
+func TestCASKeyBounds(t *testing.T) {
+	big := string(make([]byte, 0x10000))
+	if _, err := Append(nil, CASRequest{Key: big}); err == nil {
+		t.Fatal("64 KiB key encoded without error")
+	}
+	max := string(bytes.Repeat([]byte{'k'}, 0xffff))
+	b, err := Append(nil, CASRequest{ID: 2, Old: 1, Val: 3, Key: max})
+	if err != nil {
+		t.Fatalf("max key: %v", err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode max key: %v", err)
+	}
+	if got.(CASRequest).Key != max {
+		t.Fatal("max key did not round-trip")
+	}
 }
