@@ -17,7 +17,12 @@
 //
 //	ftss-cluster [-n 4] [-seed 1] [-episodes 3] [-episode-len 150ms]
 //	             [-quiet-len 350ms] [-tick 1ms] [-cap 1024] [-poll 10ms]
-//	             [-dir DIR] [-node PATH]
+//	             [-dir DIR] [-node PATH] [-admin ADDR]
+//
+// -admin serves the launcher's live telemetry plane: /metrics counts
+// boots/kills and the nodes-up gauge, /healthz lists per-node up/down
+// (503 when a majority is down), /events tails node_boot/node_kill/
+// node_exit lifecycle records.
 //
 // Artifacts land in -dir (default: a fresh temp directory): schedule.txt
 // (the staged plan), node-i.log, node-i.events.jsonl, node-i.chaos.jsonl
@@ -37,12 +42,15 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"ftss/internal/admin"
 	"ftss/internal/chaos"
 	"ftss/internal/cli"
 	"ftss/internal/cluster"
+	"ftss/internal/obs"
 	"ftss/internal/proc"
 	"ftss/internal/trace"
 )
@@ -80,6 +88,7 @@ func run(args []string) error {
 	fs.DurationVar(&p.poll, "poll", 10*time.Millisecond, "decision-register poll interval")
 	fs.StringVar(&p.dir, "dir", "", "artifact directory (default: fresh temp dir)")
 	fs.StringVar(&p.nodeBin, "node", "", "path to the ftss-node binary (default: beside this binary, then $PATH)")
+	adminAddr := fs.String("admin", "", "serve the admin plane (/metrics, /healthz, /events) on this address")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +135,20 @@ func run(args []string) error {
 		return err
 	}
 	defer l.closeLogs()
+	if *adminAddr != "" {
+		tail := admin.NewTail(0)
+		l.sink = obs.NewJSONL(tail)
+		adm, err := admin.Start(*adminAddr, admin.Plane{
+			Metrics: l.reg.Snapshot,
+			Health:  l.status,
+			Tail:    tail,
+		})
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Printf("admin plane on %s\n", adm.Addr())
+	}
 	for i := 0; i < p.n; i++ {
 		if err := l.start(proc.ID(i), 0, false); err != nil {
 			l.killAll()
@@ -167,13 +190,29 @@ type launcher struct {
 	p     params
 	addrs []string
 	logs  []*os.File
-	kids  []*child
 	epoch time.Time
+
+	mu sync.Mutex
+	// kids is guarded by mu: the schedule player mutates it while the
+	// admin handlers read it.
+	kids []*child
+
+	// Launcher telemetry, live behind -admin: the schedule player is the
+	// only writer, the admin handlers the readers.
+	reg    *obs.Registry
+	sink   obs.Sink
+	upG    *obs.Gauge
+	killsC *obs.Counter
+	bootsC *obs.Counter
 }
 
 func newLauncher(p params) (*launcher, error) {
 	l := &launcher{p: p, addrs: make([]string, p.n),
-		logs: make([]*os.File, p.n), kids: make([]*child, p.n)}
+		logs: make([]*os.File, p.n), kids: make([]*child, p.n),
+		reg: obs.NewRegistry(), sink: obs.Null{}}
+	l.upG = l.reg.Gauge("cluster.nodes_up")
+	l.killsC = l.reg.Counter("cluster.kills")
+	l.bootsC = l.reg.Counter("cluster.boots")
 	for i := range l.addrs {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -233,8 +272,61 @@ func (l *launcher) start(id proc.ID, since time.Duration, corrupt bool) error {
 	}
 	c := &child{cmd: cmd, done: make(chan error, 1)}
 	go func() { c.done <- cmd.Wait() }()
+	l.mu.Lock()
 	l.kids[id] = c
+	l.mu.Unlock()
+	l.bootsC.Inc()
+	l.upG.Set(int64(l.upCount()))
+	l.sink.Emit(obs.Event{Kind: "node_boot", T: l.wallMS(), P: int(id),
+		Fields: []obs.KV{{K: "since_ms", V: since.Milliseconds()}}})
 	return nil
+}
+
+// wallMS stamps launcher lifecycle events in wall milliseconds since the
+// cluster epoch — live telemetry, not a deterministic artifact.
+func (l *launcher) wallMS() uint64 {
+	ms := time.Since(l.epoch).Milliseconds()
+	if ms < 0 {
+		return 0
+	}
+	return uint64(ms)
+}
+
+func (l *launcher) upCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	up := 0
+	for _, c := range l.kids {
+		if c != nil {
+			up++
+		}
+	}
+	return up
+}
+
+// status renders /healthz: one line per node slot plus the up count.
+// Healthy means a majority of member processes are currently running —
+// the cluster can still decide — so a staged kill window reads 200 while
+// a wider outage reads 503.
+func (l *launcher) status() (bool, []byte) {
+	l.mu.Lock()
+	up := 0
+	states := make([]string, len(l.kids))
+	for i, c := range l.kids {
+		if c != nil {
+			up++
+			states[i] = "up"
+		} else {
+			states[i] = "down"
+		}
+	}
+	l.mu.Unlock()
+	var b []byte
+	for i, s := range states {
+		b = append(b, fmt.Sprintf("node %d %s\n", i, s)...)
+	}
+	b = append(b, fmt.Sprintf("nodes %d/%d up\n", up, len(states))...)
+	return up*2 > len(states), b
 }
 
 // playSchedule executes the launcher's share of the plan — kills and
@@ -292,22 +384,29 @@ func (l *launcher) sleepUntil(at time.Time, stop <-chan struct{}) bool {
 
 // kill SIGKILLs one node — the chaos semantics: no flush, no goodbye.
 func (l *launcher) kill(id proc.ID) {
+	l.mu.Lock()
 	c := l.kids[id]
+	l.kids[id] = nil
+	l.mu.Unlock()
 	if c == nil {
 		return
 	}
 	c.cmd.Process.Kill()
 	<-c.done // reap
-	l.kids[id] = nil
+	l.killsC.Inc()
+	l.upG.Set(int64(l.upCount()))
+	l.sink.Emit(obs.Event{Kind: "node_kill", T: l.wallMS(), P: int(id)})
 }
 
 func (l *launcher) killAll() {
-	for id := range l.kids {
+	for id := 0; id < l.p.n; id++ {
 		l.kill(proc.ID(id))
 	}
 }
 
 func (l *launcher) signalAll(sig syscall.Signal) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for _, c := range l.kids {
 		if c != nil {
 			c.cmd.Process.Signal(sig)
@@ -320,7 +419,10 @@ func (l *launcher) signalAll(sig syscall.Signal) {
 func (l *launcher) drain(interrupted bool) {
 	grace := 10 * time.Second
 	deadline := time.After(grace)
-	for id, c := range l.kids {
+	for id := 0; id < l.p.n; id++ {
+		l.mu.Lock()
+		c := l.kids[id]
+		l.mu.Unlock()
 		if c == nil {
 			continue
 		}
@@ -338,7 +440,11 @@ func (l *launcher) drain(interrupted bool) {
 				<-c.done
 			}
 		}
+		l.mu.Lock()
 		l.kids[id] = nil
+		l.mu.Unlock()
+		l.upG.Set(int64(l.upCount()))
+		l.sink.Emit(obs.Event{Kind: "node_exit", T: l.wallMS(), P: id})
 	}
 }
 

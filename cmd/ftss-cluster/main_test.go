@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -97,6 +100,83 @@ func TestClusterSmoke(t *testing.T) {
 	scheduleB, _ := os.ReadFile(filepath.Join(dirB, "schedule.txt"))
 	if !bytes.Equal(scheduleA, scheduleB) {
 		t.Error("schedule.txt differs between same-seed runs")
+	}
+}
+
+// TestClusterAdminPlane: a launcher run with -admin serves its own live
+// plane mid-run — boot/kill counters on /metrics, per-node up/down on
+// /healthz, lifecycle events on /events — scraped while the schedule
+// plays, before the verdict prints.
+func TestClusterAdminPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a real 3-process cluster")
+	}
+	bin := t.TempDir()
+	nodeBin, clusterBin := buildBinaries(t, bin)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adminAddr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, clusterBin,
+		"-n", "3", "-seed", "5", "-episodes", "1",
+		"-episode-len", "150ms", "-quiet-len", "1s",
+		"-node", nodeBin, "-dir", filepath.Join(bin, "run"),
+		"-admin", adminAddr)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, []byte, error) {
+		resp, err := http.Get("http://" + adminAddr + path)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, body, err
+	}
+	var health []byte
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body, err := get("/healthz")
+		if err == nil && code == 200 {
+			health = body
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/healthz never reached 200 (last: %d %v)\n%s", code, err, out.Bytes())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !bytes.Contains(health, []byte("node 0 ")) || !bytes.Contains(health, []byte("/3 up")) {
+		t.Errorf("/healthz body = %q", health)
+	}
+	if code, body, err := get("/metrics"); err != nil || code != 200 ||
+		!bytes.Contains(body, []byte("counter cluster.boots")) ||
+		!bytes.Contains(body, []byte("gauge cluster.nodes_up")) {
+		t.Errorf("/metrics = %d %v %q", code, err, body)
+	}
+	if code, body, err := get("/events"); err != nil || code != 200 ||
+		!bytes.Contains(body, []byte(`"ev":"node_boot"`)) {
+		t.Errorf("/events = %d %v %q", code, err, body)
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("ftss-cluster: %v\n%s", err, out.Bytes())
+	}
+	if !strings.Contains(out.String(), "admin plane on "+adminAddr) {
+		t.Errorf("no admin plane line in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "SATISFIED") {
+		t.Errorf("run did not pass the Definition 2.4 check:\n%s", out.String())
 	}
 }
 

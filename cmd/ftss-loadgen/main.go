@@ -19,7 +19,13 @@
 //
 //	ftss-loadgen -addr 127.0.0.1:7400 [-clients 4] [-ops 200]
 //	             [-keys 64] [-skew 0] [-seed 1]
-//	             [-metrics FILE] [-pprof ADDR]
+//	             [-metrics FILE] [-trace FILE] [-pprof ADDR]
+//
+// -trace gives every op a deterministic span ID derived from (-seed,
+// client, op index), carries it to the server in the traced wire frame
+// (a store run with -trace links its server-side spans under it), and
+// writes one client.rtt span per op as sorted JSONL — feed it to
+// ftss-tracev together with the server's trace file.
 //
 //ftss:conc one goroutine per client; results merge through atomic instruments
 package main
@@ -64,6 +70,7 @@ func run(args []string, out io.Writer) error {
 	skew := fs.Float64("skew", 0, "Zipf skew exponent; <=1 means uniform keys")
 	seed := fs.Int64("seed", 1, "workload seed; key streams derive from (seed, client)")
 	metricsFile := fs.String("metrics", "", "write the metrics snapshot to this file")
+	traceFile := fs.String("trace", "", "trace every op and write client.rtt span JSONL to this file")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +96,10 @@ func run(args []string, out io.Writer) error {
 	missC := reg.Counter("loadgen.cas_mismatch")
 	errsC := reg.Counter("loadgen.errors")
 	latH := reg.Histogram("loadgen.latency_us", wallBounds)
+	var col *obs.Collector
+	if *traceFile != "" {
+		col = obs.NewCollector()
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -96,7 +107,7 @@ func run(args []string, out io.Writer) error {
 	for c := 0; c < *clients; c++ {
 		go func(c int) {
 			defer wg.Done()
-			if err := client(*addr, c, *ops, *keys, *skew, *seed, opsC, okC, missC, latH); err != nil {
+			if err := client(*addr, c, *ops, *keys, *skew, *seed, opsC, okC, missC, latH, col, start); err != nil {
 				errsC.Inc()
 				fmt.Fprintf(os.Stderr, "ftss-loadgen: client %d: %v\n", c, err)
 			}
@@ -110,6 +121,21 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if col != nil {
+		tf, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		err = col.WriteJSONL(tf)
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loadgen: trace %d spans, %d collisions -> %s\n",
+			col.Len(), col.Collisions(), *traceFile)
+	}
 	fmt.Fprintf(out, "loadgen: clients=%d keys=%d skew=%g ops=%d cas_ok=%d cas_mismatch=%d errors=%d\n",
 		*clients, *keys, *skew, opsC.Value(), okC.Value(), missC.Value(), errsC.Value())
 	p50, ok50 := latH.Quantile(0.50)
@@ -119,7 +145,7 @@ func run(args []string, out io.Writer) error {
 		thr = opsC.Value() * 1_000_000 / uint64(us)
 	}
 	fmt.Fprintf(out, "loadgen: latency p50=%dµs(%s) p99=%dµs(%s) elapsed=%dms throughput=%d ops/s (wall)\n",
-		p50, bound(ok50), p99, bound(ok99), elapsed.Milliseconds(), thr)
+		p50, obs.BoundTag(ok50), p99, obs.BoundTag(ok99), elapsed.Milliseconds(), thr)
 	if errsC.Value() > 0 {
 		return fmt.Errorf("%d clients failed", errsC.Value())
 	}
@@ -127,9 +153,12 @@ func run(args []string, out io.Writer) error {
 }
 
 // client runs one closed-loop connection: a seeded key stream, one op
-// in flight, per-key version memory fed from the replies.
+// in flight, per-key version memory fed from the replies. With col
+// non-nil every request carries a deterministic span ID over the wire
+// and lands one client.rtt span stamped in wall µs since start.
 func client(addr string, c, ops, keys int, skew float64, seed int64,
-	opsC, okC, missC *obs.Counter, latH *obs.Histogram) error {
+	opsC, okC, missC *obs.Counter, latH *obs.Histogram,
+	col *obs.Collector, start time.Time) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -153,7 +182,12 @@ func client(addr string, c, ops, keys int, skew float64, seed int64,
 			Val: int64(c)*1_000_000 + int64(n),
 			Key: key,
 		}
-		buf, err = wire.AppendFrame(buf[:0], 0, req)
+		var span obs.SpanID
+		if col != nil {
+			span = obs.DeriveSpanID(seed, uint64(c), uint64(n))
+			col.Claim(span, fmt.Sprintf("client%03d/%d", c, n))
+		}
+		buf, err = wire.AppendFrameTrace(buf[:0], 0, uint64(span), req)
 		if err != nil {
 			return err
 		}
@@ -161,7 +195,7 @@ func client(addr string, c, ops, keys int, skew float64, seed int64,
 		if _, err := conn.Write(buf); err != nil {
 			return err
 		}
-		_, payload, err := wire.ReadFrame(conn)
+		_, _, payload, err := wire.ReadFrameTrace(conn)
 		if err != nil {
 			return err
 		}
@@ -170,6 +204,13 @@ func client(addr string, c, ops, keys int, skew float64, seed int64,
 			return fmt.Errorf("op %d: bad reply %T %+v", n, payload, payload)
 		}
 		latH.Observe(uint64(time.Since(sent).Microseconds()))
+		if col != nil {
+			col.Record(obs.Span{
+				ID: span, Phase: "client.rtt", P: c,
+				Start: uint64(sent.Sub(start).Microseconds()),
+				End:   uint64(time.Since(start).Microseconds()),
+			})
+		}
 		opsC.Inc()
 		if rep.OK {
 			okC.Inc()
@@ -179,13 +220,4 @@ func client(addr string, c, ops, keys int, skew float64, seed int64,
 		ver[key] = rep.Version
 	}
 	return nil
-}
-
-// bound renders a Quantile's in-bounds flag: "le" when the rank landed
-// in a finite bucket, "gt" when it spilled past the last bound.
-func bound(ok bool) string {
-	if ok {
-		return "le"
-	}
-	return "gt"
 }

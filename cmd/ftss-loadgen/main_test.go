@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"ftss/internal/obs"
 	"ftss/internal/store"
 )
 
@@ -82,5 +83,61 @@ func TestLoadgenFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-addr", "x", "-clients", "0"}, &out); err == nil {
 		t.Error("zero clients accepted")
+	}
+}
+
+// TestLoadgenTraceStitchesToServer runs a traced loadgen against a
+// traced store: the client trace file holds one client.rtt span per op
+// with zero collisions, and every server-side op span's parent is a
+// client span — the cross-process causal link ftss-tracev consumes.
+func TestLoadgenTraceStitchesToServer(t *testing.T) {
+	st := store.New(store.Config{Shards: 2, Seed: 31, MaxBatch: 8, Trace: true})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() { errc <- store.NewServer(st).Serve(ln, stop) }()
+
+	traceF := filepath.Join(t.TempDir(), "client.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{
+		"-addr", ln.Addr().String(), "-clients", "2", "-ops", "15",
+		"-keys", "8", "-seed", "5", "-trace", traceF,
+	}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	close(stop)
+	if err := <-errc; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if !strings.Contains(out.String(), "trace 30 spans, 0 collisions") {
+		t.Fatalf("trace summary missing:\n%s", out.String())
+	}
+
+	tf, err := os.Open(traceF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	clientSpans, err := obs.ParseSpans(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[obs.SpanID]bool, len(clientSpans))
+	for _, sp := range clientSpans {
+		if sp.Phase != "client.rtt" {
+			t.Fatalf("unexpected client phase %q", sp.Phase)
+		}
+		ids[sp.ID] = true
+	}
+	if len(ids) != 30 {
+		t.Fatalf("distinct client spans = %d, want 30", len(ids))
+	}
+	for _, sp := range st.TraceSpans() {
+		if !ids[sp.Parent] {
+			t.Fatalf("server span %v (%s) has no client parent (parent=%v)", sp.ID, sp.Phase, sp.Parent)
+		}
 	}
 }

@@ -16,6 +16,12 @@
 //	          [-seed 1] [-episodes 3] [-episode-len 150ms] [-quiet-len 350ms]
 //	          [-tick 1ms] [-cap 1024] [-poll 10ms] [-since 0] [-corrupt]
 //	          [-metrics FILE] [-events FILE] [-chaos-events FILE]
+//	          [-admin ADDR]
+//
+// -admin serves the live telemetry plane while the node runs: /metrics
+// is the registry snapshot, /healthz the runtime health plus decision
+// state (503 until this node's process decides), /events a tail of the
+// -events stream.
 //
 // -events and -chaos-events are opened in append mode so a restarted
 // incarnation extends the same files. The -chaos-events stream is a pure
@@ -67,6 +73,7 @@ func run(args []string) error {
 	metricsFile := fs.String("metrics", "", "write the final telemetry snapshot to this file")
 	eventsFile := fs.String("events", "", "append the JSONL event stream (node_poll records) to this file")
 	chaosFile := fs.String("chaos-events", "", "append the deterministic chaos schedule stream to this file")
+	adminAddr := fs.String("admin", "", "serve the admin plane (/metrics, /healthz, /events) on this address")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +97,7 @@ func run(args []string) error {
 		Episodes: *episodes, EpisodeLen: *episodeLen, QuietLen: *quietLen,
 		Tick: *tick, MailboxCap: *mailboxCap, PollEvery: *poll,
 		Since: *since, Corrupt: *corrupt,
+		AdminAddr: *adminAddr,
 	}
 	// Event streams append so a restarted incarnation extends the files
 	// its predecessor left behind.

@@ -27,7 +27,7 @@
 //	ftss-soak [-seed 1] [-n 5] [-episodes 5] [-episode-len 150ms]
 //	          [-quiet-len 350ms] [-tick 300us] [-cap 1024]
 //	          [-runs 1] [-workers 0]
-//	          [-metrics FILE] [-events FILE] [-pprof ADDR]
+//	          [-metrics FILE] [-metrics-interval 0] [-events FILE] [-pprof ADDR]
 //
 // -metrics aggregates both clusters' instruments (cons.* and smr.*
 // prefixes) plus the recorder's soak.* counters across every run;
@@ -115,10 +115,15 @@ func run(args []string, w io.Writer) error {
 	workers := fs.Int("workers", 0, "runs executed concurrently; 0 = GOMAXPROCS. "+
 		"Output is merged in seed order, byte-identical to a sequential run")
 	metricsFile := fs.String("metrics", "", "write the aggregated telemetry snapshot to this file")
+	metricsInterval := fs.Duration("metrics-interval", 0,
+		"stream periodic metric delta blocks to the -metrics file + \".deltas\" (0 = off)")
 	eventsFile := fs.String("events", "", "write the structured JSONL event stream to this file")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metricsInterval > 0 && *metricsFile == "" {
+		return fmt.Errorf("-metrics-interval needs -metrics FILE for the delta stream path")
 	}
 	if *pprofAddr != "" {
 		go func() {
@@ -150,6 +155,39 @@ func run(args []string, w io.Writer) error {
 		eventsW = ef
 	}
 
+	// Periodic delta stream: "# delta" blocks against the shared registry
+	// while the soak runs, a final block once it stops. SnapshotSum over
+	// the blocks equals the exit snapshot, which the tests pin.
+	stopDeltas := func() error { return nil }
+	if *metricsInterval > 0 {
+		df, err := os.Create(*metricsFile + ".deltas")
+		if err != nil {
+			return err
+		}
+		dw := obs.NewDeltaWriter(df, p.reg.Snapshot)
+		done := make(chan struct{})
+		ticker := time.NewTicker(*metricsInterval)
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					dw.Tick()
+				case <-done:
+					return
+				}
+			}
+		}()
+		stopDeltas = func() error {
+			ticker.Stop()
+			close(done)
+			err := dw.Tick()
+			if cerr := df.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		}
+	}
+
 	var runErr error
 	if *runs <= 1 {
 		if p.reg != nil {
@@ -163,6 +201,9 @@ func run(args []string, w io.Writer) error {
 		runErr = soakMany(p, *runs, *workers, w, eventsW)
 	}
 
+	if err := stopDeltas(); err != nil && runErr == nil {
+		runErr = err
+	}
 	// The snapshot is written even when checks failed: a failing soak's
 	// telemetry is exactly what CI wants to keep.
 	if *metricsFile != "" {

@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"ftss/internal/obs"
 )
 
 // TestShortSoakPasses runs a compressed soak — three episodes cover the
@@ -108,5 +112,47 @@ func TestRejectsTinyCluster(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-n", "2"}, &out); err == nil {
 		t.Error("n=2 should be rejected")
+	}
+}
+
+// TestMetricsDeltaSumMatchesExit pins the -metrics-interval contract:
+// folding every "# delta" block the soak streamed reproduces the exit
+// snapshot byte-for-byte.
+func TestMetricsDeltaSumMatchesExit(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.txt")
+	var out bytes.Buffer
+	if err := run([]string{
+		"-seed", "3", "-n", "5", "-episodes", "2",
+		"-episode-len", "60ms", "-quiet-len", "350ms", "-tick", "1ms",
+		"-metrics", metrics, "-metrics-interval", "50ms",
+	}, &out); err != nil {
+		t.Fatalf("soak: %v\n%s", err, out.String())
+	}
+	exit, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := os.ReadFile(metrics + ".deltas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(deltas), "# delta 1\n") {
+		t.Fatalf("no delta blocks streamed:\n%s", deltas)
+	}
+	sum, err := obs.SnapshotSum(nil, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sum, exit) {
+		t.Fatalf("delta sum != exit snapshot:\n%s\nvs\n%s", sum, exit)
+	}
+}
+
+// TestMetricsIntervalNeedsMetrics: the delta stream has nowhere to go
+// without -metrics.
+func TestMetricsIntervalNeedsMetrics(t *testing.T) {
+	if err := run([]string{"-metrics-interval", "50ms"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("-metrics-interval without -metrics accepted")
 	}
 }

@@ -18,7 +18,18 @@
 //
 //	ftss-store [-listen 127.0.0.1:7400] [-shards 16] [-replicas 3]
 //	           [-seed 1] [-max-batch 64] [-pipeline 2]
-//	           [-corrupt-every 0] [-metrics FILE] [-pprof ADDR]
+//	           [-corrupt-every 0] [-metrics FILE] [-metrics-interval 0]
+//	           [-trace FILE] [-events FILE] [-admin ADDR] [-pprof ADDR]
+//
+// -trace enables causal op tracing (deterministic span IDs, one
+// queue/slot/apply span triple per op, containment spans per
+// corruption) and writes the sorted span JSONL to FILE on exit —
+// ftss-tracev's input. -admin serves the live telemetry plane
+// (/metrics, /healthz, /events) while the store runs; -events appends
+// shard lifecycle events to FILE and feeds the same stream to the
+// admin tail. -metrics-interval streams "# delta" blocks to
+// FILE.deltas (FILE from -metrics); the blocks sum to the exit
+// snapshot, which obs.SnapshotSum and the soak tests pin.
 //
 //ftss:conc one goroutine per connection over monitor-guarded shards
 package main
@@ -31,8 +42,12 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registered on the opt-in -pprof listener only
 	"os"
+	"sync"
+	"time"
 
+	"ftss/internal/admin"
 	"ftss/internal/cli"
+	"ftss/internal/obs"
 	"ftss/internal/sim/async"
 	"ftss/internal/store"
 )
@@ -55,9 +70,17 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	corruptEvery := fs.Duration("corrupt-every", 0,
 		"sim interval between per-shard corruption strikes (0 = off)")
 	metricsFile := fs.String("metrics", "", "write the merged metrics snapshot to this file on exit")
+	metricsInterval := fs.Duration("metrics-interval", 0,
+		"stream periodic metric delta blocks to the -metrics file + \".deltas\" (0 = off)")
+	traceFile := fs.String("trace", "", "enable causal op tracing and write span JSONL to this file on exit")
+	eventsFile := fs.String("events", "", "append shard lifecycle events (JSONL) to this file")
+	adminAddr := fs.String("admin", "", "serve the admin plane (/metrics, /healthz, /events) on this address")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metricsInterval > 0 && *metricsFile == "" {
+		return fmt.Errorf("-metrics-interval needs -metrics FILE for the delta stream path")
 	}
 	if *pprofAddr != "" {
 		go func() {
@@ -68,11 +91,85 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		fmt.Fprintf(out, "pprof listening on %s\n", *pprofAddr)
 	}
 
-	st := store.New(store.Config{
+	// The event stream fans out to the -events file and the admin tail;
+	// either alone still gets the full stream.
+	var tail *admin.Tail
+	if *adminAddr != "" {
+		tail = admin.NewTail(0)
+	}
+	var eventSinks []io.Writer
+	if tail != nil {
+		eventSinks = append(eventSinks, tail)
+	}
+	if *eventsFile != "" {
+		ef, err := os.OpenFile(*eventsFile, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer ef.Close()
+		eventSinks = append(eventSinks, ef)
+	}
+	cfg := store.Config{
 		Shards: *shards, Replicas: *replicas, Seed: *seed,
 		MaxBatch: *maxBatch, Pipeline: *pipeline,
 		CorruptEvery: async.Time(corruptEvery.Microseconds()),
-	})
+		Trace:        *traceFile != "",
+	}
+	if len(eventSinks) > 0 {
+		cfg.Events = obs.NewJSONL(io.MultiWriter(eventSinks...))
+	}
+	st := store.New(cfg)
+
+	if *adminAddr != "" {
+		adm, err := admin.Start(*adminAddr, admin.Plane{
+			Metrics: st.MetricsSnapshot,
+			Health:  func() (bool, []byte) { return healthz(st) },
+			Tail:    tail,
+		})
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Fprintf(out, "admin plane on %s\n", adm.Addr())
+	}
+
+	stopDeltas := func() error { return nil }
+	if *metricsInterval > 0 {
+		df, err := os.Create(*metricsFile + ".deltas")
+		if err != nil {
+			return err
+		}
+		dw := obs.NewDeltaWriter(df, st.MetricsSnapshot)
+		var mu sync.Mutex
+		done := make(chan struct{})
+		ticker := time.NewTicker(*metricsInterval)
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					mu.Lock()
+					dw.Tick()
+					mu.Unlock()
+				case <-done:
+					return
+				}
+			}
+		}()
+		stopDeltas = func() error {
+			ticker.Stop()
+			close(done)
+			mu.Lock()
+			defer mu.Unlock()
+			// The final delta closes the stream: the block sum now equals
+			// the exit snapshot exactly.
+			err := dw.Tick()
+			if cerr := df.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		}
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -82,13 +179,48 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 
 	serveErr := store.NewServer(st).Serve(ln, stop)
 
+	if err := stopDeltas(); err != nil && serveErr == nil {
+		serveErr = err
+	}
 	if *metricsFile != "" {
 		if err := os.WriteFile(*metricsFile, st.MetricsSnapshot(), 0o644); err != nil {
 			return err
 		}
 	}
+	if *traceFile != "" {
+		tf, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		err = st.WriteTrace(tf)
+		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: %d spans, %d collisions -> %s\n",
+			len(st.TraceSpans()), st.TraceCollisions(), *traceFile)
+	}
 	if err := st.Report(out); err != nil {
 		return err
 	}
 	return serveErr
+}
+
+// healthz renders the live shard verdict summary for /healthz: one
+// line per failing shard plus the pass count, 503 when any shard's
+// incremental Definition 2.4 verdict is failing right now.
+func healthz(st *store.Store) (bool, []byte) {
+	var b []byte
+	pass := 0
+	for i, err := range st.Verdicts() {
+		if err == nil {
+			pass++
+		} else {
+			b = append(b, fmt.Sprintf("shard %03d FAIL: %v\n", i, err)...)
+		}
+	}
+	b = append(b, fmt.Sprintf("verdicts %d/%d pass\n", pass, st.NumShards())...)
+	return pass == st.NumShards(), b
 }

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"ftss/internal/obs"
 	"ftss/internal/wire"
 )
 
@@ -119,4 +122,151 @@ func TestRunFlagValidation(t *testing.T) {
 	if err := run([]string{"-listen", "300.0.0.1:bad"}, &bytes.Buffer{}, nil); err == nil {
 		t.Error("bad listen address accepted")
 	}
+}
+
+// TestAdminPlaneAndDeltas boots the full observability surface — admin
+// endpoint, causal tracing, event stream, periodic metric deltas —
+// serves load, scrapes the plane mid-run, and pins the exit contracts:
+// the delta blocks sum to the exit snapshot and the trace parses with
+// every op phase present.
+func TestAdminPlaneAndDeltas(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.txt")
+	traceF := filepath.Join(dir, "trace.jsonl")
+	events := filepath.Join(dir, "events.jsonl")
+	out := newAddrWriter()
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-listen", "127.0.0.1:0", "-shards", "2", "-seed", "11",
+			"-corrupt-every", "40ms", "-admin", "127.0.0.1:0",
+			"-metrics", metrics, "-metrics-interval", "50ms",
+			"-trace", traceF, "-events", events,
+		}, out, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-out.addr:
+	case err := <-errc:
+		t.Fatalf("run exited early: %v\n%s", err, out.String())
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no listen line:\n%s", out.String())
+	}
+	s := out.String()
+	i := strings.Index(s, "admin plane on ")
+	if i < 0 {
+		t.Fatalf("no admin line:\n%s", s)
+	}
+	adminAddr := s[i+len("admin plane on "):]
+	adminAddr = adminAddr[:strings.IndexAny(adminAddr, " \n")]
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var ver uint64
+	ctx := uint64(0xfeedface)
+	for i := 0; i < 30; i++ {
+		buf, err := wire.AppendFrameTrace(nil, 0, ctx+uint64(i), wire.CASRequest{
+			ID: uint64(i), Old: ver, Val: int64(i), Key: "adm",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+		_, echoed, payload, err := wire.ReadFrameTrace(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if echoed != ctx+uint64(i) {
+			t.Fatalf("op %d: trace echo %#x", i, echoed)
+		}
+		ver = payload.(wire.CASReply).Version
+	}
+
+	// Mid-load scrape: the plane answers while connections are live.
+	code, body := httpGet(t, "http://"+adminAddr+"/metrics")
+	if code != 200 || !strings.Contains(string(body), "counter store.all.applied") {
+		t.Fatalf("/metrics mid-load = %d:\n%s", code, body)
+	}
+	if code, body = httpGet(t, "http://"+adminAddr+"/healthz"); code != 200 ||
+		!strings.Contains(string(body), "verdicts 2/2 pass") {
+		t.Fatalf("/healthz mid-load = %d %q", code, body)
+	}
+
+	close(stop)
+	if err := <-errc; err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+
+	// Delta blocks sum to the exit snapshot, byte for byte.
+	exit, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := os.ReadFile(metrics + ".deltas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.SnapshotSum(nil, deltas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sum, exit) {
+		t.Fatalf("delta sum != exit snapshot:\n%s\nvs\n%s", sum, exit)
+	}
+
+	// The trace file parses and covers every op phase.
+	tf, err := os.Open(traceF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	spans, err := obs.ParseSpans(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]int{}
+	linked := 0
+	for _, sp := range spans {
+		phases[sp.Phase]++
+		if sp.Parent != 0 {
+			linked++
+		}
+	}
+	for _, ph := range []string{"store.queue", "store.slot", "store.apply"} {
+		if phases[ph] != 30 {
+			t.Fatalf("phase %s spans = %d, want 30 (%v)", ph, phases[ph], phases)
+		}
+	}
+	if linked != 3*30 {
+		t.Fatalf("spans carrying the wire trace context = %d, want 90", linked)
+	}
+
+	// The event stream recorded the corruption lifecycle.
+	ev, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ev), `"ev":"shard_corrupt"`) {
+		t.Fatalf("no corruption events in stream:\n%s", ev)
+	}
+}
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
 }

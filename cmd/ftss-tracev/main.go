@@ -1,0 +1,194 @@
+// Command ftss-tracev is the offline trace analyzer: it reads span
+// JSONL (written by ftss-store -trace, ftss-loadgen -trace, or any
+// obs.Collector) and reconstructs per-op critical paths into a
+// byte-stable report — per-phase latency breakdown, slowest-op
+// exemplars, and per-shard corruption containment timelines.
+//
+// Determinism: spans are sorted under the obs total order before any
+// aggregation and every statistic is an exact integral quantile over
+// the sorted durations, so the report bytes depend only on the span
+// set — not on arrival order, worker count, or file order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"ftss/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftss-tracev:", err)
+		os.Exit(1)
+	}
+}
+
+// opPhases are the server-side op phases, in pipeline order. Their
+// spans share the op's span ID; everything else in the trace is either
+// a containment span or a client span.
+var opPhases = [3]string{"store.queue", "store.slot", "store.apply"}
+
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("ftss-tracev", flag.ContinueOnError)
+	top := fs.Int("top", 5, "how many slowest-op exemplars to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var spans []obs.Span
+	if fs.NArg() == 0 {
+		var err error
+		if spans, err = obs.ParseSpans(stdin); err != nil {
+			return err
+		}
+	}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		ss, err := obs.ParseSpans(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		spans = append(spans, ss...)
+	}
+	report(out, spans, *top)
+	return nil
+}
+
+// op is one reconstructed critical path: the op's three phase spans
+// keyed back together by span ID.
+type op struct {
+	id     obs.SpanID
+	parent obs.SpanID
+	shard  int
+	dur    [3]uint64 // by opPhases index
+}
+
+func (o op) total() uint64 { return o.dur[0] + o.dur[1] + o.dur[2] }
+
+// report renders the full analysis. All sections iterate sorted data.
+func report(w io.Writer, spans []obs.Span, top int) {
+	obs.SortSpans(spans)
+
+	byPhase := map[string][]uint64{}
+	byID := map[obs.SpanID]*op{}
+	var ids []obs.SpanID
+	var containment []obs.Span
+	for _, sp := range spans {
+		byPhase[sp.Phase] = append(byPhase[sp.Phase], sp.Duration())
+		if sp.Phase == "store.containment" {
+			containment = append(containment, sp)
+			continue
+		}
+		for i, ph := range opPhases {
+			if sp.Phase != ph {
+				continue
+			}
+			o := byID[sp.ID]
+			if o == nil {
+				o = &op{id: sp.ID, parent: sp.Parent, shard: sp.P}
+				byID[sp.ID] = o
+				ids = append(ids, sp.ID)
+			}
+			o.dur[i] += sp.Duration()
+		}
+	}
+	fmt.Fprintf(w, "tracev: spans=%d ops=%d containment=%d\n",
+		len(spans), len(ids), len(containment))
+
+	phases := make([]string, 0, len(byPhase))
+	for ph := range byPhase {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	for _, ph := range phases {
+		d := byPhase[ph]
+		sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+		fmt.Fprintf(w, "tracev: phase %s count=%d p50=%dµs p99=%dµs max=%dµs\n",
+			ph, len(d), quantile(d, 0.50), quantile(d, 0.99), d[len(d)-1])
+	}
+
+	// Slowest ops by total critical-path time, span ID breaking ties so
+	// equal-cost ops list in a stable order.
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := byID[ids[i]], byID[ids[j]]
+		if a.total() != b.total() {
+			return a.total() > b.total()
+		}
+		return a.id < b.id
+	})
+	if top > len(ids) {
+		top = len(ids)
+	}
+	for i := 0; i < top; i++ {
+		o := byID[ids[i]]
+		fmt.Fprintf(w, "tracev: slow %d op=%s shard=%03d total=%dµs queue=%dµs slot=%dµs apply=%dµs",
+			i+1, o.id, o.shard, o.total(), o.dur[0], o.dur[1], o.dur[2])
+		if o.parent != 0 {
+			fmt.Fprintf(w, " parent=%s", o.parent)
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Containment blast-radius timelines, per shard in shard order.
+	// SortSpans already ordered events by start time within a shard's
+	// stream (IDs are derived from a per-shard monotonic counter).
+	shards := map[int][]obs.Span{}
+	var shardIDs []int
+	for _, sp := range containment {
+		if _, ok := shards[sp.P]; !ok {
+			shardIDs = append(shardIDs, sp.P)
+		}
+		shards[sp.P] = append(shards[sp.P], sp)
+	}
+	sort.Ints(shardIDs)
+	for _, sid := range shardIDs {
+		evs := shards[sid]
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].Start != evs[j].Start {
+				return evs[i].Start < evs[j].Start
+			}
+			return evs[i].ID < evs[j].ID
+		})
+		durs := make([]uint64, len(evs))
+		for i, sp := range evs {
+			durs[i] = sp.Duration()
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		fmt.Fprintf(w, "tracev: containment shard=%03d events=%d p50=%dµs max=%dµs\n",
+			sid, len(evs), quantile(durs, 0.50), durs[len(durs)-1])
+		for i, sp := range evs {
+			fmt.Fprintf(w, "tracev: containment shard=%03d event=%d start=%dµs end=%dµs",
+				sid, i, sp.Start, sp.End)
+			if sp.Detail != "" {
+				fmt.Fprintf(w, " %s", sp.Detail)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// quantile is the exact integral quantile: the value at rank ⌈p·n⌉
+// (1-based, clamped) of the ascending-sorted slice. Matches the rank
+// convention of obs.Histogram.Quantile but with no bucketing error.
+func quantile(sorted []uint64, p float64) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

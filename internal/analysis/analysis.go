@@ -88,6 +88,7 @@ func All() []*Analyzer {
 		MapOrder,
 		NoGoroutine,
 		NoWallClock,
+		ObsNames,
 		SeededRand,
 		WaitBalance,
 	}

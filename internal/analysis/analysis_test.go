@@ -95,6 +95,7 @@ func TestFixtures(t *testing.T) {
 		"guardedby",
 		"maporder",
 		"nondet",
+		"obsnames",
 		"tierconflict",
 		"waitbalance",
 		"wallclock",

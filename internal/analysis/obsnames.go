@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ObsNames enforces the telemetry naming contract on every tiered
+// package: metric names handed to obs Registry.Counter / Gauge /
+// Histogram, event kinds in obs.Event literals, and span phases in
+// obs.Span literals must be lowercase dotted names — [a-z0-9_]
+// segments joined by '.' — because they sort into byte-stable
+// snapshots, JSONL streams, and delta blocks that CI diffs verbatim.
+// A name outside the grammar (uppercase, spaces, a leading dot) still
+// renders, so no test catches it until a downstream diff breaks.
+//
+// Names need not be single literals. The checker folds all-literal
+// concatenations and validates the joined string; a concatenation with
+// a non-constant part (the live instrument prefix helper) has only its
+// constant fragments checked; a bare identifier or selector passes
+// outright (the sanctioned name-parameter pattern, e.g. the experiment
+// instrument); and fmt.Sprintf passes only when its format is itself a
+// lowercase dotted name whose verbs are all numeric — the
+// store.shardNNN pattern — so formatted names stay inside the grammar
+// for every argument value.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc:  "obs metric/event/span names must be lowercase dotted literals (numeric-verb Sprintf and sanctioned name parameters excepted)",
+	Tier: "det",
+	Run:  runObsNames,
+}
+
+const obsPkgPath = "ftss/internal/obs"
+
+// obsNameRE is the full-name grammar: lowercase dotted, starting with
+// a letter.
+var obsNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$`)
+
+// obsFragmentRE is the relaxed grammar for a constant fragment inside
+// a mixed concatenation: the same segments, but a leading or trailing
+// dot is fine because the neighbor supplies the rest (".sent").
+var obsFragmentRE = regexp.MustCompile(`^\.?[a-z0-9_]+(\.[a-z0-9_]+)*\.?$`)
+
+// obsVerbRE matches one printf conversion: flags, width, precision,
+// then the verb character.
+var obsVerbRE = regexp.MustCompile(`%[#+\- 0]*[0-9]*(\.[0-9]+)?[a-zA-Z%]`)
+
+// obsRegistryMethods are the obs.Registry lookups whose first argument
+// is a metric name.
+var obsRegistryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+}
+
+func runObsNames(p *Package) []Diagnostic {
+	// The contract binds both tiers: det packages render snapshots
+	// directly, conc packages feed the live planes whose output the
+	// same diffs pin. Unclassified packages (cmd, examples) are exempt,
+	// like every other tier-scoped check.
+	if !p.Det() && !p.Conc() {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := x.Fun.(*ast.SelectorExpr)
+				if !ok || !obsRegistryMethods[sel.Sel.Name] || len(x.Args) == 0 {
+					return true
+				}
+				fn, ok := p.objOf(sel.Sel).(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPkgPath {
+					return true
+				}
+				if recv := fn.Type().(*types.Signature).Recv(); recv == nil {
+					return true
+				}
+				out = append(out, p.checkObsName(x.Args[0], "metric name")...)
+			case *ast.CompositeLit:
+				tn, ok := p.obsTypeName(x)
+				if !ok {
+					return true
+				}
+				switch tn {
+				case "Event":
+					out = append(out, p.checkObsField(x, "Kind", 0, "event kind")...)
+				case "Span":
+					out = append(out, p.checkObsField(x, "Phase", 2, "span phase")...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// obsTypeName resolves a composite literal to its obs type name, when
+// the literal builds an ftss/internal/obs type.
+func (p *Package) obsTypeName(cl *ast.CompositeLit) (string, bool) {
+	t := p.typeOf(cl)
+	if t == nil {
+		return "", false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != obsPkgPath {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// checkObsField finds the named field in a composite literal — keyed,
+// or positional at idx — and validates its value as an obs name.
+func (p *Package) checkObsField(cl *ast.CompositeLit, field string, idx int, what string) []Diagnostic {
+	keyed := false
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		keyed = true
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == field {
+			return p.checkObsName(kv.Value, what)
+		}
+	}
+	if !keyed && idx < len(cl.Elts) {
+		return p.checkObsName(cl.Elts[idx], what)
+	}
+	return nil
+}
+
+// checkObsName validates one name expression against the grammar. A
+// constant expression (literal or all-literal concatenation, which the
+// type checker folds) must match in full; a mixed concatenation has
+// its constant fragments checked; fmt.Sprintf must render inside the
+// grammar for any numeric argument; identifiers, selectors, and other
+// calls pass as sanctioned name sources.
+func (p *Package) checkObsName(e ast.Expr, what string) []Diagnostic {
+	if s, ok := p.constString(e); ok {
+		if !obsNameRE.MatchString(s) {
+			return []Diagnostic{p.diag("obsnames", e.Pos(), fmt.Sprintf(
+				"obs %s %q is not a lowercase dotted name ([a-z0-9_] segments joined by '.'); it lands verbatim in byte-stable snapshots and streams", what, s))}
+		}
+		return nil
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		// A mixed concatenation: each constant side is a fragment, each
+		// non-constant side recurses (it may be another concatenation or
+		// a Sprintf).
+		var out []Diagnostic
+		for _, side := range []ast.Expr{x.X, x.Y} {
+			if s, ok := p.constString(side); ok {
+				if !obsFragmentRE.MatchString(s) {
+					out = append(out, p.diag("obsnames", side.Pos(), fmt.Sprintf(
+						"obs %s fragment %q is not lowercase dotted ([a-z0-9_] segments, '.' separators)", what, s)))
+				}
+				continue
+			}
+			out = append(out, p.checkObsName(side, what)...)
+		}
+		return out
+	case *ast.CallExpr:
+		return p.checkObsSprintf(x, what)
+	case *ast.ParenExpr:
+		return p.checkObsName(x.X, what)
+	}
+	// Identifier, selector, index — a name parameter or helper result,
+	// sanctioned (the callee's own literals are checked at their site).
+	return nil
+}
+
+// checkObsSprintf validates a fmt.Sprintf name source: the format must
+// be constant, every verb numeric, and the rendered shape (verbs
+// replaced by a digit) must match the full grammar. Non-Sprintf calls
+// pass: their return value is checked where their internals build it.
+func (p *Package) checkObsSprintf(call *ast.CallExpr, what string) []Diagnostic {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sprintf" || !p.selectsPackage(sel, "fmt") {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	format, ok := p.constString(call.Args[0])
+	if !ok {
+		return []Diagnostic{p.diag("obsnames", call.Pos(), fmt.Sprintf(
+			"obs %s built by fmt.Sprintf with a non-constant format; use a literal format with numeric verbs (the store.shardNNN pattern)", what))}
+	}
+	sample := format
+	for _, verb := range obsVerbRE.FindAllString(format, -1) {
+		vc := verb[len(verb)-1]
+		switch vc {
+		case '%':
+			// A literal percent never fits the grammar; the sample check
+			// below reports it.
+			continue
+		case 'd', 'x', 'o', 'b':
+			sample = strings.Replace(sample, verb, "0", 1)
+		default:
+			return []Diagnostic{p.diag("obsnames", call.Args[0].Pos(), fmt.Sprintf(
+				"obs %s format %q uses non-numeric verb %q; only numeric verbs keep the rendered name inside the lowercase dotted grammar", what, format, verb))}
+		}
+	}
+	if !obsNameRE.MatchString(sample) {
+		return []Diagnostic{p.diag("obsnames", call.Args[0].Pos(), fmt.Sprintf(
+			"obs %s format %q does not render a lowercase dotted name", what, format))}
+	}
+	return nil
+}
+
+// constString resolves an expression to its constant string value via
+// the type checker, which folds all-literal concatenations.
+func (p *Package) constString(e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

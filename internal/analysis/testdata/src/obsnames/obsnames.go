@@ -1,0 +1,52 @@
+// Package obsnames is a lint fixture: telemetry names outside the
+// lowercase dotted grammar, plus every sanctioned way of building one.
+//
+//ftss:det fixture
+package obsnames
+
+import (
+	"fmt"
+
+	"ftss/internal/obs"
+)
+
+var bounds = []uint64{1, 2, 4}
+
+// Bad names: the grammar is [a-z0-9_] segments joined by '.'.
+func bad(reg *obs.Registry, sink obs.Sink, col *obs.Collector) {
+	reg.Counter("Store.ops")        // want "obs metric name \"Store.ops\" is not a lowercase dotted name"
+	reg.Gauge("store-frontier")     // want "obs metric name \"store-frontier\" is not a lowercase dotted name"
+	reg.Histogram("lat us", bounds) // want "obs metric name \"lat us\" is not a lowercase dotted name"
+	reg.Counter(".ops")             // want "obs metric name \".ops\" is not a lowercase dotted name"
+	reg.Counter("store" + "..ops")  // want "obs metric name \"store..ops\" is not a lowercase dotted name"
+
+	sink.Emit(obs.Event{Kind: "Shard_Corrupt", T: 1, P: -1}) // want "obs event kind \"Shard_Corrupt\" is not a lowercase dotted name"
+	col.Record(obs.Span{ID: 1, Phase: "store queue"})        // want "obs span phase \"store queue\" is not a lowercase dotted name"
+}
+
+// Bad fragments and formats inside the sanctioned builders.
+func badBuilders(reg *obs.Registry, prefix string, i int) {
+	reg.Counter(prefix + ".Sent")                          // want "obs metric name fragment \".Sent\" is not lowercase dotted"
+	reg.Counter(fmt.Sprintf("store.shard%s.ops", prefix))  // want "obs metric name format \"store.shard%s.ops\" uses non-numeric verb \"%s\""
+	reg.Counter(fmt.Sprintf("store.shard%03d ops", i))     // want "obs metric name format \"store.shard%03d ops\" does not render a lowercase dotted name"
+	reg.Counter(fmt.Sprintf(nonConstFormat(), i))          // want "obs metric name built by fmt.Sprintf with a non-constant format"
+}
+
+func nonConstFormat() string { return "store.%d" }
+
+// Good: literals, folded concatenations, prefix helpers, numeric-verb
+// Sprintf, and bare name parameters all pass.
+func good(reg *obs.Registry, sink obs.Sink, col *obs.Collector, prefix, name string, i int) {
+	reg.Counter("store.all.ops")
+	reg.Counter("ops")
+	reg.Histogram("store.all.latency_us", bounds)
+	reg.Counter("store." + "all." + "marks")
+	reg.Counter(prefix + ".sent")
+	reg.Counter(prefix + name)
+	reg.Counter(name)
+	reg.Counter(fmt.Sprintf("store.shard%03d.ops", i))
+	sink.Emit(obs.Event{Kind: "shard_corrupt", T: 1, P: -1})
+	sink.Emit(obs.Event{Kind: name, T: 1, P: -1})
+	col.Record(obs.Span{ID: 1, Phase: "store.queue"})
+	col.Record(obs.Span{1, 0, "store.apply", 0, 1, 2, ""})
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"ftss/internal/admin"
 	"ftss/internal/chaos"
 	"ftss/internal/ctcons"
 	"ftss/internal/obs"
@@ -58,6 +59,11 @@ type NodeConfig struct {
 	ChaosEvents obs.Sink
 	// Metrics receives the final registry snapshot on exit (nil = none).
 	Metrics io.Writer
+	// AdminAddr, when non-empty, serves the live admin plane on that
+	// address while the node runs: /metrics is the registry snapshot,
+	// /healthz the runtime health plus decision state (503 until the
+	// hosted process decides), /events a tail of the Events stream.
+	AdminAddr string
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -111,6 +117,13 @@ func RunNode(cfg NodeConfig, stop <-chan struct{}, w io.Writer) error {
 	if cfg.Events != nil {
 		sink = cfg.Events
 	}
+	// The admin tail sees the same event stream the Events sink gets, so
+	// /events mirrors the on-disk JSONL.
+	var tail *admin.Tail
+	if cfg.AdminAddr != "" {
+		tail = admin.NewTail(0)
+		sink = obs.Tee(sink, obs.NewJSONL(tail))
+	}
 	reg := obs.NewRegistry()
 	ins := live.NewInstruments(reg, "node", sink)
 
@@ -148,6 +161,19 @@ func RunNode(cfg NodeConfig, stop <-chan struct{}, w io.Writer) error {
 	rt.Start()
 	defer rt.Stop()
 	rt.Apply(LocalActions(plan, cfg.ID, cfg.Since), rand.New(rand.NewSource(cfg.Seed*13+int64(cfg.ID))))
+
+	if cfg.AdminAddr != "" {
+		adm, err := admin.Start(cfg.AdminAddr, admin.Plane{
+			Metrics: reg.Snapshot,
+			Health:  func() (bool, []byte) { return nodeHealth(rt, cfg.ID) },
+			Tail:    tail,
+		})
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Fprintf(w, "node %d: admin plane on %s\n", int(cfg.ID), adm.Addr())
+	}
 
 	fmt.Fprintf(w, "node %d: seed=%d n=%d listen=%s since=%v horizon=%v\n",
 		int(cfg.ID), cfg.Seed, cfg.N, tr.Addr(), cfg.Since, plan.Horizon())
@@ -221,6 +247,22 @@ poll:
 		}
 	}
 	return nil
+}
+
+// nodeHealth renders the /healthz body: the live runtime report plus
+// the decision register. A node reads healthy only once its hosted
+// process has decided — before that (or mid-corruption) the plane
+// answers 503, which is exactly when an operator wants the detail.
+func nodeHealth(rt *live.Runtime, id proc.ID) (bool, []byte) {
+	v, r, ok := decision(rt, id)
+	b := []byte(rt.Health().String())
+	b = append(b, '\n')
+	if ok {
+		b = append(b, fmt.Sprintf("decided %d@%d\n", v, r)...)
+	} else {
+		b = append(b, "no decision\n"...)
+	}
+	return ok, b
 }
 
 func decision(rt *live.Runtime, id proc.ID) (ctcons.Value, uint64, bool) {

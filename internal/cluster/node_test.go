@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"sync"
 	"testing"
 	"time"
@@ -160,6 +161,92 @@ func TestRunNodeGracefulStop(t *testing.T) {
 	}
 	if metrics.Len() == 0 {
 		t.Error("no final metrics snapshot written")
+	}
+}
+
+// TestNodeAdminPlane: a node run with AdminAddr serves live /metrics,
+// flips /healthz to 200 once its process decides, and tails the event
+// stream on /events — all scraped mid-run, not post-mortem.
+func TestNodeAdminPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a real loopback cluster")
+	}
+	const (
+		n         = 3
+		seed      = int64(11)
+		quiet     = 1500 * time.Millisecond
+		pollEvery = 20 * time.Millisecond
+	)
+	addrs := freeAddrs(t, n)
+	adminAddr := freeAddrs(t, 1)[0]
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		cfg := NodeConfig{
+			ID: proc.ID(i), N: n, Seed: seed,
+			Listen: addrs[i], Peers: map[proc.ID]string{},
+			QuietLen:  quiet,
+			PollEvery: pollEvery,
+		}
+		for p := proc.ID(0); p < n; p++ {
+			if p != cfg.ID {
+				cfg.Peers[p] = addrs[p]
+			}
+		}
+		if i == 0 {
+			cfg.AdminAddr = adminAddr
+			cfg.Events = obs.NewJSONL(io.Discard)
+		}
+		wg.Add(1)
+		go func(i int, cfg NodeConfig) {
+			defer wg.Done()
+			errs[i] = RunNode(cfg, nil, io.Discard)
+		}(i, cfg)
+	}
+
+	get := func(path string) (int, []byte, error) {
+		resp, err := http.Get("http://" + adminAddr + path)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, body, err
+	}
+	// The plane comes up with the node; the node is healthy only once
+	// its hosted process decides. Poll until both hold or the horizon
+	// passes.
+	deadline := time.Now().Add(quiet)
+	var healthy bool
+	for time.Now().Before(deadline) {
+		code, body, err := get("/healthz")
+		if err == nil && code == 200 {
+			if !bytes.Contains(body, []byte("decided ")) {
+				t.Fatalf("healthy body lacks the decision line: %q", body)
+			}
+			healthy = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !healthy {
+		t.Fatal("/healthz never reached 200 before the horizon")
+	}
+	if code, body, err := get("/metrics"); err != nil || code != 200 ||
+		!bytes.Contains(body, []byte("counter node.sent")) {
+		t.Fatalf("/metrics = %d %v %q", code, err, body)
+	}
+	if code, body, err := get("/events"); err != nil || code != 200 ||
+		!bytes.Contains(body, []byte(`"ev":"node_poll"`)) {
+		t.Fatalf("/events = %d %v %q", code, err, body)
+	}
+
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
 	}
 }
 

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file implements delta snapshots over the Snapshot text format:
+// SnapshotDelta(prev, cur) is what changed between two snapshots of the
+// same registry, SnapshotSum folds a delta back in, and DeltaWriter
+// emits numbered delta blocks on a cadence (the -metrics-interval
+// flags). The algebra is exact for counters and histograms (sum of all
+// deltas == final snapshot) and last-write-wins for gauges, which are
+// levels, not totals.
+
+// snapLine is one parsed snapshot line. Counters and gauges carry a
+// single unlabeled value; histograms carry labeled fields (count=,
+// sum=, le_*=) whose label order is preserved for re-rendering.
+type snapLine struct {
+	kind   string // "counter", "gauge", "histogram"
+	name   string
+	val    int64    // counter/gauge value
+	labels []string // histogram field labels, in line order
+	fields []int64  // histogram field values, matching labels
+}
+
+// parseSnapshot parses the Snapshot text format. Comment lines
+// (starting with '#') and blank lines are skipped, so delta blocks with
+// their headers parse too.
+func parseSnapshot(b []byte) ([]snapLine, error) {
+	var lines []snapLine
+	for ln, raw := range strings.Split(string(b), "\n") {
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		parts := strings.Fields(raw)
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("obs: snapshot line %d: too few fields: %q", ln+1, raw)
+		}
+		sl := snapLine{kind: parts[0], name: parts[1]}
+		switch sl.kind {
+		case "counter", "gauge":
+			v, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: snapshot line %d: %v", ln+1, err)
+			}
+			sl.val = v
+		case "histogram":
+			for _, f := range parts[2:] {
+				label, val, ok := strings.Cut(f, "=")
+				if !ok {
+					return nil, fmt.Errorf("obs: snapshot line %d: bad field %q", ln+1, f)
+				}
+				v, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("obs: snapshot line %d: %v", ln+1, err)
+				}
+				sl.labels = append(sl.labels, label)
+				sl.fields = append(sl.fields, v)
+			}
+		default:
+			return nil, fmt.Errorf("obs: snapshot line %d: unknown kind %q", ln+1, sl.kind)
+		}
+		lines = append(lines, sl)
+	}
+	return lines, nil
+}
+
+// appendLine renders sl in the exact Snapshot format.
+func (sl snapLine) appendLine(buf []byte) []byte {
+	buf = append(buf, sl.kind...)
+	buf = append(buf, ' ')
+	buf = append(buf, sl.name...)
+	if sl.kind == "histogram" {
+		for i, label := range sl.labels {
+			buf = append(buf, ' ')
+			buf = append(buf, label...)
+			buf = append(buf, '=')
+			buf = strconv.AppendInt(buf, sl.fields[i], 10)
+		}
+		return append(buf, '\n')
+	}
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, sl.val, 10)
+	return append(buf, '\n')
+}
+
+// SnapshotDelta computes what changed from prev to cur, two Snapshot
+// renderings of the same registry. Counter and histogram lines carry
+// the numeric difference (cumulative bucket fields subtract fieldwise);
+// gauge lines carry the current value, included only when it changed.
+// Unchanged instruments are omitted, so an idle interval renders empty.
+// Lines keep cur's (sorted) order, making each delta byte-stable.
+func SnapshotDelta(prev, cur []byte) ([]byte, error) {
+	pl, err := parseSnapshot(prev)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := parseSnapshot(cur)
+	if err != nil {
+		return nil, err
+	}
+	before := make(map[string]snapLine, len(pl))
+	for _, sl := range pl {
+		before[sl.kind+" "+sl.name] = sl
+	}
+	var buf []byte
+	for _, sl := range cl {
+		p, had := before[sl.kind+" "+sl.name]
+		switch sl.kind {
+		case "counter":
+			if had {
+				sl.val -= p.val
+			}
+			if sl.val != 0 {
+				buf = sl.appendLine(buf)
+			}
+		case "gauge":
+			if !had || sl.val != p.val {
+				buf = sl.appendLine(buf)
+			}
+		case "histogram":
+			changed := !had
+			if had {
+				if len(p.fields) != len(sl.fields) {
+					return nil, fmt.Errorf("obs: histogram %s changed shape between snapshots", sl.name)
+				}
+				for i := range sl.fields {
+					sl.fields[i] -= p.fields[i]
+					if sl.fields[i] != 0 {
+						changed = true
+					}
+				}
+			} else {
+				for _, v := range sl.fields {
+					if v != 0 {
+						changed = true
+					}
+				}
+			}
+			if changed {
+				buf = sl.appendLine(buf)
+			}
+		}
+	}
+	return buf, nil
+}
+
+// SnapshotSum folds a delta into an accumulated snapshot: counters and
+// histogram fields add, gauges take the delta's value. The result is
+// rendered sorted by name — folding every delta a DeltaWriter emitted
+// reproduces the final Snapshot byte-for-byte (modulo instruments still
+// changing mid-write, which the deterministic paths exclude).
+func SnapshotSum(acc, delta []byte) ([]byte, error) {
+	al, err := parseSnapshot(acc)
+	if err != nil {
+		return nil, err
+	}
+	dl, err := parseSnapshot(delta)
+	if err != nil {
+		return nil, err
+	}
+	merged := make(map[string]snapLine, len(al)+len(dl))
+	for _, sl := range al {
+		merged[sl.kind+" "+sl.name] = sl
+	}
+	for _, sl := range dl {
+		key := sl.kind + " " + sl.name
+		a, had := merged[key]
+		if !had {
+			merged[key] = sl
+			continue
+		}
+		switch sl.kind {
+		case "counter":
+			a.val += sl.val
+		case "gauge":
+			a.val = sl.val
+		case "histogram":
+			if len(a.fields) != len(sl.fields) {
+				return nil, fmt.Errorf("obs: histogram %s changed shape between deltas", sl.name)
+			}
+			for i := range a.fields {
+				a.fields[i] += sl.fields[i]
+			}
+		}
+		merged[key] = a
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	// Snapshot sorts by instrument name alone; the kind prefix here only
+	// namespaces the map, so sort on the name part.
+	sort.Slice(keys, func(i, j int) bool {
+		_, ni, _ := strings.Cut(keys[i], " ")
+		_, nj, _ := strings.Cut(keys[j], " ")
+		if ni != nj {
+			return ni < nj
+		}
+		return keys[i] < keys[j]
+	})
+	var buf []byte
+	for _, k := range keys {
+		buf = merged[k].appendLine(buf)
+	}
+	return buf, nil
+}
+
+// DeltaWriter emits numbered delta blocks against the previous
+// snapshot. The first Tick writes the full snapshot verbatim — zero
+// instruments included, which a zero-suppressing delta would drop — so
+// SnapshotSum over all blocks reconstructs the final snapshot exactly,
+// even for instruments that never move.
+type DeltaWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+	//ftss:guardedby mu
+	snap func() []byte
+	//ftss:guardedby mu
+	prev []byte
+	//ftss:guardedby mu
+	n int
+	//ftss:guardedby mu
+	err error
+}
+
+// NewDeltaWriter builds a writer that snapshots via snap on each Tick.
+func NewDeltaWriter(w io.Writer, snap func() []byte) *DeltaWriter {
+	return &DeltaWriter{w: w, snap: snap}
+}
+
+// Tick takes a snapshot, writes one "# delta N" block holding the
+// changes since the previous Tick, and remembers the snapshot. Errors
+// are sticky, like the JSONL sink.
+func (d *DeltaWriter) Tick() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return d.err
+	}
+	cur := d.snap()
+	delta := cur
+	if d.n > 0 {
+		var err error
+		if delta, err = SnapshotDelta(d.prev, cur); err != nil {
+			d.err = err
+			return err
+		}
+	}
+	d.n++
+	buf := make([]byte, 0, len(delta)+32)
+	buf = append(buf, "# delta "...)
+	buf = strconv.AppendInt(buf, int64(d.n), 10)
+	buf = append(buf, '\n')
+	buf = append(buf, delta...)
+	if _, err := d.w.Write(buf); err != nil {
+		d.err = err
+		return err
+	}
+	d.prev = cur
+	return nil
+}

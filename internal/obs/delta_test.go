@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// deltaFixture builds a registry with one instrument of each kind.
+func deltaFixture() (*Registry, *Counter, *Gauge, *Histogram) {
+	r := NewRegistry()
+	c := r.Counter("d.ops")
+	g := r.Gauge("d.depth")
+	h := r.Histogram("d.lat", []uint64{10, 100})
+	return r, c, g, h
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r, c, g, h := deltaFixture()
+	c.Add(3)
+	g.Set(7)
+	h.Observe(5)
+	s1 := r.Snapshot()
+
+	d1, err := SnapshotDelta(nil, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, s1) {
+		t.Fatalf("first delta should equal the snapshot:\n got %q\nwant %q", d1, s1)
+	}
+
+	// An idle interval renders empty.
+	d2, err := SnapshotDelta(s1, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2) != 0 {
+		t.Fatalf("idle delta = %q, want empty", d2)
+	}
+
+	c.Add(2)
+	h.Observe(50)
+	h.Observe(5000)
+	s2 := r.Snapshot()
+	d3, err := SnapshotDelta(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "histogram d.lat count=2 sum=5050 le_10=0 le_100=1 le_inf=2\ncounter d.ops 2\n"
+	if string(d3) != want {
+		t.Fatalf("delta = %q, want %q", d3, want)
+	}
+	if strings.Contains(string(d3), "gauge") {
+		t.Fatal("unchanged gauge leaked into the delta")
+	}
+}
+
+// TestSnapshotSumReconstructs pins the -metrics-interval contract: the
+// sum of every delta block a DeltaWriter emitted equals the final exit
+// snapshot, byte for byte.
+func TestSnapshotSumReconstructs(t *testing.T) {
+	r, c, g, h := deltaFixture()
+	var out bytes.Buffer
+	dw := NewDeltaWriter(&out, r.Snapshot)
+
+	c.Add(1)
+	g.Set(3)
+	h.Observe(7)
+	if err := dw.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Tick(); err != nil { // idle interval
+		t.Fatal(err)
+	}
+	c.Add(10)
+	g.Set(2)
+	h.Observe(9999)
+	if err := dw.Tick(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fold the blocks back together. parseSnapshot skips the "# delta"
+	// headers, so the whole stream folds as one delta per block.
+	var acc []byte
+	for _, block := range strings.Split(out.String(), "# delta ") {
+		if block == "" {
+			continue
+		}
+		// Drop the block number line remnant ("N\n...").
+		_, body, _ := strings.Cut(block, "\n")
+		var err error
+		acc, err = SnapshotSum(acc, []byte(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	final := r.Snapshot()
+	if !bytes.Equal(acc, final) {
+		t.Fatalf("delta sum != exit snapshot:\n got %q\nwant %q", acc, final)
+	}
+}
+
+func TestSnapshotDeltaErrors(t *testing.T) {
+	if _, err := SnapshotDelta(nil, []byte("nonsense line\n")); err == nil {
+		t.Fatal("accepted malformed snapshot")
+	}
+	if _, err := SnapshotDelta(nil, []byte("counter x notanumber\n")); err == nil {
+		t.Fatal("accepted malformed counter value")
+	}
+	prev := []byte("histogram h count=1 sum=1 le_10=1 le_inf=1\n")
+	cur := []byte("histogram h count=1 sum=1 le_inf=1\n")
+	if _, err := SnapshotDelta(prev, cur); err == nil {
+		t.Fatal("accepted histogram shape change")
+	}
+}
+
+// TestQuantileEdges covers the rank boundaries: p=0 is the first
+// observation, p=1 the last, out-of-range p clamps, and a single-bucket
+// histogram answers from its only bound.
+func TestQuantileEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q.edge", []uint64{10, 100, 1000})
+	h.Observe(5)    // le_10
+	h.Observe(50)   // le_100
+	h.Observe(5000) // overflow
+
+	if v, ok := h.Quantile(0); v != 10 || !ok {
+		t.Fatalf("Quantile(0) = %d,%v, want 10,true (rank clamps to the first observation)", v, ok)
+	}
+	if v, ok := h.Quantile(1); v != 1000 || ok {
+		t.Fatalf("Quantile(1) = %d,%v, want 1000,false (last observation overflowed)", v, ok)
+	}
+	if v, ok := h.Quantile(-3); v != 10 || !ok {
+		t.Fatalf("Quantile(-3) = %d,%v, want clamp to p=0", v, ok)
+	}
+	if v, ok := h.Quantile(7); v != 1000 || ok {
+		t.Fatalf("Quantile(7) = %d,%v, want clamp to p=1", v, ok)
+	}
+
+	single := r.Histogram("q.single", []uint64{42})
+	single.Observe(41)
+	if v, ok := single.Quantile(0.5); v != 42 || !ok {
+		t.Fatalf("single-bucket Quantile(0.5) = %d,%v, want 42,true", v, ok)
+	}
+	single.Observe(43) // overflow; p=1 now lands past the only bound
+	if v, ok := single.Quantile(1); v != 42 || ok {
+		t.Fatalf("single-bucket Quantile(1) = %d,%v, want 42,false", v, ok)
+	}
+}
+
+// TestQuantileEmptyAfterMerge pins that merging an empty histogram
+// leaves an empty histogram reporting (0, false), not a phantom rank.
+func TestQuantileEmptyAfterMerge(t *testing.T) {
+	bounds := []uint64{10, 100}
+	a := NewRegistry().Histogram("q.a", bounds)
+	b := NewRegistry().Histogram("q.b", bounds)
+	a.Merge(b)
+	if v, ok := a.Quantile(0.5); v != 0 || ok {
+		t.Fatalf("empty-after-merge Quantile = %d,%v, want 0,false", v, ok)
+	}
+	if a.Count() != 0 || a.Sum() != 0 {
+		t.Fatalf("empty merge changed totals: count=%d sum=%d", a.Count(), a.Sum())
+	}
+}
+
+// TestMergePrefixCollision pins the Merge namespace rules: a prefixed
+// source name that lands on an existing name of the same kind folds
+// into it, and one that lands on a different kind panics — wiring bug,
+// not runtime condition.
+func TestMergePrefixCollision(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("a.ops").Add(5)
+
+	src := NewRegistry()
+	src.Counter("ops").Add(3)
+	dst.Merge("a.", src) // same kind: folds
+	if got := dst.Counter("a.ops").Value(); got != 8 {
+		t.Fatalf("prefix-colliding counters = %d, want 8 (additive fold)", got)
+	}
+
+	clash := NewRegistry()
+	clash.Gauge("ops").Set(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge onto a different instrument kind did not panic")
+		}
+	}()
+	dst.Merge("a.", clash)
+}
+
+func TestBoundTag(t *testing.T) {
+	if BoundTag(true) != "le" || BoundTag(false) != "gt" {
+		t.Fatalf("BoundTag = %q/%q, want le/gt", BoundTag(true), BoundTag(false))
+	}
+}
+
+func TestTee(t *testing.T) {
+	var a, b countSink
+	s := Tee(nil, &a, nil, &b)
+	s.Emit(Event{Kind: "x"})
+	s.Emit(Event{Kind: "y"})
+	if a != 2 || b != 2 {
+		t.Fatalf("tee fan-out = %d,%d, want 2,2", a, b)
+	}
+	if one := Tee(nil, &a); one != Sink(&a) {
+		t.Fatal("single-sink Tee should return the sink itself")
+	}
+	Tee().Emit(Event{Kind: "dropped"}) // empty tee is Null
+}
+
+type countSink int
+
+func (c *countSink) Emit(Event) { *c++ }

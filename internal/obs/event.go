@@ -44,6 +44,34 @@ type Null struct{}
 // Emit discards e.
 func (Null) Emit(Event) {}
 
+// Tee fans every event out to each sink in order. Nil sinks are
+// skipped at construction, so callers can pass optional sinks without
+// guarding.
+func Tee(sinks ...Sink) Sink {
+	var live []Sink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return Null{}
+	case 1:
+		return live[0]
+	}
+	return tee(live)
+}
+
+type tee []Sink
+
+// Emit forwards e to every sink.
+func (t tee) Emit(e Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}
+
 // JSONL encodes each event as one JSON object per line. Encoding is
 // hand-rolled append-based (no reflection, no encoding/json) and reuses
 // one buffer under the mutex, so a long run allocates only when an event

@@ -158,6 +158,17 @@ func (h *Histogram) Quantile(p float64) (uint64, bool) {
 	return h.bounds[len(h.bounds)-1], false
 }
 
+// BoundTag renders Quantile's second return for report lines: "le"
+// when the rank landed in a finite bucket, "gt" when it spilled past
+// the last bound. One shared helper so every binary prints quantile
+// flags the same way.
+func BoundTag(ok bool) string {
+	if ok {
+		return "le"
+	}
+	return "gt"
+}
+
 // Merge folds src's observations into h bucket by bucket. Bounds must
 // match (same panic contract as Registry re-registration). Merging is
 // commutative and associative, so per-shard histograms folded in any

@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// SpanID identifies one traced operation. IDs are derived, never drawn
+// from a random source or the wall clock: DeriveSpanID mixes a seed, a
+// stream number, and an op index, so the same run produces the same IDs
+// and a trace diff between two same-seed runs is meaningful. Zero means
+// "no trace context" everywhere a SpanID travels (wire frames, parent
+// links).
+type SpanID uint64
+
+// String renders the ID as fixed-width hex, the form used in trace
+// files and reports.
+func (id SpanID) String() string {
+	return fmt.Sprintf("%016x", uint64(id))
+}
+
+// ParseSpanID parses the fixed-width hex form.
+func ParseSpanID(s string) (SpanID, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: bad span id %q: %v", s, err)
+	}
+	return SpanID(v), nil
+}
+
+// DeriveSpanID maps (seed, stream, index) to a span ID through a
+// splitmix64-style finalizer. Distinct streams keep independent index
+// spaces from colliding by construction (shards, clients, containment
+// events); the Collector's Claim check catches the residual 64-bit
+// birthday risk instead of trusting it. The result is never zero, which
+// is reserved for "no context".
+func DeriveSpanID(seed int64, stream, index uint64) SpanID {
+	x := mix64(uint64(seed) + 0x9e3779b97f4a7c15)
+	x = mix64(x ^ (stream + 0xbf58476d1ce4e5b9))
+	x = mix64(x ^ (index + 0x94d049bb133111eb))
+	if x == 0 {
+		x = 1
+	}
+	return SpanID(x)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Span is one phase interval of one traced operation. All phases of an
+// op share its ID; Phase names which segment of the pipeline the
+// interval covers (store.queue, store.slot, ...). Start and End are
+// logical stamps — simulated microseconds in deterministic paths, wall
+// microseconds only in live client code — matching the Event.T
+// convention.
+type Span struct {
+	// ID is the operation's span ID, shared by all its phases.
+	ID SpanID
+	// Parent links to the causally preceding span (the client-side op
+	// for a server-side span), 0 when there is none.
+	Parent SpanID
+	// Phase is the lowercase dotted segment name.
+	Phase string
+	// P is the subject (shard or process index), -1 for system-wide.
+	P int
+	// Start and End are logical timestamps, End >= Start.
+	Start uint64
+	End   uint64
+	// Detail is an optional short annotation (batch ID, poll count).
+	Detail string
+}
+
+// Duration is End-Start.
+func (s Span) Duration() uint64 {
+	if s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// SortSpans orders spans by the full field tuple (Start, ID, Phase, P,
+// End, Parent, Detail) — a total order, so any permutation of the same
+// span set renders to identical bytes.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Parent != b.Parent {
+			return a.Parent < b.Parent
+		}
+		return a.Detail < b.Detail
+	})
+}
+
+// Collector gathers spans from concurrent recorders and checks span-ID
+// claims for collisions. A nil *Collector ignores everything, so the
+// tracing hook sites hold one nil-checked pointer and cost a branch
+// when tracing is off.
+type Collector struct {
+	mu sync.Mutex
+	//ftss:guardedby mu
+	spans []Span
+	//ftss:guardedby mu
+	owner map[SpanID]string
+	//ftss:guardedby mu
+	collisions uint64
+}
+
+// NewCollector builds an empty collector.
+func NewCollector() *Collector {
+	return &Collector{owner: make(map[SpanID]string)}
+}
+
+// Claim registers id as owned by owner (an op identity like
+// "shard003/17"). The first claim wins; a re-claim by the same owner is
+// idempotent and true, a claim by a different owner is a collision:
+// counted, and false. Derived IDs make collisions astronomically
+// unlikely, but a trace that silently merged two ops would be worse
+// than useless, so the check is explicit.
+func (c *Collector) Claim(id SpanID, owner string) bool {
+	if c == nil {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev, ok := c.owner[id]
+	if !ok {
+		c.owner[id] = owner
+		return true
+	}
+	if prev == owner {
+		return true
+	}
+	c.collisions++
+	return false
+}
+
+// Record appends one span.
+func (c *Collector) Record(s Span) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+}
+
+// Collisions returns the number of conflicting Claim calls.
+func (c *Collector) Collisions() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.collisions
+}
+
+// Len returns the number of recorded spans.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.spans)
+}
+
+// Spans returns a sorted copy of the recorded spans. Sorting makes the
+// result independent of arrival order, so per-shard recorders drained
+// by any worker interleaving yield the same slice.
+func (c *Collector) Spans() []Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := append([]Span(nil), c.spans...)
+	c.mu.Unlock()
+	SortSpans(out)
+	return out
+}
+
+// WriteJSONL writes the sorted spans one JSON object per line — the
+// trace file format cmd/ftss-tracev reads back.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	return WriteSpans(w, c.Spans())
+}
+
+// WriteSpans renders spans as JSONL in the given order. Callers that
+// want the byte-stable form sort first (Collector.WriteJSONL does).
+func WriteSpans(w io.Writer, spans []Span) error {
+	var buf []byte
+	for _, s := range spans {
+		buf = appendSpanJSON(buf[:0], s)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendSpanJSON appends one span as a JSON line. Hand-rolled like the
+// event sink: field order is fixed, optional fields (parent, p, detail)
+// are omitted rather than zeroed, so the bytes are a pure function of
+// the span.
+func appendSpanJSON(b []byte, s Span) []byte {
+	b = append(b, `{"span":"`...)
+	b = appendHex16(b, uint64(s.ID))
+	b = append(b, '"')
+	if s.Parent != 0 {
+		b = append(b, `,"parent":"`...)
+		b = appendHex16(b, uint64(s.Parent))
+		b = append(b, '"')
+	}
+	b = append(b, `,"phase":`...)
+	b = appendJSONString(b, s.Phase)
+	if s.P >= 0 {
+		b = append(b, `,"p":`...)
+		b = strconv.AppendInt(b, int64(s.P), 10)
+	}
+	b = append(b, `,"start":`...)
+	b = strconv.AppendUint(b, s.Start, 10)
+	b = append(b, `,"end":`...)
+	b = strconv.AppendUint(b, s.End, 10)
+	if s.Detail != "" {
+		b = append(b, `,"detail":`...)
+		b = appendJSONString(b, s.Detail)
+	}
+	return append(b, '}', '\n')
+}
+
+// appendHex16 appends x as 16 lowercase hex digits.
+func appendHex16(b []byte, x uint64) []byte {
+	const hex = "0123456789abcdef"
+	for shift := 60; shift >= 0; shift -= 4 {
+		b = append(b, hex[(x>>uint(shift))&0xf])
+	}
+	return b
+}
+
+// spanJSON mirrors the JSONL field set for parsing. Decoding runs only
+// in the offline analyzer, so reflection is fine here; the emit path
+// above stays reflection-free.
+type spanJSON struct {
+	Span   string `json:"span"`
+	Parent string `json:"parent"`
+	Phase  string `json:"phase"`
+	P      *int   `json:"p"`
+	Start  uint64 `json:"start"`
+	End    uint64 `json:"end"`
+	Detail string `json:"detail"`
+}
+
+// ParseSpans reads a span JSONL stream back. Blank lines are skipped;
+// anything else malformed is an error with its line number.
+func ParseSpans(r io.Reader) ([]Span, error) {
+	var spans []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var sj spanJSON
+		if err := json.Unmarshal(raw, &sj); err != nil {
+			return nil, fmt.Errorf("obs: span line %d: %v", line, err)
+		}
+		id, err := ParseSpanID(sj.Span)
+		if err != nil {
+			return nil, fmt.Errorf("obs: span line %d: %v", line, err)
+		}
+		s := Span{ID: id, Phase: sj.Phase, P: -1, Start: sj.Start, End: sj.End, Detail: sj.Detail}
+		if sj.Parent != "" {
+			if s.Parent, err = ParseSpanID(sj.Parent); err != nil {
+				return nil, fmt.Errorf("obs: span line %d: %v", line, err)
+			}
+		}
+		if sj.P != nil {
+			s.P = *sj.P
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}

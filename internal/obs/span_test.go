@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDeriveSpanID(t *testing.T) {
+	a := DeriveSpanID(7, 3, 41)
+	if b := DeriveSpanID(7, 3, 41); b != a {
+		t.Fatalf("DeriveSpanID not deterministic: %v vs %v", a, b)
+	}
+	seen := map[SpanID]string{}
+	for seed := int64(0); seed < 3; seed++ {
+		for stream := uint64(0); stream < 8; stream++ {
+			for index := uint64(0); index < 64; index++ {
+				id := DeriveSpanID(seed, stream, index)
+				if id == 0 {
+					t.Fatalf("DeriveSpanID(%d,%d,%d) = 0, reserved for no-context", seed, stream, index)
+				}
+				key := string(rune(seed)) + "/" + string(rune(stream)) + "/" + string(rune(index))
+				if prev, ok := seen[id]; ok {
+					t.Fatalf("collision: %s and %s both map to %v", prev, key, id)
+				}
+				seen[id] = key
+			}
+		}
+	}
+}
+
+func TestSpanIDString(t *testing.T) {
+	id := SpanID(0x00ab_cdef_0123_4567)
+	if got := id.String(); got != "00abcdef01234567" {
+		t.Fatalf("String() = %q, want 00abcdef01234567", got)
+	}
+	back, err := ParseSpanID(id.String())
+	if err != nil || back != id {
+		t.Fatalf("ParseSpanID round trip = %v, %v", back, err)
+	}
+	if _, err := ParseSpanID("not-hex"); err == nil {
+		t.Fatal("ParseSpanID accepted garbage")
+	}
+}
+
+func TestCollectorClaim(t *testing.T) {
+	c := NewCollector()
+	if !c.Claim(5, "shard000/1") {
+		t.Fatal("first claim rejected")
+	}
+	if !c.Claim(5, "shard000/1") {
+		t.Fatal("idempotent re-claim rejected")
+	}
+	if c.Claim(5, "shard001/9") {
+		t.Fatal("conflicting claim accepted")
+	}
+	if got := c.Collisions(); got != 1 {
+		t.Fatalf("Collisions() = %d, want 1", got)
+	}
+}
+
+func TestCollectorNilSafe(t *testing.T) {
+	var c *Collector
+	c.Record(Span{ID: 1, Phase: "x"})
+	if !c.Claim(1, "a") {
+		t.Fatal("nil collector Claim should be true")
+	}
+	if c.Collisions() != 0 || c.Len() != 0 || c.Spans() != nil {
+		t.Fatal("nil collector leaked state")
+	}
+}
+
+// sampleSpans is a span set exercising every optional field shape.
+func sampleSpans() []Span {
+	return []Span{
+		{ID: DeriveSpanID(1, 0, 0), Phase: "store.queue", P: 0, Start: 1000, End: 2000},
+		{ID: DeriveSpanID(1, 0, 0), Phase: "store.slot", P: 0, Start: 2000, End: 5000},
+		{ID: DeriveSpanID(1, 0, 1), Parent: DeriveSpanID(2, 9, 4), Phase: "store.apply", P: 3, Start: 2000, End: 2100, Detail: `b="7"`},
+		{ID: DeriveSpanID(1, 1, 0), Phase: "store.containment", P: -1, Start: 500, End: 9000, Detail: "polls=4"},
+	}
+}
+
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	c := NewCollector()
+	for _, s := range sampleSpans() {
+		c.Record(s)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Spans()
+	if !reflect.DeepEqual(back, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, want)
+	}
+}
+
+// TestSpanJSONLArrivalOrder pins the byte-stability contract: any
+// permutation of the same spans renders to identical bytes.
+func TestSpanJSONLArrivalOrder(t *testing.T) {
+	base := sampleSpans()
+	render := func(order []Span) string {
+		c := NewCollector()
+		for _, s := range order {
+			c.Record(s)
+		}
+		var buf bytes.Buffer
+		if err := c.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	want := render(base)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]Span(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := render(shuffled); got != want {
+			t.Fatalf("trial %d: shuffled rendering differs:\n got %q\nwant %q", trial, got, want)
+		}
+	}
+}
+
+func TestParseSpansErrors(t *testing.T) {
+	if _, err := ParseSpans(strings.NewReader("{broken\n")); err == nil {
+		t.Fatal("ParseSpans accepted malformed JSON")
+	}
+	if _, err := ParseSpans(strings.NewReader(`{"span":"zz","phase":"x","start":0,"end":1}` + "\n")); err == nil {
+		t.Fatal("ParseSpans accepted bad span id")
+	}
+	spans, err := ParseSpans(strings.NewReader("\n"))
+	if err != nil || spans != nil {
+		t.Fatalf("blank line: %v, %v", spans, err)
+	}
+}

@@ -72,13 +72,29 @@ func (p BatchPolicy) withDefaults() BatchPolicy {
 	return p
 }
 
+// BatchTrace observes a replica's per-command milestones for causal op
+// tracing: Sealed fires when a command leaves the pending queue into a
+// sealed batch, Committed when the expand fold emits it into the
+// committed stream. Both carry the replica's sim time. The hooks run
+// inside the engine step on the driving goroutine; keep them cheap. A
+// nil *BatchTrace (the default) costs one branch per seal/expand — the
+// nil-hook pattern the engine instrumentation uses.
+type BatchTrace struct {
+	// Sealed reports cmd entering the sealed batch with the given ID.
+	Sealed func(cmd Value, batch Value, at async.Time)
+	// Committed reports cmd emitted at the given inner-log slot.
+	Committed func(cmd Value, slot uint64, at async.Time)
+}
+
 // BatchingReplica wraps a Replica: commands go in through Submit, the
 // committed command stream comes out of Decided. The embedded replica's
 // log carries batch IDs; everything below the Value domain is untouched.
 type BatchingReplica struct {
 	*Replica
-	pol BatchPolicy
-	rng *rand.Rand
+	pol   BatchPolicy
+	rng   *rand.Rand
+	trace *BatchTrace
+	nowT  async.Time // last engine time seen, for trace stamps
 
 	pending []Value // submitted, not yet sealed
 	open    []Batch // sealed, not yet seen decided (the open window)
@@ -119,6 +135,10 @@ func NewBatchingReplicas(n int, weak detector.WeakDetector, pol BatchPolicy) ([]
 	return bs, aps
 }
 
+// SetTrace installs (or clears, with nil) the tracing hooks. Call from
+// the driving goroutine, like Submit.
+func (b *BatchingReplica) SetTrace(t *BatchTrace) { b.trace = t }
+
 // Submit queues one command for batching. Safe before the engine starts
 // and from the driving goroutine between runs.
 func (b *BatchingReplica) Submit(v Value) { b.pending = append(b.pending, v) }
@@ -142,6 +162,7 @@ func (b *BatchingReplica) proposal() Value {
 // OnTick implements async.Proc: seal per policy, re-announce the open
 // window, run the inner replica, then expand newly decided slots.
 func (b *BatchingReplica) OnTick(ctx async.Context) {
+	b.nowT = ctx.Now()
 	b.asked = false
 	b.sealTick()
 	for _, batch := range b.open {
@@ -153,6 +174,7 @@ func (b *BatchingReplica) OnTick(ctx async.Context) {
 
 // OnMessage implements async.Proc.
 func (b *BatchingReplica) OnMessage(ctx async.Context, from proc.ID, payload any) {
+	b.nowT = ctx.Now()
 	switch m := payload.(type) {
 	case BatchAnnounce:
 		b.learn(m.Batch)
@@ -197,6 +219,11 @@ func (b *BatchingReplica) seal(k int) {
 	b.pending = b.pending[:copy(b.pending, b.pending[k:])]
 	b.known[id] = cmds
 	b.open = append(b.open, Batch{ID: id, Cmds: cmds})
+	if b.trace != nil && b.trace.Sealed != nil {
+		for _, c := range cmds {
+			b.trace.Sealed(c, id, b.nowT)
+		}
+	}
 }
 
 // learn stores an announced batch's contents.
@@ -275,6 +302,11 @@ func (b *BatchingReplica) expand(ctx async.Context) {
 				return
 			}
 			b.out = append(b.out, cmds...)
+			if b.trace != nil && b.trace.Committed != nil {
+				for _, c := range cmds {
+					b.trace.Committed(c, b.next, b.nowT)
+				}
+			}
 			b.expanded[id] = b.next
 			b.retire(id)
 		}

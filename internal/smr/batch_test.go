@@ -398,3 +398,69 @@ func TestBatchingCorruptedRecovers(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchTrace pins the tracing hook contract: every submitted
+// command fires Sealed exactly once on its submitting replica and
+// Committed exactly once on each replica's fold, seals precede commits
+// in sim time, and commit order matches the decided stream.
+func TestBatchTrace(t *testing.T) {
+	const n, total = 3, 40
+	bs, e := buildBatching(n, BatchPolicy{MaxBatch: 8, Seed: 5}, nil, 5)
+	sealed := make(map[Value]async.Time)
+	committed := make(map[Value]async.Time)
+	var commitOrder []Value
+	bs[0].SetTrace(&BatchTrace{
+		Sealed: func(cmd, batch Value, at async.Time) {
+			if _, dup := sealed[cmd]; dup {
+				t.Errorf("command %d sealed twice", cmd)
+			}
+			if batch < 0 {
+				t.Errorf("command %d sealed into negative batch %d", cmd, batch)
+			}
+			sealed[cmd] = at
+		},
+		Committed: func(cmd Value, slot uint64, at async.Time) {
+			if _, dup := committed[cmd]; dup {
+				t.Errorf("command %d committed twice", cmd)
+			}
+			committed[cmd] = at
+			commitOrder = append(commitOrder, cmd)
+		},
+	})
+	var submitted []Value
+	for i := 0; i < total; i++ {
+		v := Value(int64(i) + 7000)
+		bs[0].Submit(v)
+		submitted = append(submitted, v)
+	}
+	drainUntil(t, e, bs, proc.Universe(n), total, 4000*ms)
+	checkStreams(t, bs, proc.Universe(n), submitted)
+
+	for _, v := range submitted {
+		sa, ok := sealed[v]
+		if !ok {
+			t.Fatalf("command %d never fired Sealed", v)
+		}
+		ca, ok := committed[v]
+		if !ok {
+			t.Fatalf("command %d never fired Committed", v)
+		}
+		if ca < sa {
+			t.Fatalf("command %d committed at %d before sealing at %d", v, ca, sa)
+		}
+	}
+	decided := bs[0].Decided()
+	for i, v := range commitOrder {
+		if decided[i] != v {
+			t.Fatalf("commit hook order diverges from Decided at %d: %d vs %d", i, v, decided[i])
+		}
+	}
+	// Clearing the hook stops the callbacks.
+	bs[0].SetTrace(nil)
+	before := len(commitOrder)
+	bs[0].Submit(Value(9999))
+	drainUntil(t, e, bs, proc.Universe(n), total+1, 8000*ms)
+	if len(commitOrder) != before {
+		t.Fatal("cleared trace hook still fired")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"net"
 	"sync"
 
+	"ftss/internal/obs"
 	"ftss/internal/proc"
 	"ftss/internal/wire"
 )
@@ -79,7 +80,7 @@ func (sv *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	var buf []byte
 	for {
-		_, payload, err := wire.ReadFrame(conn)
+		_, trace, payload, err := wire.ReadFrameTrace(conn)
 		if err != nil {
 			return // EOF, shutdown, or a malformed frame: drop the conn
 		}
@@ -89,12 +90,14 @@ func (sv *Server) serveConn(conn net.Conn) {
 		}
 		shard := sv.st.ShardFor(req.Key)
 		sh := sv.st.Shard(shard)
-		id := sh.Submit(Op{Key: req.Key, Old: req.Old, Val: req.Val})
+		id := sh.Submit(Op{Key: req.Key, Old: req.Old, Val: req.Val, Trace: obs.SpanID(trace)})
 		if err := sh.DriveAll(); err != nil {
 			return // shard stuck at its sim horizon; verdicts will tell
 		}
 		res, _ := sh.Result(id)
-		buf, err = wire.AppendFrame(buf[:0], proc.ID(shard), wire.CASReply{
+		// The reply echoes the request's trace context, so a traced client
+		// can stitch its RTT span to the server-side spans.
+		buf, err = wire.AppendFrameTrace(buf[:0], proc.ID(shard), trace, wire.CASReply{
 			ID: req.ID, OK: res.OK, Version: res.Version, Val: res.Val,
 		})
 		if err != nil {

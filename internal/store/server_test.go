@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ftss/internal/detector"
+	"ftss/internal/obs"
 	"ftss/internal/proc"
 	"ftss/internal/wire"
 )
@@ -184,3 +185,59 @@ func TestServerRejectsNonCASFrames(t *testing.T) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestServerTracePassthrough: a traced request's context survives the
+// wire round trip — the reply frame echoes it, and the op's server-side
+// spans carry it as their parent. An untraced request on the same
+// connection gets a plain (unflagged) reply.
+func TestServerTracePassthrough(t *testing.T) {
+	st := New(Config{Shards: 2, Seed: 24, Trace: true})
+	addr, stopServe := startServer(t, st)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ctx := uint64(obs.DeriveSpanID(7, 0, 0))
+	buf, err := wire.AppendFrameTrace(nil, 0, ctx, wire.CASRequest{ID: 1, Old: 0, Val: 5, Key: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	_, echoed, payload, err := wire.ReadFrameTrace(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echoed != ctx {
+		t.Fatalf("reply trace %#x, want %#x", echoed, ctx)
+	}
+	if rep := payload.(wire.CASReply); !rep.OK || rep.ID != 1 {
+		t.Fatalf("traced cas reply: %+v", rep)
+	}
+
+	buf, err = wire.AppendFrame(buf[:0], 0, wire.CASRequest{ID: 2, Old: 1, Val: 6, Key: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, echoed, _, err = wire.ReadFrameTrace(conn); err != nil || echoed != 0 {
+		t.Fatalf("untraced request echoed trace %#x, err %v", echoed, err)
+	}
+
+	stopServe()
+	linked := 0
+	for _, sp := range st.TraceSpans() {
+		if sp.Parent == obs.SpanID(ctx) {
+			linked++
+		}
+	}
+	if linked != 3 {
+		t.Fatalf("server spans linked to the wire context = %d, want 3", linked)
+	}
+}

@@ -29,6 +29,17 @@ var latencyBounds = []uint64{
 // slot.
 const hashWindow = 4
 
+// containmentBounds bucket rounds-to-reconverge (Definition 2.4 polls
+// between a corruption strike and the next fully-agreeing poll).
+var containmentBounds = []uint64{1, 2, 4, 8, 16, 32, 64}
+
+// markEvent is one open corruption strike awaiting reconvergence: when
+// it struck and how many polls had been recorded by then.
+type markEvent struct {
+	at   async.Time
+	poll uint64
+}
+
 type kvEntry struct {
 	ver uint64
 	val int64
@@ -115,11 +126,32 @@ type Shard struct {
 	frontierG *obs.Gauge
 	//ftss:guardedby mu
 	latH *obs.Histogram
+
+	// Tracing state, populated only when the store collects spans or
+	// events (col/events nil otherwise; every hook site is nil-guarded so
+	// disabled tracing costs one branch).
+	col    *obs.Collector // shared, internally synchronized
+	events obs.Sink       // shared, must be concurrency-safe
+	//ftss:guardedby mu
+	sealedAt []async.Time // per-op first seal time (0: not yet sealed)
+	//ftss:guardedby mu
+	commitAt []async.Time // per-op first commit time on reps[0]
+	//ftss:guardedby mu
+	parents []obs.SpanID // per-op client trace context
+	//ftss:guardedby mu
+	openMarks []markEvent // corruption strikes not yet reconverged
+	//ftss:guardedby mu
+	contEvents uint64 // monotonic containment-span index
+	//ftss:guardedby mu
+	contH *obs.Histogram
+	//ftss:guardedby mu
+	reconvC *obs.Counter
 }
 
 // newShard builds shard idx of a store with config cfg. All randomness
 // derives from (cfg.Seed, idx), so equal configs build equal shards.
-func newShard(idx int, cfg Config) *Shard {
+// col is the store-wide span collector, nil when tracing is off.
+func newShard(idx int, cfg Config, col *obs.Collector) *Shard {
 	base := cfg.Seed*1_000_003 + int64(idx)*7919
 	weak := &detector.SimulatedWeak{N: cfg.Replicas, Seed: base}
 	reps, aps := smr.NewBatchingReplicas(cfg.Replicas, weak, smr.BatchPolicy{
@@ -156,7 +188,54 @@ func newShard(idx int, cfg Config) *Shard {
 	if cfg.CorruptEvery > 0 {
 		s.nextCorrupt = cfg.CorruptEvery //ftss:unguarded constructor; the shard is not yet published
 	}
+	s.col, s.events = col, cfg.Events //ftss:unguarded constructor; the shard is not yet published
+	if col != nil || cfg.Events != nil {
+		// Containment instruments exist only when someone watches, so
+		// untraced metric snapshots stay byte-identical with older runs.
+		//ftss:unguarded constructor; the shard is not yet published
+		s.contH = reg.Histogram("containment_polls", containmentBounds)
+		s.reconvC = reg.Counter("reconverged") //ftss:unguarded constructor; the shard is not yet published
+	}
+	if col != nil {
+		// Seal times come from every replica (an op's first seal is on
+		// whichever frontend it was submitted to); commit times only from
+		// reps[0], whose expansion applyLocked folds.
+		all := &smr.BatchTrace{Sealed: s.noteSealedLocked}
+		first := &smr.BatchTrace{Sealed: s.noteSealedLocked, Committed: s.noteCommittedLocked}
+		for i, r := range reps {
+			if i == 0 {
+				r.SetTrace(first)
+			} else {
+				r.SetTrace(all)
+			}
+		}
+	}
 	return s
+}
+
+// noteSealedLocked records an op's first seal time. It runs inside the
+// engine step, which only ever executes under s.mu (Advance and
+// DriveAll hold it while they drive the engine).
+func (s *Shard) noteSealedLocked(cmd smr.Value, _ smr.Value, at async.Time) {
+	seq := int64(cmd)
+	if seq < 0 || seq >= int64(len(s.sealedAt)) {
+		return // corruption-minted value
+	}
+	if s.sealedAt[seq] == 0 {
+		s.sealedAt[seq] = at
+	}
+}
+
+// noteCommittedLocked records an op's first commit time on the fold
+// source; like the seal hook, it fires only under s.mu.
+func (s *Shard) noteCommittedLocked(cmd smr.Value, _ uint64, at async.Time) {
+	seq := int64(cmd)
+	if seq < 0 || seq >= int64(len(s.commitAt)) {
+		return
+	}
+	if s.commitAt[seq] == 0 {
+		s.commitAt[seq] = at
+	}
 }
 
 // Submit queues one op and returns its shard-local ID. The op's result
@@ -171,6 +250,13 @@ func (s *Shard) Submit(op Op) int64 {
 	s.firstAt = append(s.firstAt, now)
 	s.done = append(s.done, false)
 	s.results = append(s.results, Result{})
+	if s.col != nil {
+		s.col.Claim(obs.DeriveSpanID(s.cfg.Seed, uint64(s.idx)<<1, uint64(seq)),
+			fmt.Sprintf("shard%03d/%d", s.idx, seq))
+		s.sealedAt = append(s.sealedAt, 0)
+		s.commitAt = append(s.commitAt, 0)
+		s.parents = append(s.parents, op.Trace)
+	}
 	s.pending++
 	s.opsC.Inc()
 	s.reps[s.nextRep].Submit(smr.Value(seq))
@@ -222,6 +308,13 @@ func (s *Shard) advanceLocked(until async.Time) {
 			s.rec.Mark()
 			s.corruptC.Inc()
 			s.nextCorrupt += s.cfg.CorruptEvery
+			if s.col != nil || s.events != nil {
+				s.openMarks = append(s.openMarks, markEvent{at: now, poll: s.pollsC.Value()})
+			}
+			if s.events != nil {
+				s.events.Emit(obs.Event{Kind: "shard_corrupt", T: uint64(now), P: s.idx,
+					Fields: []obs.KV{{K: "victim", V: int64(victim)}}})
+			}
 		}
 		if now >= s.nextPoll {
 			s.applyLocked(now)
@@ -274,7 +367,40 @@ func (s *Shard) applyLocked(now async.Time) {
 		s.appliedC.Inc()
 		s.latH.Observe(uint64(now - s.firstAt[seq]))
 		s.lastProgress = now
+		if s.col != nil {
+			s.spanOpLocked(seq, now)
+		}
 	}
+}
+
+// spanOpLocked records op seq's three phase spans at apply time. The seal and
+// commit stamps are first-wins from the smr hooks; an op whose first
+// submission was forfeited and retried can apply before its retry's
+// seal fires, so each boundary clamps to stay monotone.
+func (s *Shard) spanOpLocked(seq int64, now async.Time) {
+	id := obs.DeriveSpanID(s.cfg.Seed, uint64(s.idx)<<1, uint64(seq))
+	parent := s.parents[seq]
+	submit := s.firstAt[seq]
+	sealed := s.sealedAt[seq]
+	if sealed < submit {
+		sealed = submit
+	}
+	committed := s.commitAt[seq]
+	if committed < sealed {
+		committed = sealed
+	}
+	if committed > now {
+		committed = now
+	}
+	if sealed > committed {
+		sealed = committed
+	}
+	s.col.Record(obs.Span{ID: id, Parent: parent, Phase: "store.queue", P: s.idx,
+		Start: uint64(submit), End: uint64(sealed)})
+	s.col.Record(obs.Span{ID: id, Parent: parent, Phase: "store.slot", P: s.idx,
+		Start: uint64(sealed), End: uint64(committed)})
+	s.col.Record(obs.Span{ID: id, Parent: parent, Phase: "store.apply", P: s.idx,
+		Start: uint64(committed), End: uint64(now)})
 }
 
 // pollLocked records one Definition 2.4 observation: each replica's
@@ -326,6 +452,55 @@ func (s *Shard) pollLocked() {
 	}
 	s.rec.Observe(up, cells)
 	s.frontierG.SetMax(int64(w))
+	if len(s.openMarks) > 0 && len(cells) == len(s.reps) && cellsAgree(cells) {
+		s.reconvergeLocked()
+	}
+}
+
+// cellsAgree reports whether every cell carries the same window hash —
+// the poll-level reconvergence signal (Round is w for all by
+// construction).
+func cellsAgree(cells map[proc.ID]chaos.DecisionCell) bool {
+	first := true
+	var val int64
+	for _, c := range cells {
+		if first {
+			val, first = c.Val, false
+		} else if c.Val != val {
+			return false
+		}
+	}
+	return true
+}
+
+// reconvergeLocked closes every open corruption strike at the current
+// (fully agreeing) poll: one containment span per strike, measuring
+// sim time and polls from the strike to this poll. Strikes that stack
+// before reconvergence all close here — each gets its own span.
+func (s *Shard) reconvergeLocked() {
+	nowT := s.eng.Now()
+	nowP := s.pollsC.Value()
+	for _, m := range s.openMarks {
+		polls := nowP - m.poll
+		if s.col != nil {
+			s.col.Record(obs.Span{
+				ID:    obs.DeriveSpanID(s.cfg.Seed, uint64(s.idx)<<1|1, s.contEvents),
+				Phase: "store.containment", P: s.idx,
+				Start: uint64(m.at), End: uint64(nowT),
+				Detail: fmt.Sprintf("polls=%d", polls),
+			})
+		}
+		s.contEvents++
+		if s.contH != nil {
+			s.contH.Observe(polls)
+			s.reconvC.Inc()
+		}
+		if s.events != nil {
+			s.events.Emit(obs.Event{Kind: "shard_reconverge", T: uint64(nowT), P: s.idx,
+				Fields: []obs.KV{{K: "polls", V: int64(polls)}}})
+		}
+	}
+	s.openMarks = s.openMarks[:0]
 }
 
 // retryLocked resubmits pending ops when the shard has stalled: no op

@@ -33,11 +33,14 @@ import (
 // Op is one compare-and-swap command: install Val on Key if the key's
 // current version is exactly Old (0 means "key absent"). A mismatched
 // Old still commits — the reply carries the register's actual version
-// and value, so a failed CAS doubles as a versioned read.
+// and value, so a failed CAS doubles as a versioned read. Trace is the
+// client's span ID (0 for none), linked as the parent of the op's
+// server-side spans when tracing is on.
 type Op struct {
-	Key string
-	Old uint64
-	Val int64
+	Key   string
+	Old   uint64
+	Val   int64
+	Trace obs.SpanID
 }
 
 // Result is the register's state after an op's batch committed.
@@ -82,6 +85,15 @@ type Config struct {
 	CorruptEvery async.Time
 	// MaxSim bounds how long Drive may run one shard. Default 120s.
 	MaxSim async.Time
+	// Trace enables causal op tracing: per-op queue/slot/apply spans
+	// and per-corruption containment spans land in a store-wide
+	// collector (TraceSpans, WriteTrace). Off by default; disabled
+	// tracing costs one nil check per hook site.
+	Trace bool
+	// Events, when non-nil, receives shard lifecycle events
+	// (shard_corrupt, shard_reconverge) stamped with sim time. The sink
+	// must be safe for concurrent Emit.
+	Events obs.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -116,14 +128,18 @@ func (c Config) withDefaults() Config {
 type Store struct {
 	cfg    Config
 	shards []*Shard
+	col    *obs.Collector // nil unless cfg.Trace
 }
 
 // New builds a store with cfg.Shards idle shards.
 func New(cfg Config) *Store {
 	cfg = cfg.withDefaults()
 	st := &Store{cfg: cfg, shards: make([]*Shard, cfg.Shards)}
+	if cfg.Trace {
+		st.col = obs.NewCollector()
+	}
 	for i := range st.shards {
-		st.shards[i] = newShard(i, cfg)
+		st.shards[i] = newShard(i, cfg, st.col)
 	}
 	return st
 }
@@ -243,6 +259,31 @@ func (st *Store) merged() *obs.Registry {
 	return m
 }
 
+// TraceSpans returns the sorted span set collected so far, nil when
+// tracing is disabled. Sorting makes the result independent of how the
+// shards were driven — byte-identical for any Drive worker count.
+func (st *Store) TraceSpans() []obs.Span {
+	if st.col == nil {
+		return nil
+	}
+	return st.col.Spans()
+}
+
+// WriteTrace writes the span set as sorted JSONL, the format
+// cmd/ftss-tracev reads. A no-op when tracing is disabled.
+func (st *Store) WriteTrace(w io.Writer) error {
+	if st.col == nil {
+		return nil
+	}
+	return st.col.WriteJSONL(w)
+}
+
+// TraceCollisions returns how many span-ID claims conflicted (0 in any
+// healthy run; non-zero means the trace merged distinct ops).
+func (st *Store) TraceCollisions() uint64 {
+	return st.col.Collisions()
+}
+
 // Verdicts returns every shard's incremental Definition 2.4 verdict, in
 // shard order. Nil entries are passing shards.
 func (st *Store) Verdicts() []error {
@@ -308,7 +349,7 @@ func (st *Store) Report(w io.Writer) error {
 	fmt.Fprintf(w, "store: shards=%d replicas=%d ops=%d applied=%d cas_ok=%d cas_mismatch=%d retries=%d marks=%d\n",
 		len(st.shards), st.cfg.Replicas, s.Ops, s.Applied, s.OK, s.Mismatch, s.Retries, s.Marks)
 	fmt.Fprintf(w, "store: latency p50=%dµs(%s) p99=%dµs(%s) makespan=%dms throughput=%d ops/s (sim)\n",
-		s.P50, inBounds(s.P50In), s.P99, inBounds(s.P99In), s.Makespan/async.Millisecond, s.Throughput)
+		s.P50, obs.BoundTag(s.P50In), s.P99, obs.BoundTag(s.P99In), s.Makespan/async.Millisecond, s.Throughput)
 
 	pass := 0
 	for i, err := range st.Verdicts() {
@@ -327,13 +368,4 @@ func (st *Store) Report(w io.Writer) error {
 		return fmt.Errorf("store: %d/%d shard verdicts failed", len(st.shards)-pass, len(st.shards))
 	}
 	return nil
-}
-
-// inBounds renders a Quantile's second return: "≤bound" when the rank
-// landed in a finite bucket, ">bound" when it overflowed.
-func inBounds(ok bool) string {
-	if ok {
-		return "le"
-	}
-	return "gt"
 }

@@ -9,6 +9,7 @@ import (
 
 	"ftss/internal/chaos"
 	"ftss/internal/core"
+	"ftss/internal/obs"
 	"ftss/internal/proc"
 	"ftss/internal/sim/async"
 )
@@ -219,5 +220,101 @@ func TestWindowAgreementViolations(t *testing.T) {
 	obsPoll(rec, cell(5, 1), chaos.DecisionCell{})
 	if err := ic.Verdict(); err == nil {
 		t.Fatal("missing frontier passed")
+	}
+}
+
+// TestStoreTraceWorkersByteIdentical: the tentpole determinism claim
+// for tracing — the collected span set is byte-identical whether the
+// shards are driven by 1 worker or 8, every applied op has its three
+// phase spans, corruption events close into containment spans, and no
+// span IDs collide.
+func TestStoreTraceWorkersByteIdentical(t *testing.T) {
+	run := func(workers int) (*Store, []byte) {
+		st := New(Config{
+			Shards: 8, Seed: 5, MaxBatch: 8, Trace: true,
+			CorruptEvery: 60 * async.Millisecond,
+		})
+		for _, op := range seededOps(11, 256, 64) {
+			st.Submit(op)
+		}
+		if err := st.Drive(workers); err != nil {
+			t.Fatal(err)
+		}
+		var tr bytes.Buffer
+		if err := st.WriteTrace(&tr); err != nil {
+			t.Fatal(err)
+		}
+		return st, tr.Bytes()
+	}
+	st1, tr1 := run(1)
+	_, tr8 := run(8)
+	if !bytes.Equal(tr1, tr8) {
+		t.Fatalf("traces differ between -workers 1 and 8 (%d vs %d bytes)", len(tr1), len(tr8))
+	}
+	if st1.TraceCollisions() != 0 {
+		t.Fatalf("span ID collisions: %d", st1.TraceCollisions())
+	}
+
+	spans := st1.TraceSpans()
+	phases := map[string]int{}
+	for _, sp := range spans {
+		phases[sp.Phase]++
+		if sp.End < sp.Start {
+			t.Fatalf("span %v %s runs backwards: [%d,%d]", sp.ID, sp.Phase, sp.Start, sp.End)
+		}
+	}
+	if phases["store.queue"] != 256 || phases["store.slot"] != 256 || phases["store.apply"] != 256 {
+		t.Fatalf("phase spans = %v, want 256 of each op phase", phases)
+	}
+	if phases["store.containment"] == 0 {
+		t.Fatal("corruption was configured but no containment spans recorded")
+	}
+}
+
+// TestStoreTraceDisabled: with Trace off the span API is inert and the
+// metric snapshot carries no containment instruments (byte-stability
+// with pre-tracing runs).
+func TestStoreTraceDisabled(t *testing.T) {
+	st := New(Config{Shards: 2, Seed: 3, CorruptEvery: 60 * async.Millisecond})
+	for _, op := range seededOps(19, 64, 16) {
+		st.Submit(op)
+	}
+	if err := st.Drive(2); err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceSpans() != nil {
+		t.Fatal("TraceSpans non-nil with tracing disabled")
+	}
+	var tr bytes.Buffer
+	if err := st.WriteTrace(&tr); err != nil || tr.Len() != 0 {
+		t.Fatalf("WriteTrace with tracing disabled wrote %d bytes, err %v", tr.Len(), err)
+	}
+	if st.TraceCollisions() != 0 {
+		t.Fatal("collisions counted with tracing disabled")
+	}
+	if snap := string(st.MetricsSnapshot()); strings.Contains(snap, "containment") ||
+		strings.Contains(snap, "reconverged") {
+		t.Fatalf("containment instruments leaked into an untraced snapshot:\n%s", snap)
+	}
+}
+
+// TestStoreTraceParentLink: an op submitted with a client trace context
+// carries it as the parent of all three of its phase spans.
+func TestStoreTraceParentLink(t *testing.T) {
+	st := New(Config{Shards: 1, Seed: 2, Trace: true})
+	parent := obs.DeriveSpanID(99, 0, 0)
+	st.Submit(Op{Key: "x", Old: 0, Val: 1, Trace: parent})
+	st.Submit(Op{Key: "y", Old: 0, Val: 2})
+	if err := st.Drive(1); err != nil {
+		t.Fatal(err)
+	}
+	linked := 0
+	for _, sp := range st.TraceSpans() {
+		if sp.Parent == parent {
+			linked++
+		}
+	}
+	if linked != 3 {
+		t.Fatalf("spans linked to the client context = %d, want 3", linked)
 	}
 }

@@ -27,6 +27,16 @@
 // the system only through the sanctioned Corrupt injectors, not through
 // codec leniency).
 //
+// Frames can optionally carry an 8-byte trace context (a span ID) for
+// causal op tracing. Bit 31 of the length word — unreachable by honest
+// lengths, since MaxFrame is far below 2³¹ — flags its presence, and
+// the length then counts the trace field plus the body, so
+// length-prefix relaying needs no version knowledge. A zero trace ID is
+// "no context" and is never flagged: untraced frames are byte-identical
+// to the pre-trace format, and a peer without trace support rejects a
+// flagged frame with a loud length error instead of misreading the
+// trace field as a message tag.
+//
 //ftss:det encoding must be a byte-stable pure function of the message
 package wire
 
@@ -89,6 +99,14 @@ const MaxFrame = 1 << 20
 
 // frameHeader is the byte length of the [length][sender] prefix.
 const frameHeader = 8
+
+// traceFlag marks a frame whose body is preceded by a trace context.
+// MaxFrame (even plus the trace field) keeps honest length words well
+// below the flag bit.
+const traceFlag = 1 << 31
+
+// traceLen is the byte length of the optional trace context.
+const traceLen = 8
 
 // ErrUnknownMessage reports an Append of a payload type that is not part
 // of the wire vocabulary.
@@ -314,51 +332,135 @@ func AppendFrame(buf []byte, from proc.ID, payload any) ([]byte, error) {
 	return body, nil
 }
 
-// DecodeFrame parses one complete frame from b (exactly; trailing bytes
-// are an error) and returns the sender and message.
-func DecodeFrame(b []byte) (proc.ID, any, error) {
-	if len(b) < frameHeader {
-		return proc.None, nil, fmt.Errorf("%w: frame shorter than header", ErrBadFrame)
+// AppendFrameTrace encodes payload as one framed message carrying the
+// given trace context. A zero trace is "no context" and produces the
+// plain untraced frame, so call sites thread a possibly-zero span ID
+// through unconditionally and the wire stays version-compatible.
+func AppendFrameTrace(buf []byte, from proc.ID, trace uint64, payload any) ([]byte, error) {
+	if trace == 0 {
+		return AppendFrame(buf, from, payload)
 	}
-	n := int(u32(b))
-	if n > MaxFrame {
-		return proc.None, nil, fmt.Errorf("%w: length %d exceeds MaxFrame", ErrBadFrame, n)
+	start := len(buf)
+	buf = appendU32(buf, 0) // length back-patched below
+	buf = appendU32(buf, uint32(int32(from)))
+	buf = appendU64(buf, trace)
+	body, err := Append(buf, payload)
+	if err != nil {
+		return buf[:start], err
+	}
+	n := len(body) - start - frameHeader
+	if n-traceLen > MaxFrame {
+		return buf[:start], fmt.Errorf("%w: body %d exceeds MaxFrame", ErrBadFrame, n-traceLen)
+	}
+	v := uint32(n) | traceFlag
+	body[start] = byte(v >> 24)
+	body[start+1] = byte(v >> 16)
+	body[start+2] = byte(v >> 8)
+	body[start+3] = byte(v)
+	return body, nil
+}
+
+// frameLength validates a frame's raw length word and returns the byte
+// count following the header plus whether a trace context leads it.
+func frameLength(raw uint32) (n int, traced bool, err error) {
+	traced = raw&traceFlag != 0
+	n = int(raw &^ traceFlag)
+	max := MaxFrame
+	if traced {
+		max += traceLen
+		if n < traceLen {
+			return 0, false, fmt.Errorf("%w: traced frame length %d shorter than its trace field", ErrBadFrame, n)
+		}
+	}
+	if n > max {
+		return 0, false, fmt.Errorf("%w: length %d exceeds MaxFrame", ErrBadFrame, n)
+	}
+	return n, traced, nil
+}
+
+// frameBody splits a frame's post-header bytes into trace context and
+// message body. A flagged frame carrying a zero trace ID is malformed:
+// zero means "no context", which the encoder never flags.
+func frameBody(b []byte, traced bool) (trace uint64, body []byte, err error) {
+	if !traced {
+		return 0, b, nil
+	}
+	trace = u64(b)
+	if trace == 0 {
+		return 0, nil, fmt.Errorf("%w: traced frame with zero trace id", ErrBadFrame)
+	}
+	return trace, b[traceLen:], nil
+}
+
+// DecodeFrame parses one complete frame from b (exactly; trailing bytes
+// are an error) and returns the sender and message. Trace context, if
+// present, is validated and dropped — DecodeFrameTrace returns it.
+func DecodeFrame(b []byte) (proc.ID, any, error) {
+	from, _, payload, err := DecodeFrameTrace(b)
+	return from, payload, err
+}
+
+// DecodeFrameTrace is DecodeFrame plus the frame's trace context (0
+// when the frame carries none).
+func DecodeFrameTrace(b []byte) (proc.ID, uint64, any, error) {
+	if len(b) < frameHeader {
+		return proc.None, 0, nil, fmt.Errorf("%w: frame shorter than header", ErrBadFrame)
+	}
+	n, traced, err := frameLength(u32(b))
+	if err != nil {
+		return proc.None, 0, nil, err
 	}
 	if len(b) != frameHeader+n {
-		return proc.None, nil, fmt.Errorf("%w: length %d but %d body bytes", ErrBadFrame, n, len(b)-frameHeader)
+		return proc.None, 0, nil, fmt.Errorf("%w: length %d but %d body bytes", ErrBadFrame, n, len(b)-frameHeader)
+	}
+	trace, body, err := frameBody(b[frameHeader:], traced)
+	if err != nil {
+		return proc.None, 0, nil, err
 	}
 	from := proc.ID(int32(u32(b[4:])))
-	payload, err := Decode(b[frameHeader : frameHeader+n])
+	payload, err := Decode(body)
 	if err != nil {
-		return proc.None, nil, err
+		return proc.None, 0, nil, err
 	}
-	return from, payload, nil
+	return from, trace, payload, nil
 }
 
 // ReadFrame reads one frame from r (blocking until it is complete) and
 // returns the sender and decoded message. io errors pass through;
 // malformed frames are ErrBadFrame. A clean EOF before any header byte
-// is io.EOF; EOF mid-frame is io.ErrUnexpectedEOF.
+// is io.EOF; EOF mid-frame is io.ErrUnexpectedEOF. Trace context, if
+// present, is validated and dropped — ReadFrameTrace returns it.
 func ReadFrame(r io.Reader) (proc.ID, any, error) {
+	from, _, payload, err := ReadFrameTrace(r)
+	return from, payload, err
+}
+
+// ReadFrameTrace is ReadFrame plus the frame's trace context (0 when
+// the frame carries none).
+func ReadFrameTrace(r io.Reader) (proc.ID, uint64, any, error) {
 	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return proc.None, nil, err
+		return proc.None, 0, nil, err
 	}
-	n := int(u32(hdr[:]))
-	if n > MaxFrame {
-		return proc.None, nil, fmt.Errorf("%w: length %d exceeds MaxFrame", ErrBadFrame, n)
+	n, traced, err := frameLength(u32(hdr[:]))
+	if err != nil {
+		return proc.None, 0, nil, err
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(r, raw); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return proc.None, nil, err
+		return proc.None, 0, nil, err
+	}
+	trace, body, err := frameBody(raw, traced)
+	if err != nil {
+		return proc.None, 0, nil, err
 	}
 	from := proc.ID(int32(u32(hdr[4:])))
 	payload, err := Decode(body)
 	if err != nil {
-		return proc.None, nil, err
+		return proc.None, 0, nil, err
 	}
-	return from, payload, nil
+	return from, trace, payload, nil
 }

@@ -307,20 +307,113 @@ func FuzzDecode(f *testing.F) {
 func FuzzReadFrame(f *testing.F) {
 	whole, _ := AppendFrame(nil, 1, ctcons.DecideMsg{Round: 3, Val: 4})
 	f.Add(whole)
+	traced, _ := AppendFrameTrace(nil, 1, 0xdead_beef_cafe_f00d, ctcons.DecideMsg{Round: 3, Val: 4})
+	f.Add(traced)
 	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 0, tagHeartbeat})
+	f.Add([]byte{0x80, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, tagHeartbeat})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		from, msg, err := ReadFrame(bytes.NewReader(data))
+		from, trace, msg, err := ReadFrameTrace(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
-		out, err := AppendFrame(nil, from, msg)
+		// Anything that reads must re-encode to the identical prefix:
+		// traced and untraced frames alike are bijective with their
+		// (from, trace, msg) triple.
+		out, err := AppendFrameTrace(nil, from, trace, msg)
 		if err != nil {
-			t.Fatalf("frame (%v, %#v) does not re-encode: %v", from, msg, err)
+			t.Fatalf("frame (%v, %x, %#v) does not re-encode: %v", from, trace, msg, err)
 		}
 		if !bytes.Equal(out, data[:len(out)]) {
 			t.Fatalf("frame re-encoding differs: %x vs %x", out, data[:len(out)])
 		}
+		// The trace-dropping reader must agree on sender and message.
+		from2, msg2, err := ReadFrame(bytes.NewReader(data))
+		if err != nil || from2 != from || !reflect.DeepEqual(msg2, msg) {
+			t.Fatalf("ReadFrame disagrees with ReadFrameTrace: (%v, %#v, %v) vs (%v, %#v)",
+				from2, msg2, err, from, msg)
+		}
 	})
+}
+
+// TestTracedFrameRoundTrip runs every message kind through the traced
+// framing: the context comes back from both the reader and the
+// one-shot decoder, and a zero trace degenerates to the untraced
+// format byte-for-byte.
+func TestTracedFrameRoundTrip(t *testing.T) {
+	for i, msg := range every() {
+		trace := uint64(i)*0x9e37_79b9_7f4a_7c15 + 1
+		framed, err := AppendFrameTrace(nil, proc.ID(i), trace, msg)
+		if err != nil {
+			t.Fatalf("AppendFrameTrace(%T): %v", msg, err)
+		}
+		want := msg
+		if m, ok := want.(detector.SyncMsg); ok && m.Records == nil {
+			want = detector.SyncMsg{Records: []detector.Status{}}
+		}
+		from, gotTrace, got, err := DecodeFrameTrace(framed)
+		if err != nil || from != proc.ID(i) || gotTrace != trace || !reflect.DeepEqual(got, want) {
+			t.Fatalf("DecodeFrameTrace(%T) = (%v, %x, %#v, %v), want (%v, %x, %#v)",
+				msg, from, gotTrace, got, err, proc.ID(i), trace, want)
+		}
+		from, gotTrace, got, err = ReadFrameTrace(bytes.NewReader(framed))
+		if err != nil || from != proc.ID(i) || gotTrace != trace || !reflect.DeepEqual(got, want) {
+			t.Fatalf("ReadFrameTrace(%T) = (%v, %x, %#v, %v)", msg, from, gotTrace, got, err)
+		}
+		// Old-style readers still decode the message, dropping the context.
+		from, got, err = DecodeFrame(framed)
+		if err != nil || from != proc.ID(i) || !reflect.DeepEqual(got, want) {
+			t.Fatalf("DecodeFrame of traced %T = (%v, %#v, %v)", msg, from, got, err)
+		}
+	}
+	plain, err := AppendFrame(nil, 3, ctcons.AckMsg{Round: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTrace, err := AppendFrameTrace(nil, 3, 0, ctcons.AckMsg{Round: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, viaTrace) {
+		t.Fatalf("zero-trace frame differs from untraced: %x vs %x", viaTrace, plain)
+	}
+}
+
+// TestTracedFrameByteStable pins the exact traced layout: flagged
+// length counting trace+body, sender, big-endian trace ID, body.
+func TestTracedFrameByteStable(t *testing.T) {
+	framed, err := AppendFrameTrace(nil, 2, 0x0102030405060708, ctcons.AckMsg{Round: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "80000011" + // length 0x11 = 8 trace + 9 body, bit 31 flagged
+		"00000002" + // sender
+		"0102030405060708" + // trace context
+		"050000000000000005" // AckMsg{Round: 5}
+	if got := hex.EncodeToString(framed); got != want {
+		t.Fatalf("traced frame = %s, want %s", got, want)
+	}
+}
+
+func TestTracedFrameStrict(t *testing.T) {
+	// A flagged frame with an all-zero trace field: zero means "no
+	// context" and is never flagged, so this is malformed.
+	zeroTrace := []byte{0x80, 0, 0, 9, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, tagHeartbeat}
+	if _, _, _, err := DecodeFrameTrace(zeroTrace); err == nil {
+		t.Error("DecodeFrameTrace accepted a flagged frame with zero trace id")
+	}
+	if _, _, _, err := ReadFrameTrace(bytes.NewReader(zeroTrace)); err == nil {
+		t.Error("ReadFrameTrace accepted a flagged frame with zero trace id")
+	}
+	// A flagged length shorter than the trace field itself.
+	short := []byte{0x80, 0, 0, 4, 0, 0, 0, 2, 1, 2, 3, 4}
+	if _, _, _, err := DecodeFrameTrace(short); err == nil {
+		t.Error("DecodeFrameTrace accepted a traced frame shorter than its trace field")
+	}
+	// The flag does not widen MaxFrame for the message body.
+	huge := []byte{0xbf, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	if _, _, _, err := DecodeFrameTrace(huge); err == nil {
+		t.Error("DecodeFrameTrace accepted an over-MaxFrame traced length")
+	}
 }
 
 // TestCASKeyBounds: the encoding bounds keys at 64 KiB; an oversized key
